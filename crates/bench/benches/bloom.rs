@@ -1,0 +1,108 @@
+//! Bloom digest micro-benchmarks: insert/query/remove/snapshot, and
+//! the overflow-policy ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use proteus_bloom::{BloomConfig, CountingBloomFilter, DigestSnapshot, OverflowPolicy};
+
+fn digest_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("digest_ops");
+    let cfg = BloomConfig::optimal(262_144, 4, 1e-4, 1e-4); // 1 GB server at 4 KB
+    group.bench_function("insert", |b| {
+        let mut filter = CountingBloomFilter::new(cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            filter.insert(black_box(&i.to_le_bytes()));
+        });
+    });
+    group.bench_function("contains_hit", |b| {
+        let mut filter = CountingBloomFilter::new(cfg);
+        for i in 0..100_000u64 {
+            filter.insert(&i.to_le_bytes());
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            black_box(filter.contains(&i.to_le_bytes()))
+        });
+    });
+    group.bench_function("contains_miss", |b| {
+        let mut filter = CountingBloomFilter::new(cfg);
+        for i in 0..100_000u64 {
+            filter.insert(&i.to_le_bytes());
+        }
+        let mut i = 1_000_000u64;
+        b.iter(|| {
+            i += 1;
+            black_box(filter.contains(&i.to_le_bytes()))
+        });
+    });
+    group.bench_function("insert_remove_cycle", |b| {
+        let mut filter = CountingBloomFilter::new(cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = i.to_le_bytes();
+            filter.insert(&key);
+            filter.remove(black_box(&key));
+        });
+    });
+    group.finish();
+}
+
+fn snapshot_and_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("digest_broadcast");
+    group.sample_size(20);
+    let cfg = BloomConfig::optimal(262_144, 4, 1e-4, 1e-4);
+    let mut filter = CountingBloomFilter::new(cfg);
+    for i in 0..262_144u64 {
+        filter.insert(&i.to_le_bytes());
+    }
+    group.bench_function("snapshot", |b| {
+        b.iter(|| black_box(filter.snapshot()));
+    });
+    let snap = filter.snapshot();
+    group.bench_function("serialize", |b| {
+        b.iter(|| black_box(DigestSnapshot::from_filter(&snap).to_bytes()));
+    });
+    let bytes = DigestSnapshot::from_filter(&snap).to_bytes();
+    group.bench_function("deserialize", |b| {
+        b.iter(|| black_box(DigestSnapshot::from_bytes(&bytes).unwrap()));
+    });
+    group.finish();
+}
+
+/// Ablation: saturating vs wrapping counters under churn — same cost,
+/// different safety (Fig. 8 measures the error-rate side).
+fn overflow_policy_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overflow_policy");
+    for (name, policy) in [
+        ("saturate", OverflowPolicy::Saturate),
+        ("wrap", OverflowPolicy::Wrap),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            let cfg = BloomConfig::new(1 << 12, 2, 4); // narrow: overflow is hot
+            let mut filter = CountingBloomFilter::with_policy(cfg, policy);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let key = (i % 512).to_le_bytes();
+                filter.insert(&key);
+                if i.is_multiple_of(3) {
+                    filter.remove(black_box(&key));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    digest_ops,
+    snapshot_and_broadcast,
+    overflow_policy_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Cache-engine micro-benchmarks: the get/put hot paths at realistic
+//! object sizes, eviction pressure, and digest-maintenance overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use proteus_bloom::BloomConfig;
+use proteus_cache::{CacheConfig, CacheEngine};
+use proteus_sim::SimTime;
+
+fn engine_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_engine");
+    group.throughput(Throughput::Elements(1));
+    let t = SimTime::ZERO;
+
+    group.bench_function("get_hit_4k", |b| {
+        let mut cache = CacheEngine::new(CacheConfig::with_capacity(256 << 20));
+        for i in 0..10_000u64 {
+            cache.put(&i.to_le_bytes(), vec![0u8; 4096], t);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            black_box(cache.get(&i.to_le_bytes(), t).is_some())
+        });
+    });
+
+    group.bench_function("get_miss", |b| {
+        let mut cache = CacheEngine::new(CacheConfig::with_capacity(64 << 20));
+        let mut i = 1_000_000u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.get(&i.to_le_bytes(), t).is_none())
+        });
+    });
+
+    group.bench_function("put_4k_no_eviction", |b| {
+        let mut cache = CacheEngine::new(CacheConfig::with_capacity(8 << 30));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            cache.put(black_box(&i.to_le_bytes()), vec![0u8; 4096], t);
+        });
+    });
+
+    group.bench_function("put_4k_with_eviction", |b| {
+        // Tight capacity: every put evicts.
+        let mut cache = CacheEngine::new(CacheConfig::with_capacity(4 << 20));
+        for i in 0..1000u64 {
+            cache.put(&i.to_le_bytes(), vec![0u8; 4096], t);
+        }
+        let mut i = 1000u64;
+        b.iter(|| {
+            i += 1;
+            cache.put(black_box(&i.to_le_bytes()), vec![0u8; 4096], t);
+        });
+    });
+
+    // Digest-maintenance ablation: a tiny digest vs the production one.
+    group.bench_function("put_4k_small_digest", |b| {
+        let cfg = CacheConfig::with_capacity(8 << 30).digest(BloomConfig::new(1 << 10, 3, 4));
+        let mut cache = CacheEngine::new(cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            cache.put(black_box(&i.to_le_bytes()), vec![0u8; 4096], t);
+        });
+    });
+
+    group.finish();
+}
+
+fn digest_snapshot_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_digest_snapshot");
+    group.sample_size(20);
+    let mut cache = CacheEngine::new(CacheConfig::with_capacity(256 << 20));
+    for i in 0..50_000u64 {
+        cache.put(&i.to_le_bytes(), vec![0u8; 4096], SimTime::ZERO);
+    }
+    group.bench_function("snapshot_50k_items", |b| {
+        b.iter(|| black_box(cache.digest_snapshot()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_ops, digest_snapshot_cost);
+criterion_main!(benches);

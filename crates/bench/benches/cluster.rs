@@ -1,0 +1,63 @@
+//! End-to-end cluster-simulation benchmarks: a miniature day per
+//! scenario (the engine behind every figure), plus DES event
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use proteus_core::{ClusterConfig, ClusterSim, ProvisioningPlan, Scenario};
+use proteus_sim::{EventQueue, SimTime};
+use proteus_workload::Trace;
+
+fn mini_day_per_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_mini_day");
+    group.sample_size(10);
+    let config = ClusterConfig::small();
+    let trace = Trace::synthesize(&config.trace_config(200.0), 1);
+    let plan = ProvisioningPlan::load_proportional(
+        &trace.requests_per_slot(config.slot, config.slots),
+        config.cache_servers,
+        2,
+    );
+    for scenario in Scenario::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scenario.name()),
+            &scenario,
+            |b, &scenario| {
+                b.iter(|| {
+                    black_box(ClusterSim::new(config.clone(), scenario, &trace, &plan, 5).run())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn des_event_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_substrate");
+    group.bench_function("event_queue_push_pop", |b| {
+        let mut queue = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            queue.schedule(SimTime::from_nanos(t ^ 0x5555), t);
+            if queue.len() > 1024 {
+                black_box(queue.pop());
+            }
+        });
+    });
+    group.bench_function("trace_synthesis_10s", |b| {
+        let config = ClusterConfig::small();
+        let mut tc = config.trace_config(500.0);
+        tc.duration = proteus_sim::SimDuration::from_secs(10);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(Trace::synthesize(&tc, seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, mini_day_per_scenario, des_event_throughput);
+criterion_main!(benches);

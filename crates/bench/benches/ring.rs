@@ -1,0 +1,109 @@
+//! Ring micro-benchmarks: placement generation, lookup throughput,
+//! and the exact-vs-float placement ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use proteus_ring::{
+    hash::splitmix64, ModuloStrategy, PlacementStrategy, ProteusPlacement, RandomRing,
+};
+
+fn placement_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_generation");
+    for n in [10usize, 20, 40, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| ProteusPlacement::generate(black_box(n)));
+        });
+    }
+    group.finish();
+}
+
+fn lookup_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_for");
+    let proteus = ProteusPlacement::generate(10);
+    let random = RandomRing::with_quadratic_vnodes(10, 0);
+    let modulo = ModuloStrategy::new(10);
+    let keys: Vec<u64> = (0..1024u64).map(splitmix64).collect();
+    group.bench_function("proteus_n10", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            black_box(proteus.server_for(keys[i], 10))
+        });
+    });
+    group.bench_function("consistent_n10", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            black_box(random.server_for(keys[i], 10))
+        });
+    });
+    group.bench_function("modulo_n10", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            black_box(modulo.server_for(keys[i], 10))
+        });
+    });
+    // Lookup cost as the active prefix shrinks (table sizes differ).
+    for n in [2usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::new("proteus_prefix", n), &n, |b, &n| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) & 1023;
+                black_box(proteus.server_for(keys[i], n))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: exact rational placement vs an f64 re-computation of the
+/// same construction — measures the imbalance floating point would
+/// introduce at N = 64 (reported as a bench so it shows up in every
+/// bench run's output).
+fn exact_vs_float_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_exactness");
+    group.bench_function("exact_i128_generate_n64", |b| {
+        b.iter(|| ProteusPlacement::generate(black_box(64)));
+    });
+    group.bench_function("float_generate_n64", |b| {
+        b.iter(|| float_placement(black_box(64)));
+    });
+    // Report the imbalance of the float variant once.
+    let float_ranges = float_placement(64);
+    let worst = float_ranges
+        .iter()
+        .map(|&(_, len)| (len - 1.0 / (64.0 * 63.0)).abs())
+        .fold(0.0f64, f64::max);
+    eprintln!("float placement worst per-range drift at N=64: {worst:.3e}");
+    group.finish();
+}
+
+/// The float analogue of Algorithm 1 (used only by the ablation).
+fn float_placement(n: usize) -> Vec<(f64, f64)> {
+    let mut ranges: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
+    ranges[0].push((0.0, 1.0));
+    for i in 2..=n {
+        let borrow = 1.0 / (i as f64 * (i as f64 - 1.0));
+        for j in 1..i {
+            let donor = ranges[j - 1]
+                .iter_mut()
+                .find(|r| r.1 > borrow)
+                .expect("feasible donor");
+            let new_range = (donor.0, borrow);
+            donor.0 += borrow;
+            donor.1 -= borrow;
+            ranges[i - 1].push(new_range);
+        }
+    }
+    ranges.into_iter().flatten().collect()
+}
+
+criterion_group!(
+    benches,
+    placement_generation,
+    lookup_throughput,
+    exact_vs_float_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Component ablation: which half of Proteus does what?
+//!
+//! Proteus = (a) Algorithm 1's deterministic placement + (b)
+//! Algorithm 2's digest-guided smooth transitions. This 2×2 experiment
+//! separates their contributions by crossing {Proteus placement,
+//! random-vnode consistent hashing} × {digests on, digests off}:
+//!
+//! - placement governs **load balance** (Fig. 5's metric);
+//! - digests govern **transition smoothness** (Fig. 9's metric);
+//! - only the combination delivers both, which is the paper's design
+//!   argument for building the two mechanisms together.
+//!
+//! Regenerate with: `cargo run --release -p proteus-bench --bin ablation_components`
+
+use proteus_bench::{Evaluation, SIM_SEED};
+use proteus_core::{ClusterReport, ClusterSim, Scenario, VnodeBudget};
+
+fn mean_balance(report: &ClusterReport) -> f64 {
+    let v: Vec<f64> = report
+        .balance_ratio_per_slot()
+        .into_iter()
+        .flatten()
+        .collect();
+    v.iter().sum::<f64>() / v.len().max(1) as f64
+}
+
+fn main() {
+    let eval = Evaluation::short();
+    let cells = [
+        ("proteus placement", "digests on", Scenario::Proteus),
+        ("proteus placement", "digests off", Scenario::ProteusBlind),
+        (
+            "random vnodes",
+            "digests on",
+            Scenario::ConsistentSmart(VnodeBudget::Quadratic),
+        ),
+        (
+            "random vnodes",
+            "digests off",
+            Scenario::Consistent(VnodeBudget::Quadratic),
+        ),
+    ];
+    println!(
+        "{:<20} {:<12} {:>10} {:>14} {:>14} {:>10}",
+        "placement", "transitions", "balance", "typ p99.9", "worst p99.9", "migrated"
+    );
+    for (placement, digests, scenario) in cells {
+        eprintln!("  running {} ...", scenario.name());
+        let report = ClusterSim::new(
+            eval.config.clone(),
+            scenario,
+            &eval.trace,
+            &eval.plan,
+            SIM_SEED,
+        )
+        .run();
+        println!(
+            "{:<20} {:<12} {:>10.3} {:>12.0}ms {:>12.0}ms {:>10}",
+            placement,
+            digests,
+            mean_balance(&report),
+            report
+                .typical_bucket_quantile(0.999)
+                .map_or(0.0, |d| d.as_millis_f64()),
+            report
+                .worst_bucket_quantile(0.999)
+                .map_or(0.0, |d| d.as_millis_f64()),
+            report.counters.migrated,
+        );
+    }
+    println!(
+        "\nexpected: the placement column controls the balance ratio \
+         (~0.8 deterministic vs ~0.3 random); the digest column controls \
+         the worst percentile (smooth vs transition spikes). Proteus is the \
+         only cell that wins both — the paper's argument for designing the \
+         two mechanisms as one actuator."
+    );
+}

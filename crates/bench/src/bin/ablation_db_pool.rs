@@ -1,0 +1,47 @@
+//! Ablation: database connection-pool size — the queueing bottleneck
+//! that turns miss storms into Fig. 9's delay spikes.
+//!
+//! Sweeps the per-shard pool and reports each scenario's worst
+//! 99.9th percentile: with deep pools even Naive's storms are absorbed
+//! (latency ≈ service-time tail); with shallow pools Naive collapses
+//! while Proteus — whose transitions send no storm at the database —
+//! stays at the Static baseline throughout.
+//!
+//! Regenerate with: `cargo run --release -p proteus-bench --bin ablation_db_pool`
+
+use proteus_bench::{Evaluation, SIM_SEED};
+use proteus_core::{ClusterSim, Scenario};
+
+fn main() {
+    let eval = Evaluation::short();
+    println!(
+        "worst p99.9 (ms) vs per-shard pool size ({} shards):",
+        eval.config.db_shards
+    );
+    print!("{:>6}", "pool");
+    for sc in Scenario::all() {
+        print!(" {:>15}", sc.name());
+    }
+    println!();
+    for pool in [3usize, 4, 5, 6, 8, 12] {
+        print!("{pool:>6}");
+        for scenario in Scenario::all() {
+            let mut config = eval.config.clone();
+            config.db_pool_per_shard = pool;
+            let report = ClusterSim::new(config, scenario, &eval.trace, &eval.plan, SIM_SEED).run();
+            print!(
+                " {:>15.0}",
+                report
+                    .worst_bucket_quantile(0.999)
+                    .map_or(0.0, |d| d.as_millis_f64())
+            );
+        }
+        println!();
+    }
+    println!(
+        "\nexpected: Static and Proteus stay near the service-time tail at \
+         every pool size; Naive's spike grows explosively as the pool \
+         shrinks; Consistent sits in between. The paper's testbed sits in \
+         the regime where Naive spikes by orders of magnitude but recovers."
+    );
+}

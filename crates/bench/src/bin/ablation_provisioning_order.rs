@@ -1,0 +1,88 @@
+//! Ablation: the fixed provisioning order on a heterogeneous fleet
+//! (Section III-A).
+//!
+//! "Well designed order further improves power savings. For example,
+//! the decreasing order of server efficiency should be better than a
+//! random order, where server efficiency is defined as the amount of
+//! workload served per unit of energy." This experiment builds a fleet
+//! whose servers' idle draw varies 2:1 (old vs new hardware) and runs
+//! Proteus with three provisioning orders: most-efficient-first,
+//! random, and least-efficient-first. Load balance and latency are
+//! identical by construction — only the energy bill changes, because
+//! the order decides *which* servers the always-on prefix contains.
+//!
+//! Regenerate with: `cargo run --release -p proteus-bench --bin ablation_provisioning_order`
+
+use proteus_bench::{Evaluation, SIM_SEED};
+use proteus_core::{ClusterSim, PowerModel, Scenario};
+
+/// A 10-server fleet spanning two hardware generations: idle draw
+/// 45..=90 W, peak tracking idle.
+fn heterogeneous_fleet(n: usize) -> Vec<PowerModel> {
+    (0..n)
+        .map(|i| {
+            let idle = 45.0 + 45.0 * i as f64 / (n - 1) as f64;
+            PowerModel {
+                off_w: 5.0,
+                idle_w: idle,
+                peak_w: idle + 35.0,
+                boot_w: idle + 20.0,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let eval = Evaluation::short();
+    let n = eval.config.cache_servers;
+    let efficient_first = heterogeneous_fleet(n);
+    let mut least_first = efficient_first.clone();
+    least_first.reverse();
+    // A fixed "random" permutation (deterministic for reproducibility).
+    let mut random_order = efficient_first.clone();
+    for i in (1..random_order.len()).rev() {
+        random_order.swap(i, (i * 7 + 3) % (i + 1));
+    }
+    let orders = [
+        ("most-efficient-first", efficient_first),
+        ("random order", random_order),
+        ("least-efficient-first", least_first),
+    ];
+    println!(
+        "heterogeneous fleet (idle 45–90 W), Proteus, same trace and plan; \
+         only the provisioning order differs"
+    );
+    println!(
+        "{:<24} {:>14} {:>14} {:>14}",
+        "order", "cache Wh", "vs best", "worst p99.9"
+    );
+    let mut best = f64::INFINITY;
+    let mut rows = Vec::new();
+    for (name, models) in orders {
+        eprintln!("  running {name} ...");
+        let mut config = eval.config.clone();
+        config.per_server_power = Some(models);
+        let report =
+            ClusterSim::new(config, Scenario::Proteus, &eval.trace, &eval.plan, SIM_SEED).run();
+        let wh = report.cache_energy_wh();
+        best = best.min(wh);
+        rows.push((name, wh, report));
+    }
+    for (name, wh, report) in rows {
+        println!(
+            "{:<24} {:>14.1} {:>13.1}% {:>12.0}ms",
+            name,
+            wh,
+            100.0 * (wh / best - 1.0),
+            report
+                .worst_bucket_quantile(0.999)
+                .map_or(0.0, |d| d.as_millis_f64()),
+        );
+    }
+    println!(
+        "\nexpected: most-efficient-first wins — the deep-valley prefix runs \
+         on the cheapest hardware — while latency is order-independent. \
+         This is Section III-A's argument for choosing the fixed order \
+         deliberately; Proteus works with any of them."
+    );
+}

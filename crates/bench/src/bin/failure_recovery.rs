@@ -1,0 +1,60 @@
+//! Fault-injection experiment: crash a cache server mid-day and watch
+//! each scenario recover.
+//!
+//! Section III-A argues that a fixed provisioning order is "not any
+//! weaker" under failures: "if some server crashes, we have already
+//! lost the data in cache, and both schemes need some fault tolerant
+//! solutions". This experiment wipes server s1's cache at mid-day (a
+//! crash with fast restart) in every scenario and reports the response
+//! -time bump and its decay — the recovery transient is a property of
+//! cache refill, not of the placement scheme, exactly as the paper
+//! argues.
+//!
+//! Regenerate with: `cargo run --release -p proteus-bench --bin failure_recovery`
+
+use proteus_bench::{fmt_opt_ms, Evaluation, SIM_SEED};
+use proteus_core::{ClusterSim, Scenario};
+use proteus_sim::SimTime;
+
+fn main() {
+    let eval = Evaluation::short();
+    let crash_at = SimTime::ZERO + eval.config.duration() / 2;
+    let crash_slot = (crash_at.as_nanos() / eval.config.slot.as_nanos()) as usize;
+    println!("wiping s1's cache at t = {crash_at} (slot {crash_slot}) in every scenario");
+    println!(
+        "\n{:<16} {:>16} {:>16} {:>16} {:>16}",
+        "scenario", "pre-crash p99.9", "crash-slot worst", "+1 slot", "+2 slots"
+    );
+    let per_slot = eval.config.response_buckets / eval.config.slots;
+    for scenario in Scenario::all() {
+        eprintln!("  running {} ...", scenario.name());
+        let mut config = eval.config.clone();
+        config.cache_wipe_failures = vec![(crash_at, 0)];
+        let report = ClusterSim::new(config, scenario, &eval.trace, &eval.plan, SIM_SEED).run();
+        let slot_worst = |slot: usize| {
+            report.latency_buckets
+                [slot * per_slot..((slot + 1) * per_slot).min(report.latency_buckets.len())]
+                .iter()
+                .filter_map(|h| h.quantile(0.999))
+                .max()
+        };
+        println!(
+            "{:<16} {:>16} {:>16} {:>16} {:>16}",
+            scenario.name(),
+            fmt_opt_ms(slot_worst(crash_slot.saturating_sub(1))),
+            fmt_opt_ms(slot_worst(crash_slot)),
+            fmt_opt_ms(slot_worst(crash_slot + 1)),
+            fmt_opt_ms(slot_worst(crash_slot + 2)),
+        );
+    }
+    println!(
+        "\nexpected: every scenario takes a refill bump at the crash slot and \
+         decays within a slot or two — losing a cache's contents is \
+         unavoidable for any placement (Section III-A). The bump scales \
+         with the crashed server's keyspace share, so the balanced schemes \
+         (Proteus, modulo) take smaller hits than imbalanced consistent \
+         hashing; Naive's own transition storms dwarf the crash entirely. \
+         Pair with `examples/replication.rs` for the Section III-E \
+         replication remedy."
+    );
+}

@@ -1,0 +1,80 @@
+//! Fig. 2: the virtual-node placement for N = 6 and its
+//! final-successor structure, plus the Theorem 1 count and exact
+//! balance for every prefix.
+//!
+//! Regenerate with: `cargo run --release -p proteus-bench --bin fig2_placement`
+
+use proteus_ring::{analysis, ProteusPlacement, ServerId};
+
+fn main() {
+    let n = 6;
+    let p = ProteusPlacement::generate(n);
+    println!(
+        "Algorithm 1 placement for N = {n}: {} virtual nodes (Theorem 1 bound: {})",
+        p.virtual_node_count(),
+        n * (n - 1) / 2 + 1
+    );
+    println!("\nvirtual nodes (host ranges on the unit ring):");
+    for server in 0..n as u32 {
+        let id = ServerId::new(server);
+        let nodes = p.virtual_nodes_of(id);
+        print!("  {id}: ");
+        let parts: Vec<String> = nodes
+            .iter()
+            .map(|v| format!("[{}, +{})", v.range.start, v.range.len))
+            .collect();
+        println!("{}", parts.join("  "));
+    }
+
+    println!("\nfinal-successor sets (Fig. 2's Ps_i):");
+    for i in 1..=n as u32 {
+        let ps = analysis::final_successors(&p, ServerId::new(i - 1));
+        let names: Vec<String> = ps.iter().map(|s| s.to_string()).collect();
+        println!("  Ps_{i} = {{{}}}", names.join(", "));
+    }
+
+    println!("\nexact ownership share per active prefix (Balance Condition):");
+    print!("{:>6}", "n");
+    for s in 1..=n {
+        print!("{:>9}", format!("s{s}"));
+    }
+    println!();
+    for active in 1..=n {
+        print!("{active:>6}");
+        for share in p.ownership_shares(active) {
+            print!("{:>9}", share.to_string());
+        }
+        for _ in active..n {
+            print!("{:>9}", "-");
+        }
+        println!();
+    }
+
+    println!("\nmigration matrix for the 6 → 5 transition (fraction of key space");
+    println!("flowing from old-mapping server → new-mapping server):");
+    let matrix = analysis::migration_matrix(&p, 6, 5, 200_000, 9);
+    print!("{:>8}", "from\\to");
+    for to in 1..=5 {
+        print!("{:>9}", format!("s{to}"));
+    }
+    println!();
+    for (from, row) in matrix.iter().enumerate() {
+        print!("{:>8}", format!("s{}", from + 1));
+        for &share in row.iter().take(5) {
+            print!("{share:>9.4}");
+        }
+        println!();
+    }
+    println!("(expected: only row s6 is nonzero, at 1/30 ≈ 0.0333 per survivor)");
+
+    println!("\nminimal-migration check (measured remapped fraction vs |Δn|/max):");
+    for from in (2..=n).rev() {
+        let to = from - 1;
+        let f = analysis::remap_fraction(&p, from, to, 100_000, 1);
+        println!(
+            "  {from} → {to}: measured {:.4}, bound {:.4}",
+            f,
+            analysis::minimal_remap_fraction(from, to)
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Fig. 4: the diurnal workload curve and the provisioning
+//! controller's n(t).
+//!
+//! The paper runs its feedback loop (0.4 s reference, 0.5 s bound,
+//! per-slot updates) once, with Proteus, to obtain the number of
+//! running cache servers per slot, then applies that curve to all
+//! scenarios. This binary prints both that feedback-derived curve and
+//! the deterministic load-proportional plan the other figure binaries
+//! share.
+//!
+//! Regenerate with: `cargo run --release -p proteus-bench --bin fig4_workload`
+
+use proteus_bench::{sparkline, Evaluation, SIM_SEED};
+use proteus_core::{ClusterSim, FeedbackController, ProvisioningPlan, Scenario};
+use proteus_sim::SimDuration;
+
+fn main() {
+    let eval = Evaluation::standard();
+    let volumes = eval.volumes();
+    println!(
+        "workload: {} requests over {} slots of {} (peak/nadir of the rate \
+         curve: 2.0)",
+        eval.trace.len(),
+        eval.config.slots,
+        eval.config.slot
+    );
+
+    // The feedback loop, run live on Proteus (the paper's procedure).
+    eprintln!("  running feedback loop on proteus ...");
+    let controller = FeedbackController::paper_defaults(eval.config.cache_servers)
+        .min_servers(2)
+        .set_points(SimDuration::from_millis(400), SimDuration::from_millis(500));
+    let all_on = ProvisioningPlan::all_on(eval.config.slots, eval.config.cache_servers);
+    let feedback_report = ClusterSim::new(
+        eval.config.clone(),
+        Scenario::Proteus,
+        &eval.trace,
+        &all_on,
+        SIM_SEED,
+    )
+    .with_feedback(controller)
+    .run();
+
+    println!(
+        "\n{:>4} {:>10} {:>14} {:>16}",
+        "slot", "requests", "n(t) feedback", "n(t) load-prop"
+    );
+    for (slot, &volume) in volumes.iter().enumerate() {
+        println!(
+            "{:>4} {:>10} {:>14} {:>16}",
+            slot,
+            volume,
+            feedback_report.active_per_slot[slot],
+            eval.plan.active_at(slot),
+        );
+    }
+
+    let vol_f: Vec<f64> = volumes.iter().map(|&v| v as f64).collect();
+    let fb_f: Vec<f64> = feedback_report
+        .active_per_slot
+        .iter()
+        .map(|&n| n as f64)
+        .collect();
+    let lp_f: Vec<f64> = eval.plan.counts().iter().map(|&n| n as f64).collect();
+    println!("\nrequests  [{}]", sparkline(&vol_f, false));
+    println!("feedback  [{}]", sparkline(&fb_f, false));
+    println!("load-prop [{}]", sparkline(&lp_f, false));
+    // Skip the first two slots when reporting the ratio: sessions ramp
+    // up from an empty system there.
+    let settled = &vol_f[2..];
+    println!(
+        "\npeak/nadir of the realised volume (settled slots): {:.2} \
+         (paper's trace: ≈2); \
+         mean active servers: feedback {:.1}, load-proportional {:.1} of {}",
+        settled.iter().copied().fold(f64::MIN, f64::max)
+            / settled.iter().copied().fold(f64::MAX, f64::min),
+        fb_f.iter().sum::<f64>() / fb_f.len() as f64,
+        eval.plan.mean_active(),
+        eval.config.cache_servers,
+    );
+}

@@ -1,0 +1,75 @@
+//! Fig. 6: cache hit ratio vs per-server cache size.
+//!
+//! The paper replays the Wikipedia trace against memcached at several
+//! memory sizes and reports ≈80% hit ratio at 1 GB per server with
+//! 4 KB pages. We replay the standard Zipf trace against the LRU
+//! engine across a size sweep; sizes are reported in paper-equivalent
+//! GB (the simulated catalog is a scaled-down stand-in for the 2.56 M
+//! cached pages, so the sweep is expressed as a fraction of the
+//! catalog's footprint and labelled with the equivalent per-server GB
+//! for a 2.56 M-page working set).
+//!
+//! Regenerate with: `cargo run --release -p proteus-bench --bin fig6_hit_ratio`
+
+use proteus_bench::{sparkline, Evaluation};
+use proteus_cache::{CacheConfig, CacheEngine};
+use proteus_core::page_key;
+use proteus_workload::lru_model;
+
+fn main() {
+    let eval = Evaluation::with_rate(1500.0);
+    let object_size = eval.config.object_size as u64;
+    // Engine accounting: key (≤ 12 bytes for page keys) + value + 48.
+    let per_object = object_size + 12 + 48;
+    let catalog_bytes = eval.config.pages * per_object;
+    println!(
+        "trace: {} requests over {} distinct pages ({} MB footprint at 4 KB \
+         objects)",
+        eval.trace.len(),
+        eval.config.pages,
+        catalog_bytes >> 20
+    );
+    println!(
+        "\n{:>12} {:>14} {:>12} {:>10} {:>10}",
+        "cache size", "≈paper GB/srv", "objects", "hit ratio", "Che pred."
+    );
+    let fractions = [0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let mut ratios = Vec::new();
+    for &fraction in &fractions {
+        let capacity = (catalog_bytes as f64 * fraction) as u64;
+        let mut cache = CacheEngine::new(CacheConfig::with_capacity(capacity));
+        let mut hits = 0u64;
+        for rec in eval.trace.records() {
+            let key = page_key(rec.page);
+            if cache.get(&key, rec.at).is_some() {
+                hits += 1;
+            } else {
+                cache.put(&key, vec![0u8; object_size as usize], rec.at);
+            }
+        }
+        let ratio = hits as f64 / eval.trace.len() as f64;
+        ratios.push(ratio);
+        // Paper-equivalent: 2.56M pages × 4 KB ≈ 10 GB working set over
+        // 10 servers; a fraction f of the footprint ≈ f × 1.05 GB/server.
+        let paper_gb = fraction * 2_560_000.0 * 4096.0 / 10.0 / 1e9;
+        let objects = (capacity / per_object) as usize;
+        let che = lru_model::zipf_hit_ratio(eval.config.pages, eval.config.zipf_exponent, objects);
+        println!(
+            "{:>10} MB {:>14.2} {:>12} {:>9.1}% {:>9.1}%",
+            capacity >> 20,
+            paper_gb,
+            objects,
+            ratio * 100.0,
+            che * 100.0
+        );
+    }
+    println!("\nhit ratio [{}]", sparkline(&ratios, false));
+    println!(
+        "\npaper anchor: ≈80% hit ratio at 1 GB/server; this sweep should \
+         cross 80% near the corresponding fraction and saturate beyond it \
+         (diminishing returns on the Zipf tail). The analytical column is \
+         Che's approximation for the same Zipf catalog; the session \
+         workload's temporal locality lifts measured ratios slightly above \
+         the IRM prediction."
+    );
+}

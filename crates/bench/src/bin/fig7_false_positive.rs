@@ -1,0 +1,53 @@
+//! Fig. 7: counting-Bloom-filter false-positive rate vs filter size,
+//! one curve per cache fill level.
+//!
+//! The paper fills the digest from the real trace's cached keys and
+//! sweeps the filter memory; at 512 KB the rate is negligible, which
+//! is the size used in the rest of the evaluation. We sweep memory
+//! from 32 KB to 1 MB for several key counts (cache fill levels),
+//! printing measured rates next to the Eq. 4 prediction.
+//!
+//! Regenerate with: `cargo run --release -p proteus-bench --bin fig7_false_positive`
+
+use proteus_bloom::{config, BloomConfig, CountingBloomFilter};
+
+const HASHES: u32 = 4; // "we choose to use only 4 non-encryption hash functions"
+const COUNTER_BITS: u32 = 4;
+
+fn main() {
+    let fills: [u64; 5] = [20_000, 50_000, 100_000, 200_000, 400_000];
+    let sizes_kb: [u64; 6] = [32, 64, 128, 256, 512, 1024];
+    println!(
+        "Fig. 7 — measured false-positive rate (Eq. 4 prediction in \
+         parentheses); h = {HASHES}, b = {COUNTER_BITS}"
+    );
+    print!("{:>10}", "size");
+    for &kappa in &fills {
+        print!(" {:>22}", format!("κ = {kappa}"));
+    }
+    println!();
+    for &kb in &sizes_kb {
+        let l = (kb * 1024 * 8 / u64::from(COUNTER_BITS)) as usize;
+        print!("{:>8}KB", kb);
+        for &kappa in &fills {
+            let cfg = BloomConfig::new(l, COUNTER_BITS, HASHES);
+            let mut filter = CountingBloomFilter::new(cfg);
+            for i in 0..kappa {
+                filter.insert(&i.to_le_bytes());
+            }
+            let probes = 100_000u64;
+            let fps = (kappa..kappa + probes)
+                .filter(|i| filter.contains(&i.to_le_bytes()))
+                .count();
+            let measured = fps as f64 / probes as f64;
+            let predicted = config::false_positive_rate(l, HASHES, kappa);
+            print!(" {:>11.5} ({:>7.5})", measured, predicted);
+        }
+        println!();
+    }
+    println!(
+        "\npaper anchor: with 512 KB the filter \"achieves negligible false \
+         positive\" at its cache fill — the 512 KB row should be ≈0 for \
+         fills up to ~10⁵ keys and the curves should fall steeply with size."
+    );
+}

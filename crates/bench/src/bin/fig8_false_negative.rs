@@ -1,0 +1,78 @@
+//! Fig. 8: counting-Bloom-filter false-negative rate vs filter size.
+//!
+//! False negatives come only from counter overflow (Eq. 5): with
+//! wrapping counters a hot counter can wrap past zero under heavy
+//! churn and "lose" keys. The experiment inserts κ keys, churns a
+//! delete/insert cycle to exercise overflow, and measures how many
+//! *present* keys the filter denies. The saturating policy (the
+//! system default) is measured alongside as the ablation — it must
+//! show zero false negatives at every size.
+//!
+//! Regenerate with: `cargo run --release -p proteus-bench --bin fig8_false_negative`
+
+use proteus_bloom::{config, BloomConfig, CountingBloomFilter, OverflowPolicy};
+
+const HASHES: u32 = 4;
+const COUNTER_BITS: u32 = 2; // narrow counters so overflow is reachable
+
+fn measure(policy: OverflowPolicy, l: usize, kappa: u64) -> (f64, u64) {
+    let cfg = BloomConfig::new(l, COUNTER_BITS, HASHES);
+    let mut filter = CountingBloomFilter::with_policy(cfg, policy);
+    for i in 0..kappa {
+        filter.insert(&i.to_le_bytes());
+    }
+    // Churn: delete/re-insert a rotating window, driving counters up
+    // and down across the overflow boundary.
+    for round in 0..4u64 {
+        for i in (round * 1000)..(round * 1000 + kappa / 4) {
+            let k = (i % kappa).to_le_bytes();
+            filter.remove(&k);
+            filter.insert(&k);
+        }
+    }
+    let false_negatives = (0..kappa)
+        .filter(|i| !filter.contains(&i.to_le_bytes()))
+        .count();
+    (
+        false_negatives as f64 / kappa as f64,
+        filter.overflow_events(),
+    )
+}
+
+fn main() {
+    let fills: [u64; 3] = [50_000, 100_000, 200_000];
+    let sizes_kb: [u64; 6] = [32, 64, 128, 256, 512, 1024];
+    println!(
+        "Fig. 8 — measured false-negative rate; h = {HASHES}, b = {COUNTER_BITS} \
+         (wrapping counters, the Eq. 5 model) and the saturating ablation"
+    );
+    print!("{:>10}", "size");
+    for &kappa in &fills {
+        print!(" {:>20}", format!("κ = {kappa} (wrap)"));
+    }
+    print!(" {:>12}", "saturating");
+    println!();
+    for &kb in &sizes_kb {
+        let l = (kb * 1024 * 8 / u64::from(COUNTER_BITS)) as usize;
+        print!("{:>8}KB", kb);
+        let mut any_saturating_fn = 0.0f64;
+        for &kappa in &fills {
+            let (rate, overflows) = measure(OverflowPolicy::Wrap, l, kappa);
+            print!(" {:>12.5} ({:>5}k)", rate, overflows / 1000);
+        }
+        for &kappa in &fills {
+            let (rate, _) = measure(OverflowPolicy::Saturate, l, kappa);
+            any_saturating_fn = any_saturating_fn.max(rate);
+        }
+        print!(" {:>12.5}", any_saturating_fn);
+        println!();
+        // Eq. 5's bound for the middle fill, for orientation.
+        let bound = config::false_negative_bound(l, COUNTER_BITS, HASHES, fills[1]);
+        println!("{:>10}   Eq.5 bound at κ={}: {:.3e}", "", fills[1], bound);
+    }
+    println!(
+        "\npaper anchor: false negatives vanish once the filter is large \
+         enough that no counter overflows (512 KB in the paper's setting); \
+         the saturating ablation is 0 at every size."
+    );
+}

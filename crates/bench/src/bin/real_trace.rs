@@ -1,0 +1,106 @@
+//! Runs the full four-scenario evaluation on a *real* wikibench trace
+//! file (Urdaneta et al. format), if you have one.
+//!
+//! ```text
+//! cargo run --release -p proteus-bench --bin real_trace -- TRACE_FILE [compression]
+//! ```
+//!
+//! The file is distilled exactly as the paper describes (English
+//! Wikipedia article requests only), time-compressed (default 60:1 to
+//! match the reproduction's configuration), and replayed through all
+//! four Table II scenarios with a load-proportional plan.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use proteus_bench::{fmt_opt_ms, SIM_SEED};
+use proteus_core::{ClusterConfig, ClusterSim, ProvisioningPlan, Scenario};
+use proteus_workload::wikipedia;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: real_trace TRACE_FILE [compression]");
+        eprintln!("  TRACE_FILE: wikibench-format trace (counter epoch url flag)");
+        eprintln!("  compression: time compression factor, default 60");
+        return ExitCode::FAILURE;
+    };
+    let compression: f64 = args
+        .get(1)
+        .map_or(Ok(60.0), |s| s.parse())
+        .unwrap_or_else(|_| {
+            eprintln!("invalid compression; using 60");
+            60.0
+        });
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("distilling {path} (compression {compression}:1) ...");
+    let (trace, titles, stats) =
+        match wikipedia::distill(BufReader::new(file), "en.wikipedia.org", compression) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("distillation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    println!(
+        "distilled: {} lines → {} article requests over {} distinct titles \
+         ({} skipped)",
+        stats.lines, stats.kept, stats.distinct_titles, stats.skipped
+    );
+    if trace.is_empty() {
+        eprintln!("no usable requests in the trace");
+        return ExitCode::FAILURE;
+    }
+    let span = trace.records().last().map(|r| r.at).unwrap_or_default();
+    let mut config = ClusterConfig::paper_scale();
+    config.pages = titles.len() as u64;
+    // Size slots so the trace covers the configured day.
+    config.slots = ((span.as_secs_f64() / config.slot.as_secs_f64()).ceil() as usize).max(2);
+    println!(
+        "compressed span {:.0}s → {} slots of {}",
+        span.as_secs_f64(),
+        config.slots,
+        config.slot
+    );
+    let plan = ProvisioningPlan::load_proportional(
+        &trace.requests_per_slot(config.slot, config.slots),
+        config.cache_servers,
+        4,
+    );
+    println!(
+        "plan: mean {:.1} of {} servers, {} transitions",
+        plan.mean_active(),
+        config.cache_servers,
+        plan.transitions()
+    );
+    println!(
+        "\n{:<16} {:>10} {:>14} {:>14} {:>12}",
+        "scenario", "hit%", "typ p99.9", "worst p99.9", "balance"
+    );
+    for scenario in Scenario::all() {
+        eprintln!("  running {} ...", scenario.name());
+        let report = ClusterSim::new(config.clone(), scenario, &trace, &plan, SIM_SEED).run();
+        let ratios: Vec<f64> = report
+            .balance_ratio_per_slot()
+            .into_iter()
+            .flatten()
+            .collect();
+        let balance = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+        println!(
+            "{:<16} {:>9.1}% {:>14} {:>14} {:>12.3}",
+            scenario.name(),
+            report.counters.cache_hit_ratio() * 100.0,
+            fmt_opt_ms(report.typical_bucket_quantile(0.999)),
+            fmt_opt_ms(report.worst_bucket_quantile(0.999)),
+            balance,
+        );
+    }
+    ExitCode::SUCCESS
+}

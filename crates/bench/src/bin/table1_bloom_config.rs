@@ -1,0 +1,54 @@
+//! Table I / §IV-B: Bloom filter parameters and the memory-optimal
+//! configuration (Eq. 10).
+//!
+//! Regenerate with: `cargo run --release -p proteus-bench --bin table1_bloom_config`
+
+use proteus_bloom::{config, BloomConfig};
+
+fn main() {
+    println!("Table I — Bloom filter parameters");
+    println!("  h : number of different hash functions");
+    println!("  κ : number of inserted keys");
+    println!("  l : number of counters in Bloom filter");
+    println!("  b : number of bits in each counter");
+    println!();
+
+    println!("Eq. 10 — memory-optimal (l, b) for given (κ, h, p_p, p_n):");
+    println!(
+        "{:>10} {:>3} {:>8} {:>8} {:>10} {:>3} {:>10} {:>12} {:>12}",
+        "κ", "h", "p_p", "p_n", "l", "b", "memory", "Gp(l)", "Gn(l,b)"
+    );
+    for (kappa, h, pp, pn) in [
+        (10_000u64, 4u32, 1e-4, 1e-4), // the paper's worked example
+        (10_000, 2, 1e-4, 1e-4),
+        (10_000, 6, 1e-4, 1e-4),
+        (100_000, 4, 1e-4, 1e-4),
+        (262_144, 4, 1e-4, 1e-4), // 1 GB server at 4 KB objects (Fig. 6 setting)
+        (2_560_000, 4, 1e-3, 1e-3), // "roughly 2,560,000 pages in cache"
+        (10_000, 4, 1e-2, 1e-2),
+        (10_000, 4, 1e-6, 1e-6),
+    ] {
+        let cfg = BloomConfig::optimal(kappa, h, pp, pn);
+        println!(
+            "{:>10} {:>3} {:>8.0e} {:>8.0e} {:>10} {:>3} {:>8} KB {:>12.3e} {:>12.3e}",
+            kappa,
+            h,
+            pp,
+            pn,
+            cfg.counters,
+            cfg.counter_bits,
+            cfg.memory_bytes() / 1024,
+            config::false_positive_rate(cfg.counters, h, kappa),
+            config::false_negative_bound(cfg.counters, cfg.counter_bits, h, kappa),
+        );
+    }
+    println!();
+    let paper = BloomConfig::optimal(10_000, 4, 1e-4, 1e-4);
+    println!(
+        "paper check (κ=10⁴, h=4, p=10⁻⁴): l = {} (paper: 4×10⁵ is \"more than\n\
+         enough\"), b = {} (paper: 3), memory = {:.0} KB (paper: ≈150 KB)",
+        paper.counters,
+        paper.counter_bits,
+        paper.memory_bytes() as f64 / 1024.0
+    );
+}

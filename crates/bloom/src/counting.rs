@@ -1,0 +1,463 @@
+//! The counting Bloom filter used as each cache server's digest.
+
+use std::fmt;
+
+use crate::config::BloomConfig;
+use crate::filter::BloomFilter;
+use crate::indexing::IndexPlan;
+
+/// What to do when a `b`-bit counter would overflow or underflow.
+///
+/// The paper's Eq. 5 analyzes the *wrapping* behaviour, where an
+/// overflowed counter can later underflow through zero and cause false
+/// negatives. Production deployments prefer *saturating* counters: a
+/// counter that reaches its maximum sticks there (never decremented),
+/// trading a few extra false positives for **zero**
+/// overflow-induced false negatives. Both are implemented so the Fig. 8
+/// experiment can measure the difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverflowPolicy {
+    /// Counters stick at `2^b - 1`; sticky counters are never
+    /// decremented (no false negatives; slightly higher false
+    /// positives). The system default.
+    #[default]
+    Saturate,
+    /// Counters wrap modulo `2^b` — the model behind Eq. 5's
+    /// false-negative bound.
+    Wrap,
+}
+
+/// A counting Bloom filter: `l` packed `b`-bit counters and `h` hash
+/// functions, supporting insertion, deletion, and membership queries.
+///
+/// In Proteus each cache server keeps one of these in sync with its
+/// contents: the analogue of the paper's modified memcached, which
+/// inserts into the digest from `do_item_link` and removes from
+/// `do_item_unlink`.
+///
+/// # Example
+///
+/// ```
+/// use proteus_bloom::{BloomConfig, CountingBloomFilter};
+///
+/// let mut f = CountingBloomFilter::new(BloomConfig::new(1 << 16, 4, 4));
+/// f.insert(b"page:42");
+/// assert!(f.contains(b"page:42"));
+/// f.remove(b"page:42");
+/// assert!(!f.contains(b"page:42"));
+/// ```
+#[derive(Clone)]
+pub struct CountingBloomFilter {
+    config: BloomConfig,
+    policy: OverflowPolicy,
+    words: Vec<u64>,
+    items: u64,
+    overflows: u64,
+}
+
+impl CountingBloomFilter {
+    /// Creates an empty filter with saturating counters.
+    #[must_use]
+    pub fn new(config: BloomConfig) -> Self {
+        Self::with_policy(config, OverflowPolicy::Saturate)
+    }
+
+    /// Creates an empty filter with an explicit overflow policy.
+    #[must_use]
+    pub fn with_policy(config: BloomConfig, policy: OverflowPolicy) -> Self {
+        let total_bits = config.counters as u64 * u64::from(config.counter_bits);
+        // One spare word so two-word reads at the tail never bounds-check.
+        let words = (total_bits.div_ceil(64) + 1) as usize;
+        CountingBloomFilter {
+            config,
+            policy,
+            words: vec![0; words],
+            items: 0,
+            overflows: 0,
+        }
+    }
+
+    /// The filter's configuration.
+    #[must_use]
+    pub fn config(&self) -> BloomConfig {
+        self.config
+    }
+
+    /// The overflow policy in effect.
+    #[must_use]
+    pub fn policy(&self) -> OverflowPolicy {
+        self.policy
+    }
+
+    /// Net number of items inserted (inserts minus removes).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.items
+    }
+
+    /// Whether no items are currently tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// How many counter increments hit the counter maximum so far
+    /// (saturations or wraps, depending on policy).
+    #[must_use]
+    pub fn overflow_events(&self) -> u64 {
+        self.overflows
+    }
+
+    fn plan(&self) -> IndexPlan {
+        IndexPlan {
+            counters: self.config.counters,
+            hashes: self.config.hashes,
+            seed: self.config.seed,
+        }
+    }
+
+    fn counter_max(&self) -> u64 {
+        (1u64 << self.config.counter_bits) - 1
+    }
+
+    fn get_counter(&self, i: usize) -> u64 {
+        let b = u64::from(self.config.counter_bits);
+        let bit = i as u64 * b;
+        let word = (bit / 64) as usize;
+        let off = (bit % 64) as u32;
+        let mask = self.counter_max();
+        if off as u64 + b <= 64 {
+            (self.words[word] >> off) & mask
+        } else {
+            let lo = self.words[word] >> off;
+            let hi = self.words[word + 1] << (64 - off);
+            (lo | hi) & mask
+        }
+    }
+
+    fn set_counter(&mut self, i: usize, value: u64) {
+        let b = u64::from(self.config.counter_bits);
+        debug_assert!(value <= self.counter_max());
+        let bit = i as u64 * b;
+        let word = (bit / 64) as usize;
+        let off = (bit % 64) as u32;
+        let mask = self.counter_max();
+        if off as u64 + b <= 64 {
+            self.words[word] &= !(mask << off);
+            self.words[word] |= value << off;
+        } else {
+            let low_bits = 64 - off;
+            self.words[word] &= !(mask << off);
+            self.words[word] |= value << off;
+            self.words[word + 1] &= !(mask >> low_bits);
+            self.words[word + 1] |= value >> low_bits;
+        }
+    }
+
+    /// Inserts a key (the `do_item_link` path).
+    pub fn insert(&mut self, key: &[u8]) {
+        let plan = self.plan();
+        let max = self.counter_max();
+        let indices: Vec<usize> = plan.indices(key).collect();
+        for i in indices {
+            let c = self.get_counter(i);
+            if c == max {
+                self.overflows += 1;
+                match self.policy {
+                    OverflowPolicy::Saturate => {}
+                    OverflowPolicy::Wrap => self.set_counter(i, 0),
+                }
+            } else {
+                self.set_counter(i, c + 1);
+            }
+        }
+        self.items += 1;
+    }
+
+    /// Removes a key (the `do_item_unlink` path).
+    ///
+    /// The caller must only remove keys it previously inserted — in
+    /// Proteus "the deletion from digest is only triggered by the
+    /// deletion from Memcached", which knows its contents exactly, so
+    /// deleting an absent element never happens. A zero counter is
+    /// left at zero; with [`OverflowPolicy::Wrap`] it wraps to the
+    /// maximum (modelling Eq. 5's underflow).
+    pub fn remove(&mut self, key: &[u8]) {
+        let plan = self.plan();
+        let max = self.counter_max();
+        let indices: Vec<usize> = plan.indices(key).collect();
+        for i in indices {
+            let c = self.get_counter(i);
+            match (c, self.policy) {
+                (0, OverflowPolicy::Saturate) => {}
+                (0, OverflowPolicy::Wrap) => self.set_counter(i, max),
+                (c, OverflowPolicy::Saturate) if c == max => {
+                    // Sticky: the true count is unknown, so never
+                    // decrement a saturated counter.
+                }
+                (c, _) => self.set_counter(i, c - 1),
+            }
+        }
+        self.items = self.items.saturating_sub(1);
+    }
+
+    /// Membership query: `true` if every counter for `key` is nonzero.
+    #[must_use]
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.plan().indices(key).all(|i| self.get_counter(i) != 0)
+    }
+
+    /// Estimates how many distinct keys are in the filter from its
+    /// zero-counter fraction: `-l/h · ln(z/l)` (the classic Bloom
+    /// cardinality estimator; Swamidass & Baldi 2007). Useful for
+    /// digest-based remote statistics — a web server can size a
+    /// transition from digests alone, without a stats round-trip.
+    ///
+    /// Returns `None` when no counter is zero (the filter is beyond
+    /// estimation range).
+    #[must_use]
+    pub fn estimate_cardinality(&self) -> Option<f64> {
+        let zeros = (0..self.config.counters)
+            .filter(|&i| self.get_counter(i) == 0)
+            .count();
+        if zeros == 0 {
+            return None;
+        }
+        let l = self.config.counters as f64;
+        Some(-(l / f64::from(self.config.hashes)) * (zeros as f64 / l).ln())
+    }
+
+    /// Collapses the counters to a plain bit-array [`BloomFilter`] —
+    /// the compact broadcast form of the digest (Section IV-A).
+    ///
+    /// Membership answers of the snapshot equal the counting filter's
+    /// at snapshot time.
+    #[must_use]
+    pub fn snapshot(&self) -> BloomFilter {
+        let mut bits = BloomFilter::new(self.config);
+        for i in 0..self.config.counters {
+            if self.get_counter(i) != 0 {
+                bits.set_raw_bit(i);
+            }
+        }
+        bits
+    }
+
+    /// Clears all counters.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.items = 0;
+        self.overflows = 0;
+    }
+}
+
+impl fmt::Debug for CountingBloomFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CountingBloomFilter")
+            .field("counters", &self.config.counters)
+            .field("counter_bits", &self.config.counter_bits)
+            .field("hashes", &self.config.hashes)
+            .field("policy", &self.policy)
+            .field("items", &self.items)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> BloomConfig {
+        BloomConfig::new(1 << 14, 3, 4)
+    }
+
+    #[test]
+    fn insert_then_contains() {
+        let mut f = CountingBloomFilter::new(small());
+        for i in 0..1000u64 {
+            f.insert(&i.to_le_bytes());
+        }
+        for i in 0..1000u64 {
+            assert!(f.contains(&i.to_le_bytes()), "key {i}");
+        }
+        assert_eq!(f.len(), 1000);
+    }
+
+    #[test]
+    fn remove_restores_absence() {
+        let mut f = CountingBloomFilter::new(small());
+        for i in 0..500u64 {
+            f.insert(&i.to_le_bytes());
+        }
+        for i in 0..250u64 {
+            f.remove(&i.to_le_bytes());
+        }
+        // Removed keys are (almost always) gone; retained keys never are.
+        for i in 250..500u64 {
+            assert!(f.contains(&i.to_le_bytes()), "retained {i}");
+        }
+        let still_present = (0..250u64).filter(|i| f.contains(&i.to_le_bytes())).count();
+        assert!(
+            still_present < 10,
+            "only false positives may remain: {still_present}"
+        );
+        assert_eq!(f.len(), 250);
+    }
+
+    #[test]
+    fn no_false_negatives_with_saturation() {
+        // Tiny 1-bit counters overflow immediately; saturation must
+        // still never produce a false negative for present keys.
+        let cfg = BloomConfig::new(256, 1, 4);
+        let mut f = CountingBloomFilter::with_policy(cfg, OverflowPolicy::Saturate);
+        for i in 0..200u64 {
+            f.insert(&i.to_le_bytes());
+        }
+        assert!(f.overflow_events() > 0, "test must exercise overflow");
+        for i in 0..200u64 {
+            assert!(f.contains(&i.to_le_bytes()), "key {i}");
+        }
+    }
+
+    #[test]
+    fn wrap_policy_can_false_negative() {
+        // 1-bit wrapping counters: inserting the same slot twice wraps
+        // to zero — the failure mode Eq. 5 bounds.
+        let cfg = BloomConfig::new(64, 1, 2);
+        let mut f = CountingBloomFilter::with_policy(cfg, OverflowPolicy::Wrap);
+        let mut saw_false_negative = false;
+        for i in 0..64u64 {
+            f.insert(&i.to_le_bytes());
+            if !f.contains(&i.to_le_bytes()) {
+                saw_false_negative = true;
+            }
+        }
+        assert!(saw_false_negative, "wrapping must eventually lose a key");
+    }
+
+    #[test]
+    fn saturating_remove_keeps_sticky_counters() {
+        let cfg = BloomConfig::new(16, 1, 1);
+        let mut f = CountingBloomFilter::with_policy(cfg, OverflowPolicy::Saturate);
+        // Two keys share a counter with high probability at l=16... use
+        // the same key twice to force it.
+        f.insert(b"k");
+        f.insert(b"k"); // saturates at 1
+        f.remove(b"k"); // sticky: stays 1
+        assert!(f.contains(b"k"), "sticky counter preserves membership");
+    }
+
+    #[test]
+    fn counter_packing_survives_word_boundaries() {
+        // b=3 over 64-bit words: counters regularly straddle words.
+        let cfg = BloomConfig::new(1000, 3, 1);
+        let mut f = CountingBloomFilter::new(cfg);
+        for i in 0..1000usize {
+            f.set_counter(i, (i % 8) as u64);
+        }
+        for i in 0..1000usize {
+            assert_eq!(f.get_counter(i), (i % 8) as u64, "counter {i}");
+        }
+    }
+
+    #[test]
+    fn counter_packing_all_widths() {
+        for b in 1..=16u32 {
+            let cfg = BloomConfig::new(257, b, 1);
+            let mut f = CountingBloomFilter::new(cfg);
+            let max = (1u64 << b) - 1;
+            for i in 0..257usize {
+                f.set_counter(i, (i as u64 * 7 + 3) & max);
+            }
+            for i in 0..257usize {
+                assert_eq!(f.get_counter(i), (i as u64 * 7 + 3) & max, "b={b} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_membership_matches_counting_filter() {
+        let mut f = CountingBloomFilter::new(small());
+        for i in 0..2000u64 {
+            f.insert(&i.to_le_bytes());
+        }
+        for i in 500..700u64 {
+            f.remove(&i.to_le_bytes());
+        }
+        let snap = f.snapshot();
+        for i in 0..3000u64 {
+            let key = i.to_le_bytes();
+            assert_eq!(
+                f.contains(&key),
+                snap.contains(&key),
+                "divergence at key {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut f = CountingBloomFilter::new(small());
+        f.insert(b"a");
+        f.clear();
+        assert!(f.is_empty());
+        assert!(!f.contains(b"a"));
+        assert_eq!(f.overflow_events(), 0);
+    }
+
+    #[test]
+    fn cardinality_estimate_is_accurate() {
+        let cfg = BloomConfig::new(1 << 16, 4, 4);
+        let mut f = CountingBloomFilter::new(cfg);
+        for kappa in [100u64, 1_000, 5_000] {
+            f.clear();
+            for i in 0..kappa {
+                f.insert(&i.to_le_bytes());
+            }
+            let est = f.estimate_cardinality().expect("in range");
+            let err = (est - kappa as f64).abs() / kappa as f64;
+            assert!(err < 0.05, "κ={kappa}: estimated {est}");
+        }
+        // Deletions are reflected.
+        for i in 0..2_500u64 {
+            f.remove(&i.to_le_bytes());
+        }
+        let est = f.estimate_cardinality().unwrap();
+        assert!(
+            (est - 2_500.0).abs() / 2_500.0 < 0.05,
+            "after removes {est}"
+        );
+    }
+
+    #[test]
+    fn cardinality_saturates_to_none() {
+        // A tiny filter crammed full has no zero counters left.
+        let cfg = BloomConfig::new(32, 4, 4);
+        let mut f = CountingBloomFilter::new(cfg);
+        for i in 0..200u64 {
+            f.insert(&i.to_le_bytes());
+        }
+        assert_eq!(f.estimate_cardinality(), None);
+    }
+
+    #[test]
+    fn measured_false_positive_rate_tracks_eq4() {
+        use crate::config::false_positive_rate;
+        let cfg = BloomConfig::new(40_000, 4, 4);
+        let mut f = CountingBloomFilter::new(cfg);
+        let kappa = 4_000u64;
+        for i in 0..kappa {
+            f.insert(&i.to_le_bytes());
+        }
+        let probes = 100_000u64;
+        let fps = (kappa..kappa + probes)
+            .filter(|i| f.contains(&i.to_le_bytes()))
+            .count();
+        let measured = fps as f64 / probes as f64;
+        let predicted = false_positive_rate(cfg.counters, cfg.hashes, kappa);
+        assert!(
+            (measured - predicted).abs() < predicted * 0.35 + 2e-4,
+            "measured {measured}, Eq.4 predicts {predicted}"
+        );
+    }
+}

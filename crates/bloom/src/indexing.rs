@@ -1,0 +1,94 @@
+//! Shared hashing/index derivation for both filter kinds.
+//!
+//! Counting filters (on cache servers) and plain filters (broadcast to
+//! web servers) must agree bit-for-bit on which counters/bits a key
+//! touches; both derive indices from this one plan.
+
+/// FNV-1a, 64-bit (kept local so this crate stays dependency-free).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Derives the `h` counter indices for a key via double hashing:
+/// `index_i = (a + i·b) mod l`, with `a`, `b` mixed from the key and
+/// the filter seed. Double hashing gives `h` practically independent
+/// functions from two base hashes (the standard Kirsch–Mitzenmacher
+/// construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct IndexPlan {
+    pub counters: usize,
+    pub hashes: u32,
+    pub seed: u64,
+}
+
+impl IndexPlan {
+    pub(crate) fn indices(&self, key: &[u8]) -> impl Iterator<Item = usize> + '_ {
+        let base = fnv1a64(key);
+        let a = splitmix64(base ^ self.seed);
+        let b = splitmix64(base ^ self.seed.wrapping_add(0xA5A5_A5A5)) | 1;
+        let l = self.counters as u64;
+        (0..u64::from(self.hashes)).map(move |i| (a.wrapping_add(i.wrapping_mul(b)) % l) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_deterministic_and_in_range() {
+        let plan = IndexPlan {
+            counters: 1000,
+            hashes: 4,
+            seed: 7,
+        };
+        let a: Vec<usize> = plan.indices(b"key").collect();
+        let b: Vec<usize> = plan.indices(b"key").collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn different_keys_touch_different_indices() {
+        let plan = IndexPlan {
+            counters: 1 << 20,
+            hashes: 4,
+            seed: 0,
+        };
+        let a: Vec<usize> = plan.indices(b"alpha").collect();
+        let b: Vec<usize> = plan.indices(b"beta").collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn seed_changes_the_function_family() {
+        let p1 = IndexPlan {
+            counters: 1 << 16,
+            hashes: 4,
+            seed: 1,
+        };
+        let p2 = IndexPlan {
+            counters: 1 << 16,
+            hashes: 4,
+            seed: 2,
+        };
+        let a: Vec<usize> = p1.indices(b"key").collect();
+        let b: Vec<usize> = p2.indices(b"key").collect();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the Bloom filter digests.
+
+use proptest::prelude::*;
+use proteus_bloom::{
+    config, BloomConfig, BloomFilter, CountingBloomFilter, DigestSnapshot, OverflowPolicy,
+};
+
+fn keys_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(any::<u64>(), 1..300)
+}
+
+proptest! {
+    /// The defining Bloom guarantee: a plain filter never false-negatives.
+    #[test]
+    fn plain_filter_has_no_false_negatives(keys in keys_strategy(), l in 64usize..8192, h in 1u32..8) {
+        let mut f = BloomFilter::new(BloomConfig::new(l, 1, h));
+        for k in &keys {
+            f.insert(&k.to_le_bytes());
+        }
+        for k in &keys {
+            prop_assert!(f.contains(&k.to_le_bytes()));
+        }
+    }
+
+    /// Saturating counting filters never false-negative for currently
+    /// present keys, regardless of interleaved inserts/removes of other
+    /// keys and regardless of overflow pressure.
+    #[test]
+    fn saturating_filter_has_no_false_negatives(
+        present in prop::collection::hash_set(any::<u64>(), 1..150),
+        churn in prop::collection::vec(any::<u64>(), 0..150),
+        l in 32usize..4096,
+        b in 1u32..5,
+    ) {
+        let cfg = BloomConfig::new(l, b, 4);
+        let mut f = CountingBloomFilter::with_policy(cfg, OverflowPolicy::Saturate);
+        for k in &present {
+            f.insert(&k.to_le_bytes());
+        }
+        // Insert and remove unrelated keys (cache churn).
+        for k in &churn {
+            if !present.contains(k) {
+                f.insert(&k.to_le_bytes());
+            }
+        }
+        for k in &churn {
+            if !present.contains(k) {
+                f.remove(&k.to_le_bytes());
+            }
+        }
+        for k in &present {
+            prop_assert!(f.contains(&k.to_le_bytes()), "lost key {k}");
+        }
+    }
+
+    /// Inserting then removing every key returns the filter to an
+    /// all-absent state (modulo saturation stickiness, which requires
+    /// overflow; keep load below the counter maximum to avoid it).
+    #[test]
+    fn counting_filter_delete_is_exact_without_overflow(
+        keys in prop::collection::hash_set(any::<u64>(), 1..100),
+    ) {
+        // Wide counters + generous table: no counter can saturate.
+        let cfg = BloomConfig::new(1 << 14, 8, 4);
+        let mut f = CountingBloomFilter::new(cfg);
+        for k in &keys {
+            f.insert(&k.to_le_bytes());
+        }
+        for k in &keys {
+            f.remove(&k.to_le_bytes());
+        }
+        prop_assert!(f.is_empty());
+        prop_assert_eq!(f.overflow_events(), 0);
+        for k in &keys {
+            prop_assert!(!f.contains(&k.to_le_bytes()), "ghost key {k}");
+        }
+    }
+
+    /// A snapshot agrees with its source filter on every probed key.
+    #[test]
+    fn snapshot_membership_equivalence(
+        inserted in prop::collection::vec(any::<u64>(), 1..200),
+        probes in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let cfg = BloomConfig::new(1 << 12, 4, 4);
+        let mut f = CountingBloomFilter::new(cfg);
+        for k in &inserted {
+            f.insert(&k.to_le_bytes());
+        }
+        let snap = f.snapshot();
+        for k in probes.iter().chain(&inserted) {
+            prop_assert_eq!(snap.contains(&k.to_le_bytes()), f.contains(&k.to_le_bytes()));
+        }
+    }
+
+    /// Snapshot wire serialization round-trips exactly.
+    #[test]
+    fn snapshot_bytes_roundtrip(
+        inserted in prop::collection::vec(any::<u64>(), 0..100),
+        l in 64usize..4096,
+        seed in any::<u64>(),
+    ) {
+        let cfg = BloomConfig::new(l, 4, 4).with_seed(seed);
+        let mut f = CountingBloomFilter::new(cfg);
+        for k in &inserted {
+            f.insert(&k.to_le_bytes());
+        }
+        let snap = DigestSnapshot::from_filter(&f.snapshot());
+        let decoded = DigestSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        prop_assert_eq!(decoded.filter(), snap.filter());
+    }
+
+    /// Decoding arbitrary bytes never panics — it either succeeds or
+    /// returns a structured error.
+    #[test]
+    fn snapshot_decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = DigestSnapshot::from_bytes(&bytes);
+    }
+
+    /// Eq. 4's predictor is monotone: more counters never raise the
+    /// predicted false-positive rate; more keys never lower it.
+    #[test]
+    fn eq4_is_monotone(l in 1000usize..100_000, kappa in 100u64..10_000, h in 1u32..8) {
+        let base = config::false_positive_rate(l, h, kappa);
+        prop_assert!(config::false_positive_rate(l * 2, h, kappa) <= base + 1e-12);
+        prop_assert!(config::false_positive_rate(l, h, kappa * 2) >= base - 1e-12);
+    }
+
+    /// The optimizer always returns a configuration meeting both bounds.
+    #[test]
+    fn optimal_config_is_feasible(
+        kappa in 100u64..200_000,
+        h in 2u32..8,
+        pp_exp in 1u32..6,
+        pn_exp in 1u32..6,
+    ) {
+        let pp = 10f64.powi(-(pp_exp as i32));
+        let pn = 10f64.powi(-(pn_exp as i32));
+        let cfg = BloomConfig::optimal(kappa, h, pp, pn);
+        prop_assert!(config::false_positive_rate(cfg.counters, h, kappa) <= pp * 1.001);
+        prop_assert!(config::false_negative_bound(cfg.counters, cfg.counter_bits, h, kappa) <= pn);
+        prop_assert!(cfg.counter_bits >= 1 && cfg.counter_bits <= 16);
+    }
+
+    /// Lambert W satisfies its defining identity across its domain.
+    #[test]
+    fn lambert_w_identity(x in -0.36f64..1e6) {
+        let w = config::lambert_w(x);
+        prop_assert!((w * w.exp() - x).abs() <= 1e-8 * (1.0 + x.abs()), "x={x} w={w}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Cache-engine configuration.
+
+use proteus_bloom::BloomConfig;
+use proteus_sim::SimDuration;
+
+/// Configuration for a [`CacheEngine`](crate::CacheEngine).
+///
+/// The paper's deployment gives each memcached server 1 GB for 4 KB
+/// page objects (Fig. 6 tunes this) and tracks "hot" data with a TTL
+/// window (Section II: touched within the past `TTL` seconds).
+///
+/// # Example
+///
+/// ```
+/// use proteus_cache::CacheConfig;
+/// use proteus_sim::SimDuration;
+///
+/// let cfg = CacheConfig::with_capacity(1 << 30)
+///     .hot_ttl(SimDuration::from_secs(60));
+/// assert_eq!(cfg.capacity_bytes, 1 << 30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum bytes of key+value payload (plus per-item overhead)
+    /// held before LRU eviction kicks in.
+    pub capacity_bytes: u64,
+    /// The "hot" window: an item touched within this duration is hot
+    /// and will be migrated on demand during a transition; older items
+    /// may be discarded when their server powers off.
+    pub hot_ttl: SimDuration,
+    /// Accounted per-item metadata overhead, mirroring memcached's
+    /// item-header cost.
+    pub item_overhead: u32,
+    /// Digest (counting Bloom filter) configuration.
+    pub digest: BloomConfig,
+}
+
+impl CacheConfig {
+    /// A configuration with the given payload capacity and defaults
+    /// matching the paper's evaluation: 60 s hot TTL, 48-byte item
+    /// overhead, and a digest sized for the item count the capacity
+    /// implies at 4 KB objects (h = 4, as in Section VI-B).
+    #[must_use]
+    pub fn with_capacity(capacity_bytes: u64) -> Self {
+        let expected_items = (capacity_bytes / 4096).max(1024);
+        CacheConfig {
+            capacity_bytes,
+            hot_ttl: SimDuration::from_secs(60),
+            item_overhead: 48,
+            digest: BloomConfig::optimal(expected_items, 4, 1e-4, 1e-4),
+        }
+    }
+
+    /// Sets the hot-data TTL (builder style).
+    #[must_use]
+    pub fn hot_ttl(mut self, ttl: SimDuration) -> Self {
+        self.hot_ttl = ttl;
+        self
+    }
+
+    /// Sets the digest configuration (builder style).
+    #[must_use]
+    pub fn digest(mut self, digest: BloomConfig) -> Self {
+        self.digest = digest;
+        self
+    }
+
+    /// Sets the per-item accounting overhead (builder style).
+    #[must_use]
+    pub fn item_overhead(mut self, overhead: u32) -> Self {
+        self.item_overhead = overhead;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let cfg = CacheConfig::with_capacity(1 << 30);
+        assert_eq!(cfg.hot_ttl, SimDuration::from_secs(60));
+        assert!(cfg.digest.counters > 0);
+        // Digest sized for ~262k items at 4 KB each.
+        assert!(cfg.digest.counters > 262_144);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let digest = BloomConfig::new(1024, 4, 4);
+        let cfg = CacheConfig::with_capacity(1 << 16)
+            .hot_ttl(SimDuration::from_secs(5))
+            .item_overhead(0)
+            .digest(digest);
+        assert_eq!(cfg.hot_ttl, SimDuration::from_secs(5));
+        assert_eq!(cfg.item_overhead, 0);
+        assert_eq!(cfg.digest, digest);
+    }
+}

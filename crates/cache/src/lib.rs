@@ -1,0 +1,38 @@
+//! The cache-server engine: a memcached-like LRU key-value store with
+//! a built-in counting Bloom filter digest.
+//!
+//! This is the reproduction's analogue of the paper's modified
+//! memcached (Section V-A3): every item link updates the digest, every
+//! unlink (delete *or* eviction) removes from it, so the digest is
+//! always exactly consistent with the cache contents — the property
+//! Algorithm 2 depends on.
+//!
+//! The engine is deliberately single-threaded and deterministic; the
+//! discrete-event simulator drives one engine per simulated cache
+//! server, and the TCP tier (`proteus-net`) wraps engines in locks.
+//!
+//! # Example
+//!
+//! ```
+//! use proteus_cache::{CacheConfig, CacheEngine};
+//! use proteus_sim::SimTime;
+//!
+//! let mut cache = CacheEngine::new(CacheConfig::with_capacity(1 << 20));
+//! let t = SimTime::ZERO;
+//! cache.put(b"page:1", vec![0u8; 4096], t);
+//! assert!(cache.get(b"page:1", t).is_some());
+//! assert!(cache.digest().contains(b"page:1"));
+//! cache.delete(b"page:1");
+//! assert!(!cache.digest().contains(b"page:1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod stats;
+
+pub use config::CacheConfig;
+pub use engine::CacheEngine;
+pub use stats::CacheStats;

@@ -1,0 +1,33 @@
+use proteus_core::*;
+use proteus_workload::Trace;
+use std::time::Instant;
+
+fn main() {
+    let config = ClusterConfig::paper_scale();
+    let t0 = Instant::now();
+    let trace = Trace::synthesize(&config.trace_config(3000.0), 42);
+    println!("trace: {} requests in {:?}", trace.len(), t0.elapsed());
+    let plan = ProvisioningPlan::load_proportional(
+        &trace.requests_per_slot(config.slot, config.slots),
+        config.cache_servers,
+        4,
+    );
+    println!(
+        "plan: {:?} transitions={}",
+        plan.counts(),
+        plan.transitions()
+    );
+    for sc in Scenario::all() {
+        let t0 = Instant::now();
+        let r = ClusterSim::new(config.clone(), sc, &trace, &plan, 5).run();
+        let worst = r.worst_bucket_quantile(0.999).unwrap();
+        let typical = r.typical_bucket_quantile(0.999).unwrap();
+        let ratios: Vec<f64> = r.balance_ratio_per_slot().into_iter().flatten().collect();
+        let mean_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        println!("{:15} hit={:.3} db={} mig={} fp={} worst_p999={:.0}ms typ_p999={:.0}ms balance={:.3} E_tot={:.1}Wh E_cache={:.1}Wh [{:?}]",
+            sc.name(), r.counters.cache_hit_ratio(), r.counters.database,
+            r.counters.migrated, r.counters.database_false_positive,
+            worst.as_millis_f64(), typical.as_millis_f64(), mean_ratio,
+            r.total_energy_wh(), r.cache_energy_wh(), t0.elapsed());
+    }
+}

@@ -1,0 +1,180 @@
+//! The four evaluation scenarios of Table II.
+
+use std::fmt;
+
+use proteus_ring::{ModuloStrategy, PlacementStrategy, ProteusPlacement, RandomRing};
+
+/// Virtual-node budget for the `Consistent` baseline (Fig. 5 evaluates
+/// both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VnodeBudget {
+    /// `O(log n)` virtual nodes per server.
+    Logarithmic,
+    /// `n²/2` virtual nodes in total (`n/2` per server) — the same
+    /// budget Proteus's Algorithm 1 uses.
+    #[default]
+    Quadratic,
+}
+
+/// A Table II scenario: who provisions, and how keys map to servers.
+///
+/// | Scenario     | Server provisioning | Workload distribution        |
+/// |--------------|---------------------|------------------------------|
+/// | `Static`     | all servers on      | simple hash with modulo      |
+/// | `Naive`      | dynamically tuned   | simple hash with modulo      |
+/// | `Consistent` | dynamically tuned   | consistent hashing           |
+/// | `Proteus`    | dynamically tuned   | Algorithm 1 + Algorithm 2    |
+///
+/// # Example
+///
+/// ```
+/// use proteus_core::Scenario;
+/// assert!(!Scenario::Static.is_dynamic());
+/// assert!(Scenario::Proteus.uses_digests());
+/// assert_eq!(Scenario::Naive.name(), "naive");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// All servers always on; `hash mod N`.
+    Static,
+    /// Dynamic provisioning; `hash mod n(t)` — the delay-spike strawman.
+    Naive,
+    /// Dynamic provisioning; classic consistent hashing with randomly
+    /// placed virtual nodes.
+    Consistent(VnodeBudget),
+    /// Dynamic provisioning; Proteus placement + digest-guided smooth
+    /// transitions.
+    Proteus,
+    /// Component ablation: Algorithm 1 placement *without* digests
+    /// (abrupt transitions). Isolates how much of Proteus's win is the
+    /// placement alone.
+    ProteusBlind,
+    /// Component ablation: random-vnode consistent hashing *with*
+    /// Algorithm 2 digests. Isolates how much the smooth-transition
+    /// machinery helps a conventional ring.
+    ConsistentSmart(VnodeBudget),
+}
+
+impl Scenario {
+    /// All four scenarios in Table II order (quadratic-budget
+    /// `Consistent`).
+    #[must_use]
+    pub fn all() -> [Scenario; 4] {
+        [
+            Scenario::Static,
+            Scenario::Naive,
+            Scenario::Consistent(VnodeBudget::Quadratic),
+            Scenario::Proteus,
+        ]
+    }
+
+    /// Whether provisioning follows the plan (`true`) or pins all
+    /// servers on (`false`, Static only).
+    #[must_use]
+    pub fn is_dynamic(&self) -> bool {
+        !matches!(self, Scenario::Static)
+    }
+
+    /// Whether the web tier consults cache digests during transitions.
+    #[must_use]
+    pub fn uses_digests(&self) -> bool {
+        matches!(self, Scenario::Proteus | Scenario::ConsistentSmart(_))
+    }
+
+    /// Builds the key→server strategy for a cluster of `servers`
+    /// servers. `seed` controls the random virtual-node layout of the
+    /// `Consistent` baseline (the paper shares seed 0 across web
+    /// servers).
+    #[must_use]
+    pub fn strategy(&self, servers: usize, seed: u64) -> Box<dyn PlacementStrategy + Send + Sync> {
+        match self {
+            Scenario::Static | Scenario::Naive => Box::new(ModuloStrategy::new(servers)),
+            Scenario::Consistent(VnodeBudget::Logarithmic) => {
+                Box::new(RandomRing::with_log_vnodes(servers, seed))
+            }
+            Scenario::Consistent(VnodeBudget::Quadratic) => {
+                Box::new(RandomRing::with_quadratic_vnodes(servers, seed))
+            }
+            Scenario::Proteus | Scenario::ProteusBlind => {
+                Box::new(ProteusPlacement::generate(servers))
+            }
+            Scenario::ConsistentSmart(VnodeBudget::Logarithmic) => {
+                Box::new(RandomRing::with_log_vnodes(servers, seed))
+            }
+            Scenario::ConsistentSmart(VnodeBudget::Quadratic) => {
+                Box::new(RandomRing::with_quadratic_vnodes(servers, seed))
+            }
+        }
+    }
+
+    /// A short stable name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Static => "static",
+            Scenario::Naive => "naive",
+            Scenario::Consistent(VnodeBudget::Logarithmic) => "consistent-logn",
+            Scenario::Consistent(VnodeBudget::Quadratic) => "consistent-n2",
+            Scenario::Proteus => "proteus",
+            Scenario::ProteusBlind => "proteus-blind",
+            Scenario::ConsistentSmart(VnodeBudget::Logarithmic) => "consistent-digests-logn",
+            Scenario::ConsistentSmart(VnodeBudget::Quadratic) => "consistent-digests",
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_table2_order() {
+        let names: Vec<&str> = Scenario::all().iter().map(Scenario::name).collect();
+        assert_eq!(names, vec!["static", "naive", "consistent-n2", "proteus"]);
+    }
+
+    #[test]
+    fn strategies_build_and_route() {
+        for sc in Scenario::all() {
+            let s = sc.strategy(10, 0);
+            for n in [1usize, 5, 10] {
+                assert!(s.server_for(0xFACE, n).index() < n, "{sc}");
+            }
+        }
+        let log = Scenario::Consistent(VnodeBudget::Logarithmic).strategy(10, 0);
+        assert_eq!(log.name(), "consistent");
+    }
+
+    #[test]
+    fn dynamic_and_digest_flags() {
+        assert!(!Scenario::Static.is_dynamic());
+        assert!(Scenario::Naive.is_dynamic());
+        assert!(Scenario::Consistent(VnodeBudget::Quadratic).is_dynamic());
+        assert!(Scenario::Proteus.is_dynamic());
+        for sc in Scenario::all() {
+            assert_eq!(sc.uses_digests(), sc == Scenario::Proteus);
+        }
+        // The component-ablation variants split the two mechanisms.
+        assert!(!Scenario::ProteusBlind.uses_digests());
+        assert!(Scenario::ProteusBlind.is_dynamic());
+        assert!(Scenario::ConsistentSmart(VnodeBudget::Quadratic).uses_digests());
+        assert_eq!(Scenario::ProteusBlind.name(), "proteus-blind");
+        assert_eq!(
+            Scenario::ConsistentSmart(VnodeBudget::Quadratic).name(),
+            "consistent-digests"
+        );
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for sc in Scenario::all() {
+            assert_eq!(format!("{sc}"), sc.name());
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! A standalone Proteus cache server.
+//!
+//! ```text
+//! proteus-cache-server [--bind ADDR] [--capacity-mb N] [--hot-ttl-secs N]
+//! ```
+//!
+//! Speaks the memcached-flavoured text protocol on `ADDR`
+//! (default `127.0.0.1:11211`), including the paper's
+//! `SET_BLOOM_FILTER` / `BLOOM_FILTER` digest keys. Try it with netcat:
+//!
+//! ```text
+//! $ printf 'set greeting 0 0 5\r\nhello\r\nget greeting\r\nquit\r\n' | nc 127.0.0.1 11211
+//! ```
+
+use std::process::ExitCode;
+
+use proteus_cache::CacheConfig;
+use proteus_net::CacheServer;
+use proteus_sim::SimDuration;
+
+struct Options {
+    bind: String,
+    capacity_mb: u64,
+    hot_ttl_secs: u64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        bind: "127.0.0.1:11211".to_string(),
+        capacity_mb: 64,
+        hot_ttl_secs: 60,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--bind" => opts.bind = value("--bind")?,
+            "--capacity-mb" => {
+                opts.capacity_mb = value("--capacity-mb")?
+                    .parse()
+                    .map_err(|_| "--capacity-mb must be a number".to_string())?;
+            }
+            "--hot-ttl-secs" => {
+                opts.hot_ttl_secs = value("--hot-ttl-secs")?
+                    .parse()
+                    .map_err(|_| "--hot-ttl-secs must be a number".to_string())?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: proteus-cache-server [--bind ADDR] \
+                            [--capacity-mb N] [--hot-ttl-secs N]"
+                    .to_string());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.capacity_mb == 0 {
+        return Err("--capacity-mb must be positive".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = CacheConfig::with_capacity(opts.capacity_mb << 20)
+        .hot_ttl(SimDuration::from_secs(opts.hot_ttl_secs));
+    let server = match CacheServer::spawn(&*opts.bind, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", opts.bind);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "proteus-cache-server listening on {} ({} MB, hot TTL {} s)",
+        server.addr(),
+        opts.capacity_mb,
+        opts.hot_ttl_secs
+    );
+    println!("press Ctrl-C to stop");
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

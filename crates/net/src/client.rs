@@ -1,0 +1,356 @@
+//! Blocking cache client with connection pooling.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use proteus_bloom::{BloomFilter, DigestSnapshot};
+
+use crate::error::NetError;
+use crate::protocol::{
+    read_response, write_command, Command, Response, DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
+};
+
+/// A pooled, blocking client for one cache server.
+///
+/// Connections are created lazily, checked out per call, and returned
+/// to the pool afterwards — the paper's web tier does the same with
+/// Apache Commons Pool so servlet threads share connections.
+///
+/// `CacheClient` is `Send + Sync`; clone-free sharing via `&` works
+/// from multiple threads.
+///
+/// # Example
+///
+/// ```no_run
+/// use proteus_net::{CacheClient, CacheServer};
+/// use proteus_cache::CacheConfig;
+///
+/// let server = CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(1 << 20))?;
+/// let client = CacheClient::connect(server.addr())?;
+/// client.set(b"k", b"v")?;
+/// assert_eq!(client.get(b"k")?, Some(b"v".to_vec()));
+/// # Ok::<(), proteus_net::NetError>(())
+/// ```
+#[derive(Debug)]
+pub struct CacheClient {
+    addr: SocketAddr,
+    pool: Mutex<Vec<TcpStream>>,
+    timeout: Duration,
+}
+
+impl CacheClient {
+    /// Creates a client for the server at `addr` and verifies
+    /// connectivity with one probe connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the server is unreachable.
+    pub fn connect(addr: SocketAddr) -> Result<CacheClient, NetError> {
+        let client = CacheClient {
+            addr,
+            pool: Mutex::new(Vec::new()),
+            timeout: Duration::from_secs(10),
+        };
+        let probe = client.checkout()?;
+        client.checkin(probe);
+        Ok(client)
+    }
+
+    /// The server address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn checkout(&self) -> Result<TcpStream, NetError> {
+        if let Some(stream) = self.pool.lock().pop() {
+            return Ok(stream);
+        }
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    fn checkin(&self, stream: TcpStream) {
+        let mut pool = self.pool.lock();
+        if pool.len() < 8 {
+            pool.push(stream);
+        }
+    }
+
+    fn round_trip(&self, cmd: &Command) -> Result<Response, NetError> {
+        let stream = self.checkout()?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream);
+        write_command(&mut writer, cmd)?;
+        let response = read_response(&mut reader)?;
+        // Only reusable if the exchange completed cleanly.
+        self.checkin(reader.into_inner());
+        match response {
+            Response::Error(msg) => Err(NetError::ServerError(msg)),
+            ok => Ok(ok),
+        }
+    }
+
+    /// Fetches `key`, returning its value if cached.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a [`NetError::ServerError`].
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, NetError> {
+        match self.round_trip(&Command::Get { key: key.to_vec() })? {
+            Response::Value { data, .. } => Ok(Some(data)),
+            Response::Miss => Ok(None),
+            other => Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Stores `value` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a [`NetError::ServerError`].
+    pub fn set(&self, key: &[u8], value: &[u8]) -> Result<(), NetError> {
+        match self.round_trip(&Command::Set {
+            key: key.to_vec(),
+            flags: 0,
+            exptime: 0,
+            data: value.to_vec(),
+        })? {
+            Response::Stored => Ok(()),
+            other => Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Stores `value` only if `key` is absent (`add`); returns whether
+    /// it was stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a [`NetError::ServerError`].
+    pub fn add(&self, key: &[u8], value: &[u8]) -> Result<bool, NetError> {
+        match self.round_trip(&Command::Add {
+            key: key.to_vec(),
+            flags: 0,
+            exptime: 0,
+            data: value.to_vec(),
+        })? {
+            Response::Stored => Ok(true),
+            Response::NotStored => Ok(false),
+            other => Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Stores `value` only if `key` is present (`replace`); returns
+    /// whether it was stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a [`NetError::ServerError`].
+    pub fn replace(&self, key: &[u8], value: &[u8]) -> Result<bool, NetError> {
+        match self.round_trip(&Command::Replace {
+            key: key.to_vec(),
+            flags: 0,
+            exptime: 0,
+            data: value.to_vec(),
+        })? {
+            Response::Stored => Ok(true),
+            Response::NotStored => Ok(false),
+            other => Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Refreshes `key`'s recency (`touch`); returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a [`NetError::ServerError`].
+    pub fn touch(&self, key: &[u8]) -> Result<bool, NetError> {
+        match self.round_trip(&Command::Touch {
+            key: key.to_vec(),
+            exptime: 0,
+        })? {
+            Response::Touched => Ok(true),
+            Response::NotFound => Ok(false),
+            other => Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Adds `delta` to the numeric value under `key`, returning the new
+    /// value, or `None` if the key is absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a [`NetError::ServerError`] (e.g.
+    /// a non-numeric stored value).
+    pub fn incr(&self, key: &[u8], delta: u64) -> Result<Option<u64>, NetError> {
+        match self.round_trip(&Command::Incr {
+            key: key.to_vec(),
+            delta,
+        })? {
+            Response::Numeric(v) => Ok(Some(v)),
+            Response::NotFound => Ok(None),
+            other => Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Subtracts `delta` from the numeric value under `key` (floored at
+    /// zero), returning the new value, or `None` if the key is absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a [`NetError::ServerError`].
+    pub fn decr(&self, key: &[u8], delta: u64) -> Result<Option<u64>, NetError> {
+        match self.round_trip(&Command::Decr {
+            key: key.to_vec(),
+            delta,
+        })? {
+            Response::Numeric(v) => Ok(Some(v)),
+            Response::NotFound => Ok(None),
+            other => Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Clears the server's cache (`flush_all`).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a [`NetError::ServerError`].
+    pub fn flush_all(&self) -> Result<(), NetError> {
+        match self.round_trip(&Command::FlushAll)? {
+            Response::Ok => Ok(()),
+            other => Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// The server's version string.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a [`NetError::ServerError`].
+    pub fn version(&self) -> Result<String, NetError> {
+        match self.round_trip(&Command::Version)? {
+            Response::Version(v) => Ok(v),
+            other => Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Deletes `key`, returning whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a [`NetError::ServerError`].
+    pub fn delete(&self, key: &[u8]) -> Result<bool, NetError> {
+        match self.round_trip(&Command::Delete { key: key.to_vec() })? {
+            Response::Deleted => Ok(true),
+            Response::NotFound => Ok(false),
+            other => Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Retrieves the server's statistics as `(name, value)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a [`NetError::ServerError`].
+    pub fn stats(&self) -> Result<Vec<(String, String)>, NetError> {
+        match self.round_trip(&Command::Stats)? {
+            Response::Stats(pairs) => Ok(pairs),
+            other => Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Takes a fresh digest snapshot on the server and downloads it:
+    /// `get SET_BLOOM_FILTER` followed by `get BLOOM_FILTER`, decoded
+    /// into a [`BloomFilter`]. Returns `None` if the server answered
+    /// with a miss (no snapshot available).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a decode failure
+    /// ([`NetError::BadDigest`]).
+    pub fn snapshot_digest(&self) -> Result<Option<BloomFilter>, NetError> {
+        let taken = self.get(DIGEST_SNAPSHOT_KEY)?;
+        if taken.is_none() {
+            return Ok(None);
+        }
+        self.fetch_digest()
+    }
+
+    /// Downloads the last digest snapshot (`get BLOOM_FILTER`) without
+    /// taking a new one.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a decode failure.
+    pub fn fetch_digest(&self) -> Result<Option<BloomFilter>, NetError> {
+        match self.get(DIGEST_KEY)? {
+            Some(bytes) => Ok(Some(DigestSnapshot::from_bytes(&bytes)?.into_filter())),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::CacheServer;
+    use proteus_cache::CacheConfig;
+
+    #[test]
+    fn connect_fails_fast_when_no_server() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        assert!(matches!(CacheClient::connect(addr), Err(NetError::Io(_))));
+    }
+
+    #[test]
+    fn pool_reuses_connections() {
+        let server =
+            CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(1 << 20)).unwrap();
+        let client = CacheClient::connect(server.addr()).unwrap();
+        for i in 0..50u32 {
+            client.set(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        // Sequential use should keep exactly one pooled connection.
+        assert_eq!(client.pool.lock().len(), 1);
+        server.stop();
+    }
+
+    #[test]
+    fn concurrent_clients_share_safely() {
+        let server =
+            CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(1 << 20)).unwrap();
+        let client = std::sync::Arc::new(CacheClient::connect(server.addr()).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let c = std::sync::Arc::clone(&client);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u32 {
+                    let key = format!("t{t}:{i}");
+                    c.set(key.as_bytes(), key.as_bytes()).unwrap();
+                    assert_eq!(c.get(key.as_bytes()).unwrap(), Some(key.into_bytes()));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn snapshot_digest_roundtrip() {
+        let server =
+            CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(1 << 20)).unwrap();
+        let client = CacheClient::connect(server.addr()).unwrap();
+        client.set(b"page:1", b"content").unwrap();
+        let digest = client.snapshot_digest().unwrap().unwrap();
+        assert!(digest.contains(b"page:1"));
+        assert!(!digest.contains(b"page:2"));
+        server.stop();
+    }
+}

@@ -1,0 +1,307 @@
+//! The web-tier cluster client: Algorithm 2 over live TCP servers.
+
+use std::fmt;
+
+use parking_lot::Mutex;
+use proteus_bloom::BloomFilter;
+use proteus_ring::{hash::KeyHasher, PlacementStrategy, ServerId};
+use proteus_store::ShardedStore;
+
+use crate::client::CacheClient;
+use crate::error::NetError;
+
+/// The authoritative backing store a [`ClusterClient`] falls back to
+/// when data is not in cache.
+///
+/// Implemented for [`ShardedStore`] out of the box; applications plug
+/// in their own databases.
+pub trait DbFallback {
+    /// Fetches `key` from the authoritative store.
+    ///
+    /// # Errors
+    ///
+    /// Implementations surface their own transport failures as
+    /// [`NetError`].
+    fn fetch(&self, key: &[u8]) -> Result<Vec<u8>, NetError>;
+}
+
+impl DbFallback for Mutex<ShardedStore> {
+    fn fetch(&self, key: &[u8]) -> Result<Vec<u8>, NetError> {
+        Ok(self.lock().fetch(key))
+    }
+}
+
+/// How a [`ClusterClient::fetch`] was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterFetch {
+    /// Hit at the key's new-mapping server.
+    Hit,
+    /// Migrated on demand from the old server during a transition.
+    Migrated,
+    /// Fetched from the backing store.
+    Database,
+}
+
+/// A web server's view of the live cache cluster: one pooled client
+/// per cache server, the placement strategy, the current and previous
+/// active counts, and the digests broadcast at the last transition.
+///
+/// This is the TCP twin of [`proteus_core::Router`]: the same
+/// Algorithm 2 decision tree, with real sockets underneath.
+///
+/// [`proteus_core::Router`]: https://docs.rs/proteus-core
+pub struct ClusterClient {
+    clients: Vec<CacheClient>,
+    strategy: Box<dyn PlacementStrategy + Send + Sync>,
+    hasher: KeyHasher,
+    active: usize,
+    previous_active: usize,
+    digests: Vec<Option<BloomFilter>>,
+    in_transition: bool,
+}
+
+impl ClusterClient {
+    /// Connects to every cache server (in provisioning order) and
+    /// starts with all of them active.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first connection failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty or its length differs from the
+    /// strategy's `max_servers()`.
+    pub fn connect(
+        addrs: &[std::net::SocketAddr],
+        strategy: Box<dyn PlacementStrategy + Send + Sync>,
+    ) -> Result<ClusterClient, NetError> {
+        assert!(!addrs.is_empty(), "need at least one cache server");
+        assert_eq!(
+            addrs.len(),
+            strategy.max_servers(),
+            "strategy sized for a different cluster"
+        );
+        let clients = addrs
+            .iter()
+            .map(|&a| CacheClient::connect(a))
+            .collect::<Result<Vec<_>, _>>()?;
+        let n = clients.len();
+        Ok(ClusterClient {
+            clients,
+            strategy,
+            hasher: KeyHasher::default(),
+            active: n,
+            previous_active: n,
+            digests: vec![None; n],
+            in_transition: false,
+        })
+    }
+
+    /// Currently active servers.
+    #[must_use]
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// The server responsible for `key` at the current active count.
+    #[must_use]
+    pub fn server_for(&self, key: &[u8]) -> ServerId {
+        self.strategy
+            .server_for(self.hasher.hash_bytes(key), self.active)
+    }
+
+    /// Begins a provisioning transition to `new_active` servers: pulls
+    /// a fresh digest snapshot from every server active under the old
+    /// mapping (the broadcast), then switches the mapping. Call
+    /// [`end_transition`](Self::end_transition) after the hot-TTL
+    /// window elapses and the departing servers have powered off.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first digest-fetch failure; the mapping is not
+    /// switched in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_active` is outside `1..=total`.
+    pub fn begin_transition(&mut self, new_active: usize) -> Result<(), NetError> {
+        assert!(
+            (1..=self.clients.len()).contains(&new_active),
+            "active count {new_active} outside 1..={}",
+            self.clients.len()
+        );
+        if new_active == self.active {
+            return Ok(());
+        }
+        let mut digests = vec![None; self.clients.len()];
+        for (i, client) in self.clients.iter().enumerate().take(self.active) {
+            digests[i] = client.snapshot_digest()?;
+        }
+        self.digests = digests;
+        self.previous_active = self.active;
+        self.active = new_active;
+        self.in_transition = true;
+        Ok(())
+    }
+
+    /// Ends the transition window: digests are dropped and the old
+    /// mapping is retired.
+    pub fn end_transition(&mut self) {
+        self.digests.iter_mut().for_each(|d| *d = None);
+        self.previous_active = self.active;
+        self.in_transition = false;
+    }
+
+    /// Algorithm 2 against live servers: new server first; during a
+    /// transition the old server's digest decides whether to migrate on
+    /// demand; the backing store is the last resort. The value is
+    /// installed at the new server on every non-hit path.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures from the cache servers or the
+    /// backing store.
+    pub fn fetch<D: DbFallback + ?Sized>(
+        &self,
+        key: &[u8],
+        db: &D,
+    ) -> Result<(Vec<u8>, ClusterFetch), NetError> {
+        let hash = self.hasher.hash_bytes(key);
+        let new_server = self.strategy.server_for(hash, self.active);
+        if let Some(value) = self.clients[new_server.index()].get(key)? {
+            return Ok((value, ClusterFetch::Hit));
+        }
+        if self.in_transition {
+            let old = self.strategy.server_for(hash, self.previous_active);
+            if old != new_server {
+                if let Some(digest) = &self.digests[old.index()] {
+                    if digest.contains(key) {
+                        if let Some(value) = self.clients[old.index()].get(key)? {
+                            self.clients[new_server.index()].set(key, &value)?;
+                            return Ok((value, ClusterFetch::Migrated));
+                        }
+                    }
+                }
+            }
+        }
+        let value = db.fetch(key)?;
+        self.clients[new_server.index()].set(key, &value)?;
+        Ok((value, ClusterFetch::Database))
+    }
+}
+
+impl fmt::Debug for ClusterClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterClient")
+            .field("servers", &self.clients.len())
+            .field("active", &self.active)
+            .field("in_transition", &self.in_transition)
+            .field("strategy", &self.strategy.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::CacheServer;
+    use proteus_cache::CacheConfig;
+    use proteus_ring::ProteusPlacement;
+    use proteus_store::StoreConfig;
+
+    fn cluster(n: usize) -> (Vec<CacheServer>, ClusterClient, Mutex<ShardedStore>) {
+        let servers: Vec<CacheServer> = (0..n)
+            .map(|_| {
+                CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(4 << 20)).unwrap()
+            })
+            .collect();
+        let addrs: Vec<_> = servers.iter().map(CacheServer::addr).collect();
+        let client =
+            ClusterClient::connect(&addrs, Box::new(ProteusPlacement::generate(n))).unwrap();
+        let db = Mutex::new(ShardedStore::new(StoreConfig {
+            object_size: 64,
+            ..StoreConfig::default()
+        }));
+        (servers, client, db)
+    }
+
+    #[test]
+    fn fetch_cold_then_hot() {
+        let (servers, client, db) = cluster(3);
+        let (v1, how1) = client.fetch(b"page:1", &db).unwrap();
+        assert_eq!(how1, ClusterFetch::Database);
+        let (v2, how2) = client.fetch(b"page:1", &db).unwrap();
+        assert_eq!(how2, ClusterFetch::Hit);
+        assert_eq!(v1, v2);
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn live_scale_down_migrates_hot_keys_with_zero_db_traffic() {
+        let (servers, mut client, db) = cluster(4);
+        // Warm a set of keys.
+        let keys: Vec<Vec<u8>> = (0..100u32)
+            .map(|i| format!("page:{i}").into_bytes())
+            .collect();
+        for k in &keys {
+            client.fetch(k, &db).unwrap();
+        }
+        let db_before = db.lock().total_fetches();
+        // Scale 4 -> 3 with digest broadcast over the real protocol.
+        client.begin_transition(3).unwrap();
+        for k in &keys {
+            let (_, how) = client.fetch(k, &db).unwrap();
+            assert_ne!(
+                how,
+                ClusterFetch::Database,
+                "hot key {:?} must not reach the database",
+                String::from_utf8_lossy(k)
+            );
+        }
+        assert_eq!(
+            db.lock().total_fetches(),
+            db_before,
+            "zero database traffic during the smooth transition"
+        );
+        // And the amortization property: the keys now all hit directly.
+        for k in &keys {
+            let (_, how) = client.fetch(k, &db).unwrap();
+            assert_eq!(how, ClusterFetch::Hit);
+        }
+        client.end_transition();
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn after_end_transition_cold_keys_go_to_db() {
+        let (servers, mut client, db) = cluster(3);
+        client.fetch(b"page:7", &db).unwrap();
+        client.begin_transition(2).unwrap();
+        client.end_transition();
+        // A key that moved but was never migrated now comes from the DB.
+        let moved: Vec<u8> = (0..1000u32)
+            .map(|i| format!("cold:{i}").into_bytes())
+            .find(|k| client.server_for(k).index() < 2)
+            .unwrap();
+        let (_, how) = client.fetch(&moved, &db).unwrap();
+        assert_eq!(how, ClusterFetch::Database);
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn begin_transition_noop_for_same_count() {
+        let (servers, mut client, _db) = cluster(2);
+        client.begin_transition(2).unwrap();
+        assert_eq!(client.active(), 2);
+        for s in servers {
+            s.stop();
+        }
+    }
+}

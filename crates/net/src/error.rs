@@ -1,0 +1,75 @@
+//! Error type for the TCP tier.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors from cache-protocol clients and servers.
+#[derive(Debug)]
+pub enum NetError {
+    /// An underlying socket error.
+    Io(io::Error),
+    /// The peer sent something the protocol does not allow.
+    Protocol(String),
+    /// The server reported an error response.
+    ServerError(String),
+    /// A digest payload failed to decode.
+    BadDigest(proteus_bloom::SnapshotError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::ServerError(msg) => write!(f, "server error: {msg}"),
+            NetError::BadDigest(e) => write!(f, "bad digest payload: {e}"),
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::BadDigest(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<proteus_bloom::SnapshotError> for NetError {
+    fn from(e: proteus_bloom::SnapshotError) -> Self {
+        NetError::BadDigest(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_are_informative() {
+        let io = NetError::from(io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+        assert!(NetError::Protocol("bad line".into())
+            .to_string()
+            .contains("bad line"));
+        assert!(NetError::ServerError("oops".into())
+            .to_string()
+            .contains("oops"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let io = NetError::from(io::Error::other("x"));
+        assert!(io.source().is_some());
+        assert!(NetError::Protocol("p".into()).source().is_none());
+    }
+}

@@ -1,0 +1,52 @@
+//! Real-socket deployment of the Proteus cache tier.
+//!
+//! The discrete-event simulator (`proteus-core`) reproduces the
+//! paper's *measurements*; this crate demonstrates the *protocol* end
+//! to end on live TCP sockets, mirroring the paper's implementation
+//! section:
+//!
+//! - [`CacheServer`] — a thread-per-connection cache server wrapping a
+//!   [`proteus_cache::CacheEngine`], speaking a memcached-flavoured
+//!   text protocol (`get` / `set` / `delete` / `stats` / `quit`). Like
+//!   the paper's modified memcached, the reserved keys
+//!   `SET_BLOOM_FILTER` and `BLOOM_FILTER` snapshot and retrieve the
+//!   server's digest **through the ordinary data protocol**, so any
+//!   stock client library can fetch digests.
+//! - [`CacheClient`] — a blocking client with connection pooling
+//!   (the paper pools connections via Apache Commons Pool).
+//! - [`ClusterClient`] — the web-tier side: consistent routing over
+//!   any [`PlacementStrategy`](proteus_ring::PlacementStrategy) plus
+//!   Algorithm 2 retrieval against live servers with a pluggable
+//!   database fallback.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use proteus_cache::CacheConfig;
+//! use proteus_net::{CacheClient, CacheServer};
+//!
+//! let server = CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(1 << 20))?;
+//! let client = CacheClient::connect(server.addr())?;
+//! client.set(b"k", b"v")?;
+//! assert_eq!(client.get(b"k")?, Some(b"v".to_vec()));
+//! server.stop();
+//! # Ok::<(), proteus_net::NetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod cluster_client;
+mod error;
+mod protocol;
+mod server;
+
+pub use client::CacheClient;
+pub use cluster_client::{ClusterClient, ClusterFetch, DbFallback};
+pub use error::NetError;
+pub use protocol::{
+    read_command, read_response, write_command, write_response, Command, Response, DIGEST_KEY,
+    DIGEST_SNAPSHOT_KEY,
+};
+pub use server::CacheServer;

@@ -1,0 +1,666 @@
+//! The wire protocol: a memcached-flavoured text protocol.
+//!
+//! Grammar (all lines CRLF-terminated):
+//!
+//! ```text
+//! get <key>
+//! set <key> <flags> <exptime> <bytes>\r\n<data of `bytes` octets>
+//! add <key> <flags> <exptime> <bytes>\r\n<data>      (store if absent)
+//! replace <key> <flags> <exptime> <bytes>\r\n<data>  (store if present)
+//! delete <key>
+//! touch <key> <exptime>
+//! incr <key> <delta>
+//! decr <key> <delta>
+//! stats
+//! flush_all
+//! version
+//! quit
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! VALUE <key> <flags> <bytes>\r\n<data>\r\nEND     (get hit)
+//! END                                             (get miss)
+//! STORED / NOT_STORED / DELETED / NOT_FOUND / TOUCHED / OK
+//! <number>                                        (incr/decr result)
+//! VERSION <string>
+//! STAT <name> <value> ... END                     (stats)
+//! ERROR <message>
+//! ```
+//!
+//! Two keys are reserved exactly as in the paper's modified memcached:
+//! `get SET_BLOOM_FILTER` makes the server snapshot its digest, and
+//! `get BLOOM_FILTER` retrieves the snapshot bytes as a normal value —
+//! "it exactly follows Memcached protocol, and should be compatible
+//! with all Memcached client packages".
+
+use std::io::{BufRead, Write};
+
+use crate::error::NetError;
+
+/// Reserved key: take a digest snapshot.
+pub const DIGEST_SNAPSHOT_KEY: &[u8] = b"SET_BLOOM_FILTER";
+/// Reserved key: retrieve the digest snapshot.
+pub const DIGEST_KEY: &[u8] = b"BLOOM_FILTER";
+
+/// A parsed client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `get <key>`
+    Get {
+        /// The requested key.
+        key: Vec<u8>,
+    },
+    /// `set <key> <flags> <exptime> <bytes>` + data block.
+    Set {
+        /// The key to store.
+        key: Vec<u8>,
+        /// Opaque client flags (stored but unused).
+        flags: u32,
+        /// Expiry in seconds (0 = never); advisory.
+        exptime: u32,
+        /// The value bytes.
+        data: Vec<u8>,
+    },
+    /// `add <key> ...`: store only if the key is absent.
+    Add {
+        /// The key to store.
+        key: Vec<u8>,
+        /// Opaque client flags.
+        flags: u32,
+        /// Expiry in seconds (advisory).
+        exptime: u32,
+        /// The value bytes.
+        data: Vec<u8>,
+    },
+    /// `replace <key> ...`: store only if the key is present.
+    Replace {
+        /// The key to store.
+        key: Vec<u8>,
+        /// Opaque client flags.
+        flags: u32,
+        /// Expiry in seconds (advisory).
+        exptime: u32,
+        /// The value bytes.
+        data: Vec<u8>,
+    },
+    /// `delete <key>`
+    Delete {
+        /// The key to remove.
+        key: Vec<u8>,
+    },
+    /// `touch <key> <exptime>`: refresh recency without reading.
+    Touch {
+        /// The key to touch.
+        key: Vec<u8>,
+        /// New expiry in seconds (advisory).
+        exptime: u32,
+    },
+    /// `incr <key> <delta>`: add to a numeric value.
+    Incr {
+        /// The key holding an ASCII number.
+        key: Vec<u8>,
+        /// Amount to add.
+        delta: u64,
+    },
+    /// `decr <key> <delta>`: subtract from a numeric value
+    /// (floored at zero, as memcached does).
+    Decr {
+        /// The key holding an ASCII number.
+        key: Vec<u8>,
+        /// Amount to subtract.
+        delta: u64,
+    },
+    /// `stats`
+    Stats,
+    /// `flush_all`: clear the cache.
+    FlushAll,
+    /// `version`
+    Version,
+    /// `quit`
+    Quit,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A `get` hit.
+    Value {
+        /// Echoed key.
+        key: Vec<u8>,
+        /// Echoed flags.
+        flags: u32,
+        /// The value bytes.
+        data: Vec<u8>,
+    },
+    /// A `get` miss.
+    Miss,
+    /// A successful `set`/`add`/`replace`.
+    Stored,
+    /// An `add` of a present key or `replace` of an absent one.
+    NotStored,
+    /// A successful `delete`.
+    Deleted,
+    /// The key was absent (`delete`, `touch`, `incr`, `decr`).
+    NotFound,
+    /// A successful `touch`.
+    Touched,
+    /// The numeric result of `incr`/`decr`.
+    Numeric(u64),
+    /// Generic success (`flush_all`).
+    Ok,
+    /// Server version string.
+    Version(String),
+    /// `stats` payload: `(name, value)` pairs.
+    Stats(Vec<(String, String)>),
+    /// Server-side error.
+    Error(String),
+}
+
+fn valid_key(key: &[u8]) -> bool {
+    !key.is_empty() && key.len() <= 250 && key.iter().all(|&b| b > 32 && b != 127)
+}
+
+/// Reads one command from a buffered stream.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] on malformed input and
+/// [`NetError::Io`] on socket errors (including clean EOF, surfaced as
+/// `UnexpectedEof` before any bytes of a command are read — callers
+/// treat that as connection close).
+pub fn read_command<R: BufRead>(reader: &mut R) -> Result<Command, NetError> {
+    let mut line = Vec::new();
+    read_line(reader, &mut line)?;
+    let text = std::str::from_utf8(&line)
+        .map_err(|_| NetError::Protocol("command line is not UTF-8".into()))?;
+    let mut parts = text.split_ascii_whitespace();
+    let verb = parts
+        .next()
+        .ok_or_else(|| NetError::Protocol("empty command".into()))?;
+    match verb {
+        "get" => {
+            let key = parts
+                .next()
+                .ok_or_else(|| NetError::Protocol("get needs a key".into()))?
+                .as_bytes()
+                .to_vec();
+            if !valid_key(&key) {
+                return Err(NetError::Protocol("invalid key".into()));
+            }
+            Ok(Command::Get { key })
+        }
+        "set" => {
+            let key = parts
+                .next()
+                .ok_or_else(|| NetError::Protocol("set needs a key".into()))?
+                .as_bytes()
+                .to_vec();
+            if !valid_key(&key) {
+                return Err(NetError::Protocol("invalid key".into()));
+            }
+            let flags: u32 = parse_field(parts.next(), "flags")?;
+            let exptime: u32 = parse_field(parts.next(), "exptime")?;
+            let bytes: usize = parse_field(parts.next(), "bytes")?;
+            if bytes > 64 << 20 {
+                return Err(NetError::Protocol("value too large".into()));
+            }
+            let mut data = vec![0u8; bytes];
+            std::io::Read::read_exact(reader, &mut data)?;
+            let mut crlf = [0u8; 2];
+            std::io::Read::read_exact(reader, &mut crlf)?;
+            if &crlf != b"\r\n" {
+                return Err(NetError::Protocol("data block not CRLF-terminated".into()));
+            }
+            Ok(Command::Set {
+                key,
+                flags,
+                exptime,
+                data,
+            })
+        }
+        "add" | "replace" => {
+            let key = parts
+                .next()
+                .ok_or_else(|| NetError::Protocol("storage command needs a key".into()))?
+                .as_bytes()
+                .to_vec();
+            if !valid_key(&key) {
+                return Err(NetError::Protocol("invalid key".into()));
+            }
+            let flags: u32 = parse_field(parts.next(), "flags")?;
+            let exptime: u32 = parse_field(parts.next(), "exptime")?;
+            let bytes: usize = parse_field(parts.next(), "bytes")?;
+            if bytes > 64 << 20 {
+                return Err(NetError::Protocol("value too large".into()));
+            }
+            let mut data = vec![0u8; bytes];
+            std::io::Read::read_exact(reader, &mut data)?;
+            let mut crlf = [0u8; 2];
+            std::io::Read::read_exact(reader, &mut crlf)?;
+            if &crlf != b"\r\n" {
+                return Err(NetError::Protocol("data block not CRLF-terminated".into()));
+            }
+            if verb == "add" {
+                Ok(Command::Add {
+                    key,
+                    flags,
+                    exptime,
+                    data,
+                })
+            } else {
+                Ok(Command::Replace {
+                    key,
+                    flags,
+                    exptime,
+                    data,
+                })
+            }
+        }
+        "delete" => {
+            let key = parts
+                .next()
+                .ok_or_else(|| NetError::Protocol("delete needs a key".into()))?
+                .as_bytes()
+                .to_vec();
+            if !valid_key(&key) {
+                return Err(NetError::Protocol("invalid key".into()));
+            }
+            Ok(Command::Delete { key })
+        }
+        "touch" => {
+            let key = parts
+                .next()
+                .ok_or_else(|| NetError::Protocol("touch needs a key".into()))?
+                .as_bytes()
+                .to_vec();
+            if !valid_key(&key) {
+                return Err(NetError::Protocol("invalid key".into()));
+            }
+            let exptime: u32 = parse_field(parts.next(), "exptime")?;
+            Ok(Command::Touch { key, exptime })
+        }
+        "incr" | "decr" => {
+            let key = parts
+                .next()
+                .ok_or_else(|| NetError::Protocol("incr/decr needs a key".into()))?
+                .as_bytes()
+                .to_vec();
+            if !valid_key(&key) {
+                return Err(NetError::Protocol("invalid key".into()));
+            }
+            let delta: u64 = parse_field(parts.next(), "delta")?;
+            if verb == "incr" {
+                Ok(Command::Incr { key, delta })
+            } else {
+                Ok(Command::Decr { key, delta })
+            }
+        }
+        "stats" => Ok(Command::Stats),
+        "flush_all" => Ok(Command::FlushAll),
+        "version" => Ok(Command::Version),
+        "quit" => Ok(Command::Quit),
+        other => Err(NetError::Protocol(format!("unknown verb {other:?}"))),
+    }
+}
+
+fn parse_field<T: std::str::FromStr>(field: Option<&str>, name: &str) -> Result<T, NetError> {
+    field
+        .ok_or_else(|| NetError::Protocol(format!("missing {name}")))?
+        .parse()
+        .map_err(|_| NetError::Protocol(format!("malformed {name}")))
+}
+
+/// Writes one command.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_command<W: Write>(writer: &mut W, cmd: &Command) -> Result<(), NetError> {
+    match cmd {
+        Command::Get { key } => {
+            writer.write_all(b"get ")?;
+            writer.write_all(key)?;
+            writer.write_all(b"\r\n")?;
+        }
+        Command::Set {
+            key,
+            flags,
+            exptime,
+            data,
+        } => {
+            writer.write_all(b"set ")?;
+            writer.write_all(key)?;
+            write!(writer, " {flags} {exptime} {}\r\n", data.len())?;
+            writer.write_all(data)?;
+            writer.write_all(b"\r\n")?;
+        }
+        Command::Add {
+            key,
+            flags,
+            exptime,
+            data,
+        } => {
+            writer.write_all(b"add ")?;
+            writer.write_all(key)?;
+            write!(writer, " {flags} {exptime} {}\r\n", data.len())?;
+            writer.write_all(data)?;
+            writer.write_all(b"\r\n")?;
+        }
+        Command::Replace {
+            key,
+            flags,
+            exptime,
+            data,
+        } => {
+            writer.write_all(b"replace ")?;
+            writer.write_all(key)?;
+            write!(writer, " {flags} {exptime} {}\r\n", data.len())?;
+            writer.write_all(data)?;
+            writer.write_all(b"\r\n")?;
+        }
+        Command::Delete { key } => {
+            writer.write_all(b"delete ")?;
+            writer.write_all(key)?;
+            writer.write_all(b"\r\n")?;
+        }
+        Command::Touch { key, exptime } => {
+            writer.write_all(b"touch ")?;
+            writer.write_all(key)?;
+            write!(writer, " {exptime}\r\n")?;
+        }
+        Command::Incr { key, delta } => {
+            writer.write_all(b"incr ")?;
+            writer.write_all(key)?;
+            write!(writer, " {delta}\r\n")?;
+        }
+        Command::Decr { key, delta } => {
+            writer.write_all(b"decr ")?;
+            writer.write_all(key)?;
+            write!(writer, " {delta}\r\n")?;
+        }
+        Command::Stats => writer.write_all(b"stats\r\n")?,
+        Command::FlushAll => writer.write_all(b"flush_all\r\n")?,
+        Command::Version => writer.write_all(b"version\r\n")?,
+        Command::Quit => writer.write_all(b"quit\r\n")?,
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Writes one response.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response<W: Write>(writer: &mut W, resp: &Response) -> Result<(), NetError> {
+    match resp {
+        Response::Value { key, flags, data } => {
+            writer.write_all(b"VALUE ")?;
+            writer.write_all(key)?;
+            write!(writer, " {flags} {}\r\n", data.len())?;
+            writer.write_all(data)?;
+            writer.write_all(b"\r\nEND\r\n")?;
+        }
+        Response::Miss => writer.write_all(b"END\r\n")?,
+        Response::Stored => writer.write_all(b"STORED\r\n")?,
+        Response::NotStored => writer.write_all(b"NOT_STORED\r\n")?,
+        Response::Deleted => writer.write_all(b"DELETED\r\n")?,
+        Response::NotFound => writer.write_all(b"NOT_FOUND\r\n")?,
+        Response::Touched => writer.write_all(b"TOUCHED\r\n")?,
+        Response::Numeric(v) => write!(writer, "{v}\r\n")?,
+        Response::Ok => writer.write_all(b"OK\r\n")?,
+        Response::Version(v) => write!(writer, "VERSION {}\r\n", v.replace(['\r', '\n'], " "))?,
+        Response::Stats(pairs) => {
+            for (name, value) in pairs {
+                write!(writer, "STAT {name} {value}\r\n")?;
+            }
+            writer.write_all(b"END\r\n")?;
+        }
+        Response::Error(msg) => {
+            write!(writer, "ERROR {}\r\n", msg.replace(['\r', '\n'], " "))?;
+        }
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one response.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] on malformed responses and
+/// [`NetError::Io`] on socket errors.
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, NetError> {
+    let mut line = Vec::new();
+    read_line(reader, &mut line)?;
+    let text = std::str::from_utf8(&line)
+        .map_err(|_| NetError::Protocol("response line is not UTF-8".into()))?;
+    if text == "END" {
+        return Ok(Response::Miss);
+    }
+    if text == "STORED" {
+        return Ok(Response::Stored);
+    }
+    if text == "NOT_STORED" {
+        return Ok(Response::NotStored);
+    }
+    if text == "DELETED" {
+        return Ok(Response::Deleted);
+    }
+    if text == "NOT_FOUND" {
+        return Ok(Response::NotFound);
+    }
+    if text == "TOUCHED" {
+        return Ok(Response::Touched);
+    }
+    if text == "OK" {
+        return Ok(Response::Ok);
+    }
+    if let Some(v) = text.strip_prefix("VERSION ") {
+        return Ok(Response::Version(v.to_string()));
+    }
+    if !text.is_empty() && text.bytes().all(|b| b.is_ascii_digit()) {
+        let value = text
+            .parse()
+            .map_err(|_| NetError::Protocol("numeric response out of range".into()))?;
+        return Ok(Response::Numeric(value));
+    }
+    if let Some(msg) = text.strip_prefix("ERROR ") {
+        return Ok(Response::Error(msg.to_string()));
+    }
+    if text == "ERROR" {
+        return Ok(Response::Error(String::new()));
+    }
+    if text.starts_with("STAT ") {
+        let mut pairs = Vec::new();
+        let mut current = text.to_string();
+        loop {
+            if current == "END" {
+                return Ok(Response::Stats(pairs));
+            }
+            let rest = current
+                .strip_prefix("STAT ")
+                .ok_or_else(|| NetError::Protocol(format!("bad stats line {current:?}")))?;
+            let (name, value) = rest
+                .split_once(' ')
+                .ok_or_else(|| NetError::Protocol("stats line missing value".into()))?;
+            pairs.push((name.to_string(), value.to_string()));
+            let mut next = Vec::new();
+            read_line(reader, &mut next)?;
+            current = String::from_utf8(next)
+                .map_err(|_| NetError::Protocol("stats line is not UTF-8".into()))?;
+        }
+    }
+    if let Some(rest) = text.strip_prefix("VALUE ") {
+        let mut parts = rest.split_ascii_whitespace();
+        let key = parts
+            .next()
+            .ok_or_else(|| NetError::Protocol("VALUE missing key".into()))?
+            .as_bytes()
+            .to_vec();
+        let flags: u32 = parse_field(parts.next(), "flags")?;
+        let bytes: usize = parse_field(parts.next(), "bytes")?;
+        if bytes > 64 << 20 {
+            return Err(NetError::Protocol("value too large".into()));
+        }
+        let mut data = vec![0u8; bytes];
+        std::io::Read::read_exact(reader, &mut data)?;
+        let mut tail = [0u8; 2];
+        std::io::Read::read_exact(reader, &mut tail)?;
+        if &tail != b"\r\n" {
+            return Err(NetError::Protocol("value not CRLF-terminated".into()));
+        }
+        let mut end = Vec::new();
+        read_line(reader, &mut end)?;
+        if end != b"END" {
+            return Err(NetError::Protocol("missing END after VALUE".into()));
+        }
+        return Ok(Response::Value { key, flags, data });
+    }
+    Err(NetError::Protocol(format!(
+        "unrecognized response {text:?}"
+    )))
+}
+
+/// Reads a CRLF-terminated line (without the terminator).
+fn read_line<R: BufRead>(reader: &mut R, out: &mut Vec<u8>) -> Result<(), NetError> {
+    out.clear();
+    loop {
+        let mut byte = [0u8; 1];
+        std::io::Read::read_exact(reader, &mut byte)?;
+        if byte[0] == b'\n' {
+            if out.last() == Some(&b'\r') {
+                out.pop();
+            }
+            return Ok(());
+        }
+        out.push(byte[0]);
+        if out.len() > 1 << 20 {
+            return Err(NetError::Protocol("line too long".into()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_command(cmd: Command) -> Command {
+        let mut buf = Vec::new();
+        write_command(&mut buf, &cmd).unwrap();
+        read_command(&mut &buf[..]).unwrap()
+    }
+
+    fn roundtrip_response(resp: Response) -> Response {
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        read_response(&mut &buf[..]).unwrap()
+    }
+
+    #[test]
+    fn commands_roundtrip() {
+        for cmd in [
+            Command::Get {
+                key: b"page:1".to_vec(),
+            },
+            Command::Set {
+                key: b"k".to_vec(),
+                flags: 7,
+                exptime: 60,
+                data: b"hello\r\nworld".to_vec(), // binary-safe data block
+            },
+            Command::Delete { key: b"k".to_vec() },
+            Command::Stats,
+            Command::Quit,
+        ] {
+            assert_eq!(roundtrip_command(cmd.clone()), cmd);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::Value {
+                key: b"k".to_vec(),
+                flags: 1,
+                data: vec![0, 1, 2, 255],
+            },
+            Response::Miss,
+            Response::Stored,
+            Response::Deleted,
+            Response::NotFound,
+            Response::Stats(vec![
+                ("hits".into(), "10".into()),
+                ("misses".into(), "2".into()),
+            ]),
+            Response::Error("kaboom".into()),
+        ] {
+            assert_eq!(roundtrip_response(resp.clone()), resp);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_commands() {
+        for bad in [
+            "\r\n",
+            "get\r\n",
+            "frob k\r\n",
+            "set k x 0 5\r\nhello\r\n",
+            "get bad key\r\n extra",
+        ] {
+            // Either a protocol error or (for trailing garbage) a clean
+            // first parse — never a panic.
+            let _ = read_command(&mut bad.as_bytes());
+        }
+        assert!(matches!(
+            read_command(&mut "frob k\r\n".as_bytes()),
+            Err(NetError::Protocol(_))
+        ));
+        assert!(matches!(
+            read_command(&mut "set k 0 0 abc\r\n".as_bytes()),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_keys() {
+        assert!(matches!(
+            read_command(&mut "get \r\n".as_bytes()),
+            Err(NetError::Protocol(_))
+        ));
+        let long = format!("get {}\r\n", "k".repeat(300));
+        assert!(matches!(
+            read_command(&mut long.as_bytes()),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn set_data_block_must_be_crlf_terminated() {
+        let bad = b"set k 0 0 2\r\nhiXX".to_vec();
+        assert!(matches!(
+            read_command(&mut &bad[..]),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn eof_surfaces_as_io() {
+        assert!(matches!(read_command(&mut &b""[..]), Err(NetError::Io(_))));
+    }
+
+    #[test]
+    fn reserved_keys_are_ordinary_keys() {
+        // The digest keys must be parseable as plain gets — that is the
+        // paper's compatibility trick.
+        let cmd = read_command(&mut &b"get SET_BLOOM_FILTER\r\n"[..]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Get {
+                key: DIGEST_SNAPSHOT_KEY.to_vec()
+            }
+        );
+    }
+}

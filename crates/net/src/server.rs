@@ -1,0 +1,416 @@
+//! The TCP cache server.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use proteus_bloom::DigestSnapshot;
+use proteus_cache::{CacheConfig, CacheEngine};
+use proteus_sim::{SimDuration, SimTime};
+
+use crate::error::NetError;
+use crate::protocol::{
+    read_command, write_response, Command, Response, DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
+};
+
+struct Shared {
+    engine: Mutex<CacheEngine>,
+    /// The digest snapshot taken by the last `get SET_BLOOM_FILTER`.
+    snapshot: Mutex<Option<Vec<u8>>>,
+    started: Instant,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.started.elapsed().as_nanos() as u64)
+    }
+}
+
+/// A running cache server: a listener thread plus one thread per
+/// connection, all sharing one [`CacheEngine`] behind a mutex.
+///
+/// Digest protocol, exactly as in the paper's modified memcached:
+/// `get SET_BLOOM_FILTER` snapshots the counting Bloom filter digest;
+/// `get BLOOM_FILTER` returns the snapshot bytes as a normal value.
+///
+/// # Example
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct CacheServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").finish_non_exhaustive()
+    }
+}
+
+impl CacheServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address cannot be bound.
+    pub fn spawn<A: ToSocketAddrs>(addr: A, config: CacheConfig) -> Result<CacheServer, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: Mutex::new(CacheEngine::new(config)),
+            snapshot: Mutex::new(None),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        let conn_shared = Arc::clone(&accept_shared);
+                        std::thread::spawn(move || serve_connection(stream, &conn_shared));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(CacheServer {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs `f` on the server's engine (inspection from tests and the
+    /// transition orchestrator).
+    pub fn with_engine<T>(&self, f: impl FnOnce(&mut CacheEngine) -> T) -> T {
+        f(&mut self.shared.engine.lock())
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    /// In-flight connections finish their current command.
+    pub fn stop(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CacheServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let peer = stream.try_clone();
+    let Ok(write_half) = peer else { return };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let command = match read_command(&mut reader) {
+            Ok(c) => c,
+            Err(NetError::Io(_)) => break, // disconnect
+            Err(e) => {
+                let _ = write_response(&mut writer, &Response::Error(e.to_string()));
+                break;
+            }
+        };
+        let response = match command {
+            Command::Quit => break,
+            other => execute(other, shared),
+        };
+        if write_response(&mut writer, &response).is_err() {
+            break;
+        }
+    }
+    let _ = writer.get_ref().shutdown(Shutdown::Both);
+}
+
+/// Applies `op` to the ASCII-decimal value stored under `key`, storing
+/// and returning the new value — memcached `incr`/`decr` semantics
+/// (missing key → `NOT_FOUND`; non-numeric value → error).
+fn numeric_op(shared: &Shared, key: &[u8], op: impl FnOnce(u64) -> u64) -> Response {
+    let now = shared.now();
+    let mut engine = shared.engine.lock();
+    let Some(current) = engine.peek(key) else {
+        return Response::NotFound;
+    };
+    let Ok(text) = std::str::from_utf8(current) else {
+        return Response::Error("cannot increment or decrement non-numeric value".into());
+    };
+    let Ok(value) = text.trim().parse::<u64>() else {
+        return Response::Error("cannot increment or decrement non-numeric value".into());
+    };
+    let next = op(value);
+    engine.put(key, next.to_string().into_bytes(), now);
+    Response::Numeric(next)
+}
+
+/// Maps the protocol's `exptime` seconds to an engine TTL
+/// (0 = never expires, memcached semantics).
+fn expiry(exptime: u32) -> Option<SimDuration> {
+    (exptime > 0).then(|| SimDuration::from_secs(u64::from(exptime)))
+}
+
+fn execute(command: Command, shared: &Shared) -> Response {
+    match command {
+        Command::Get { key } if key == DIGEST_SNAPSHOT_KEY => {
+            let snapshot = shared.engine.lock().digest_snapshot();
+            let bytes = DigestSnapshot::from_filter(&snapshot).to_bytes();
+            *shared.snapshot.lock() = Some(bytes);
+            Response::Value {
+                key: DIGEST_SNAPSHOT_KEY.to_vec(),
+                flags: 0,
+                data: b"OK".to_vec(),
+            }
+        }
+        Command::Get { key } if key == DIGEST_KEY => match shared.snapshot.lock().clone() {
+            Some(data) => Response::Value {
+                key: DIGEST_KEY.to_vec(),
+                flags: 0,
+                data,
+            },
+            None => Response::Miss,
+        },
+        Command::Get { key } => {
+            let now = shared.now();
+            match shared.engine.lock().get(&key, now) {
+                Some(v) => Response::Value {
+                    key,
+                    flags: 0,
+                    data: v.to_vec(),
+                },
+                None => Response::Miss,
+            }
+        }
+        Command::Set {
+            key, data, exptime, ..
+        } => {
+            let now = shared.now();
+            shared
+                .engine
+                .lock()
+                .put_with_expiry(&key, data, now, expiry(exptime));
+            Response::Stored
+        }
+        Command::Add {
+            key, data, exptime, ..
+        } => {
+            let now = shared.now();
+            let mut engine = shared.engine.lock();
+            // `contains` sees expired-but-unreaped items; a get-style
+            // probe reaps them so `add` succeeds after expiry.
+            if engine.get(&key, now).is_some() {
+                Response::NotStored
+            } else {
+                engine.put_with_expiry(&key, data, now, expiry(exptime));
+                Response::Stored
+            }
+        }
+        Command::Replace {
+            key, data, exptime, ..
+        } => {
+            let now = shared.now();
+            let mut engine = shared.engine.lock();
+            if engine.get(&key, now).is_some() {
+                engine.put_with_expiry(&key, data, now, expiry(exptime));
+                Response::Stored
+            } else {
+                Response::NotStored
+            }
+        }
+        Command::Touch { key, .. } => {
+            let now = shared.now();
+            if shared.engine.lock().touch(&key, now) {
+                Response::Touched
+            } else {
+                Response::NotFound
+            }
+        }
+        Command::Incr { key, delta } => numeric_op(shared, &key, |v| v.saturating_add(delta)),
+        Command::Decr { key, delta } => numeric_op(shared, &key, |v| v.saturating_sub(delta)),
+        Command::Delete { key } => {
+            if shared.engine.lock().delete(&key) {
+                Response::Deleted
+            } else {
+                Response::NotFound
+            }
+        }
+        Command::FlushAll => {
+            shared.engine.lock().clear();
+            Response::Ok
+        }
+        Command::Version => {
+            Response::Version(format!("proteus-cache {}", env!("CARGO_PKG_VERSION")))
+        }
+        Command::Stats => {
+            let engine = shared.engine.lock();
+            let stats = engine.stats();
+            Response::Stats(vec![
+                ("curr_items".into(), engine.len().to_string()),
+                ("bytes".into(), engine.bytes_used().to_string()),
+                ("get_hits".into(), stats.hits.to_string()),
+                ("get_misses".into(), stats.misses.to_string()),
+                ("cmd_set".into(), stats.sets.to_string()),
+                ("delete_hits".into(), stats.deletes.to_string()),
+                ("evictions".into(), stats.evictions.to_string()),
+                ("expirations".into(), stats.expired.to_string()),
+                (
+                    "digest_estimated_items".into(),
+                    engine
+                        .digest()
+                        .estimate_cardinality()
+                        .map_or_else(|| "saturated".into(), |e| format!("{e:.0}")),
+                ),
+            ])
+        }
+        Command::Quit => unreachable!("handled by the connection loop"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::CacheClient;
+
+    fn test_server() -> CacheServer {
+        CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(1 << 20))
+            .expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn spawn_serve_stop() {
+        let server = test_server();
+        let client = CacheClient::connect(server.addr()).unwrap();
+        client.set(b"a", b"1").unwrap();
+        assert_eq!(client.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(client.get(b"missing").unwrap(), None);
+        assert!(client.delete(b"a").unwrap());
+        assert!(!client.delete(b"a").unwrap());
+        server.stop();
+    }
+
+    #[test]
+    fn engine_is_shared_across_connections() {
+        let server = test_server();
+        let c1 = CacheClient::connect(server.addr()).unwrap();
+        let c2 = CacheClient::connect(server.addr()).unwrap();
+        c1.set(b"shared", b"value").unwrap();
+        assert_eq!(c2.get(b"shared").unwrap(), Some(b"value".to_vec()));
+        server.stop();
+    }
+
+    #[test]
+    fn stats_reflect_operations() {
+        let server = test_server();
+        let client = CacheClient::connect(server.addr()).unwrap();
+        client.set(b"k", b"v").unwrap();
+        let _ = client.get(b"k").unwrap();
+        let _ = client.get(b"absent").unwrap();
+        let stats = client.stats().unwrap();
+        let lookup = |name: &str| {
+            stats
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(lookup("get_hits"), "1");
+        assert_eq!(lookup("get_misses"), "1");
+        assert_eq!(lookup("cmd_set"), "1");
+        assert_eq!(lookup("curr_items"), "1");
+        server.stop();
+    }
+
+    #[test]
+    fn digest_keys_follow_the_paper_protocol() {
+        let server = test_server();
+        let client = CacheClient::connect(server.addr()).unwrap();
+        client.set(b"hot", b"data").unwrap();
+        // Before a snapshot is taken, BLOOM_FILTER misses.
+        assert_eq!(client.get(DIGEST_KEY).unwrap(), None);
+        // get SET_BLOOM_FILTER takes a snapshot...
+        assert!(client.get(DIGEST_SNAPSHOT_KEY).unwrap().is_some());
+        // ...and get BLOOM_FILTER retrieves it as plain value bytes.
+        let digest = client.fetch_digest().unwrap().unwrap();
+        assert!(digest.contains(b"hot"));
+        assert!(!digest.contains(b"cold"));
+        server.stop();
+    }
+
+    #[test]
+    fn snapshot_is_a_point_in_time() {
+        let server = test_server();
+        let client = CacheClient::connect(server.addr()).unwrap();
+        client.set(b"early", b"1").unwrap();
+        client.get(DIGEST_SNAPSHOT_KEY).unwrap();
+        client.set(b"late", b"2").unwrap();
+        let digest = client.fetch_digest().unwrap().unwrap();
+        assert!(digest.contains(b"early"));
+        assert!(
+            !digest.contains(b"late"),
+            "snapshot must not see later sets"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn malformed_input_gets_an_error_and_close() {
+        use std::io::{Read, Write};
+        let server = test_server();
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(b"frobnicate now\r\n").unwrap();
+        let mut buf = Vec::new();
+        raw.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("ERROR"), "got {text:?}");
+        server.stop();
+    }
+
+    #[test]
+    fn drop_stops_the_server() {
+        let addr;
+        {
+            let server = test_server();
+            addr = server.addr();
+        }
+        // After drop, new connections are refused or die immediately.
+        if let Ok(stream) = TcpStream::connect(addr) {
+            // Accept loop has exited; the connection cannot be served.
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            let _ = std::io::BufRead::read_line(&mut reader, &mut line);
+            assert!(line.is_empty());
+        } // a refused connection is also acceptable
+    }
+}

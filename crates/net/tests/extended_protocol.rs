@@ -1,0 +1,179 @@
+//! Tests of the extended memcached command surface over live sockets.
+
+use proteus_cache::CacheConfig;
+use proteus_net::{CacheClient, CacheServer, NetError};
+
+fn server() -> CacheServer {
+    CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(1 << 20)).unwrap()
+}
+
+#[test]
+fn add_stores_only_when_absent() {
+    let server = server();
+    let client = CacheClient::connect(server.addr()).unwrap();
+    assert!(client.add(b"k", b"first").unwrap());
+    assert!(!client.add(b"k", b"second").unwrap());
+    assert_eq!(client.get(b"k").unwrap(), Some(b"first".to_vec()));
+    server.stop();
+}
+
+#[test]
+fn replace_stores_only_when_present() {
+    let server = server();
+    let client = CacheClient::connect(server.addr()).unwrap();
+    assert!(!client.replace(b"k", b"nope").unwrap());
+    client.set(b"k", b"old").unwrap();
+    assert!(client.replace(b"k", b"new").unwrap());
+    assert_eq!(client.get(b"k").unwrap(), Some(b"new".to_vec()));
+    server.stop();
+}
+
+#[test]
+fn touch_refreshes_and_reports_presence() {
+    let server = server();
+    let client = CacheClient::connect(server.addr()).unwrap();
+    client.set(b"k", b"v").unwrap();
+    assert!(client.touch(b"k").unwrap());
+    assert!(!client.touch(b"missing").unwrap());
+    server.stop();
+}
+
+#[test]
+fn incr_decr_arithmetic() {
+    let server = server();
+    let client = CacheClient::connect(server.addr()).unwrap();
+    client.set(b"counter", b"10").unwrap();
+    assert_eq!(client.incr(b"counter", 5).unwrap(), Some(15));
+    assert_eq!(client.decr(b"counter", 3).unwrap(), Some(12));
+    // Floors at zero, memcached-style.
+    assert_eq!(client.decr(b"counter", 100).unwrap(), Some(0));
+    // Missing key.
+    assert_eq!(client.incr(b"absent", 1).unwrap(), None);
+    // The stored value is the ASCII rendering.
+    assert_eq!(client.get(b"counter").unwrap(), Some(b"0".to_vec()));
+    server.stop();
+}
+
+#[test]
+fn incr_on_non_numeric_value_is_a_server_error() {
+    let server = server();
+    let client = CacheClient::connect(server.addr()).unwrap();
+    client.set(b"text", b"hello").unwrap();
+    match client.incr(b"text", 1) {
+        Err(NetError::ServerError(msg)) => assert!(msg.contains("non-numeric")),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    server.stop();
+}
+
+#[test]
+fn flush_all_clears_everything_including_digest() {
+    let server = server();
+    let client = CacheClient::connect(server.addr()).unwrap();
+    for i in 0..50u32 {
+        client.set(format!("k{i}").as_bytes(), b"v").unwrap();
+    }
+    client.flush_all().unwrap();
+    assert_eq!(client.get(b"k0").unwrap(), None);
+    let digest = client.snapshot_digest().unwrap().unwrap();
+    assert!(!digest.contains(b"k0"), "digest cleared with the cache");
+    assert_eq!(server.with_engine(|e| e.len()), 0);
+    server.stop();
+}
+
+#[test]
+fn exptime_is_honored_over_the_wire() {
+    use proteus_net::{read_response, write_command, Command, Response};
+    use std::io::{BufReader, BufWriter};
+    let server = server();
+    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut writer = BufWriter::new(stream.try_clone().unwrap());
+    let mut reader = BufReader::new(stream);
+    // Store with a 1-second expiry.
+    write_command(
+        &mut writer,
+        &Command::Set {
+            key: b"ephemeral".to_vec(),
+            flags: 0,
+            exptime: 1,
+            data: b"v".to_vec(),
+        },
+    )
+    .unwrap();
+    assert_eq!(read_response(&mut reader).unwrap(), Response::Stored);
+    // Visible immediately...
+    write_command(
+        &mut writer,
+        &Command::Get {
+            key: b"ephemeral".to_vec(),
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        read_response(&mut reader).unwrap(),
+        Response::Value { .. }
+    ));
+    // ...gone after the wall-clock second elapses.
+    std::thread::sleep(std::time::Duration::from_millis(1100));
+    write_command(
+        &mut writer,
+        &Command::Get {
+            key: b"ephemeral".to_vec(),
+        },
+    )
+    .unwrap();
+    assert_eq!(read_response(&mut reader).unwrap(), Response::Miss);
+    // And `add` can now claim the key.
+    let client = CacheClient::connect(server.addr()).unwrap();
+    assert!(client.add(b"ephemeral", b"new").unwrap());
+    server.stop();
+}
+
+#[test]
+fn stats_expose_digest_estimate() {
+    let server = server();
+    let client = CacheClient::connect(server.addr()).unwrap();
+    for i in 0..200u32 {
+        client.set(format!("k{i}").as_bytes(), b"v").unwrap();
+    }
+    let stats = client.stats().unwrap();
+    let estimate: f64 = stats
+        .iter()
+        .find(|(k, _)| k == "digest_estimated_items")
+        .map(|(_, v)| v.parse().unwrap())
+        .unwrap();
+    assert!((estimate - 200.0).abs() < 20.0, "estimate {estimate}");
+    server.stop();
+}
+
+#[test]
+fn version_reports_the_crate_version() {
+    let server = server();
+    let client = CacheClient::connect(server.addr()).unwrap();
+    let v = client.version().unwrap();
+    assert!(v.starts_with("proteus-cache "), "{v}");
+    server.stop();
+}
+
+#[test]
+fn counters_survive_concurrent_increments() {
+    // incr is atomic under the engine lock: N threads × M increments
+    // must land exactly on N*M.
+    let server = server();
+    let client = std::sync::Arc::new(CacheClient::connect(server.addr()).unwrap());
+    client.set(b"hits", b"0").unwrap();
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let c = std::sync::Arc::clone(&client);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..50 {
+                c.incr(b"hits", 1).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(client.get(b"hits").unwrap(), Some(b"200".to_vec()));
+    server.stop();
+}

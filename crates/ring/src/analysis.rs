@@ -1,0 +1,311 @@
+//! Analysis helpers: migration fractions, balance ratios, and the
+//! final-successor sets of Section III-B.
+
+use std::collections::BTreeSet;
+
+use crate::hash::splitmix64;
+use crate::placement::ProteusPlacement;
+use crate::server::ServerId;
+use crate::strategy::PlacementStrategy;
+
+/// Estimates the fraction of keys whose server changes when the active
+/// count goes from `n_before` to `n_after`, by sampling `samples`
+/// uniformly hashed keys derived from `seed`.
+///
+/// The paper's minimal-migration objective (Section II) bounds this by
+/// `|n_after - n_before| / max(n_before, n_after)` for Proteus; for the
+/// modulo baseline it approaches 1.
+///
+/// # Panics
+///
+/// Panics if either count is zero, exceeds the strategy's maximum, or
+/// `samples == 0`.
+///
+/// # Example
+///
+/// ```
+/// use proteus_ring::{analysis, ProteusPlacement};
+/// let p = ProteusPlacement::generate(10);
+/// let f = analysis::remap_fraction(&p, 10, 9, 20_000, 7);
+/// assert!((f - 0.1).abs() < 0.01);
+/// ```
+#[must_use]
+pub fn remap_fraction<S: PlacementStrategy + ?Sized>(
+    strategy: &S,
+    n_before: usize,
+    n_after: usize,
+    samples: u64,
+    seed: u64,
+) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    let mut moved = 0u64;
+    for k in 0..samples {
+        let key = splitmix64(k ^ splitmix64(seed));
+        if strategy.server_for(key, n_before) != strategy.server_for(key, n_after) {
+            moved += 1;
+        }
+    }
+    moved as f64 / samples as f64
+}
+
+/// The theoretical minimum remap fraction for a transition
+/// `n_before → n_after` (Section II's objective):
+/// `|n_after - n_before| / max(n_before, n_after)`.
+#[must_use]
+pub fn minimal_remap_fraction(n_before: usize, n_after: usize) -> f64 {
+    let hi = n_before.max(n_after) as f64;
+    ((n_before as i64 - n_after as i64).unsigned_abs()) as f64 / hi
+}
+
+/// Measures the paper's Fig. 5 balance metric — `min load / max load`
+/// over active servers — for `samples` uniformly hashed keys.
+///
+/// # Panics
+///
+/// Panics if `active == 0`, exceeds the strategy's maximum, or
+/// `samples == 0`.
+#[must_use]
+pub fn balance_ratio<S: PlacementStrategy + ?Sized>(
+    strategy: &S,
+    active: usize,
+    samples: u64,
+    seed: u64,
+) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    let mut counts = vec![0u64; active];
+    for k in 0..samples {
+        let key = splitmix64(k ^ splitmix64(seed.wrapping_add(1)));
+        counts[strategy.server_for(key, active).index()] += 1;
+    }
+    let min = *counts.iter().min().expect("non-empty") as f64;
+    let max = *counts.iter().max().expect("non-empty") as f64;
+    if max == 0.0 {
+        1.0
+    } else {
+        min / max
+    }
+}
+
+/// Computes `Ps_i`, the set of *final successor* servers of `s_i`
+/// (Section III-B): for each virtual node of `s_i`, the server owning
+/// the next virtual node clockwise when exactly `i - 1` servers are on.
+///
+/// The pseudo Balance Condition requires `Ps_i ⊇ {s_1 .. s_{i-1}}`;
+/// Algorithm 1 achieves it with equality (Fig. 2's example:
+/// `Ps_6 = {1,2,3,4,5}` … `Ps_2 = {1}`).
+///
+/// Returns the empty set for `s_1` (ordinal 1), which has no
+/// predecessors.
+///
+/// # Panics
+///
+/// Panics if `server` is outside the placement.
+///
+/// # Example
+///
+/// ```
+/// use proteus_ring::{analysis, ProteusPlacement, ServerId};
+/// let p = ProteusPlacement::generate(6);
+/// let ps6 = analysis::final_successors(&p, ServerId::new(5));
+/// let expected: Vec<u32> = (0..5).collect();
+/// assert_eq!(ps6.iter().map(|s| s.index() as u32).collect::<Vec<_>>(), expected);
+/// ```
+#[must_use]
+pub fn final_successors(placement: &ProteusPlacement, server: ServerId) -> BTreeSet<ServerId> {
+    assert!(
+        server.index() < placement.max_servers(),
+        "server {server} outside placement of {} servers",
+        placement.max_servers()
+    );
+    let i = server.index() + 1; // 1-based ordinal
+    if i == 1 {
+        return BTreeSet::new();
+    }
+    // Ring with i-1 servers on (s_i itself already powered down).
+    let table = placement.lookup_table(i - 1);
+    let mut out = BTreeSet::new();
+    for vnode in placement.virtual_nodes_of(server) {
+        let pos = vnode.position().to_ring_position();
+        // First active node strictly clockwise of this vnode.
+        let succ = match table.binary_search_by(|&(p, _)| p.cmp(&pos)) {
+            Ok(idx) | Err(idx) if idx < table.len() && table[idx].0 == pos => {
+                // Position collision with an active node cannot happen:
+                // Algorithm 1 end-positions are distinct. Fall through
+                // to the next entry defensively.
+                table[(idx + 1) % table.len()].1
+            }
+            Ok(idx) => table[idx].1,
+            Err(idx) if idx < table.len() => table[idx].1,
+            Err(_) => table[0].1,
+        };
+        out.insert(succ);
+    }
+    out
+}
+
+/// Estimates the key-flow matrix of a transition `n_before → n_after`:
+/// entry `[from][to]` is the fraction of the key space that moves from
+/// server `from` (old mapping) to server `to` (new mapping), sampled
+/// over `samples` uniformly hashed keys. Diagonal entries (keys that
+/// stay put) are zero.
+///
+/// For Algorithm 1 on a single-step scale-down, the Balance Condition
+/// predicts row `n_before - 1` to hold `1/(n(n-1))` in every column —
+/// the departing server's load splits evenly over the survivors.
+///
+/// # Panics
+///
+/// Panics if either count is zero, exceeds the strategy's maximum, or
+/// `samples == 0`.
+#[must_use]
+pub fn migration_matrix<S: PlacementStrategy + ?Sized>(
+    strategy: &S,
+    n_before: usize,
+    n_after: usize,
+    samples: u64,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    assert!(samples > 0, "need at least one sample");
+    let rows = n_before.max(n_after);
+    let mut matrix = vec![vec![0.0f64; rows]; rows];
+    for k in 0..samples {
+        let key = splitmix64(k ^ splitmix64(seed.wrapping_add(7)));
+        let from = strategy.server_for(key, n_before).index();
+        let to = strategy.server_for(key, n_after).index();
+        if from != to {
+            matrix[from][to] += 1.0;
+        }
+    }
+    for row in &mut matrix {
+        for cell in row.iter_mut() {
+            *cell /= samples as f64;
+        }
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModuloStrategy, RandomRing};
+
+    #[test]
+    fn proteus_remap_hits_the_lower_bound() {
+        let p = ProteusPlacement::generate(10);
+        for (a, b) in [(10, 9), (9, 10), (10, 7), (5, 8), (3, 3)] {
+            let measured = remap_fraction(&p, a, b, 40_000, 1);
+            let bound = minimal_remap_fraction(a, b);
+            assert!(
+                (measured - bound).abs() < 0.012,
+                "{a}->{b}: measured {measured}, bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn modulo_remap_is_catastrophic() {
+        let m = ModuloStrategy::new(10);
+        let f = remap_fraction(&m, 10, 9, 30_000, 2);
+        assert!(f > 0.85, "modulo should remap ~9/10, got {f}");
+    }
+
+    #[test]
+    fn consistent_hashing_is_minimal_for_single_steps() {
+        // Random-vnode consistent hashing also achieves minimal
+        // migration for n -> n-1; its weakness is balance, not movement.
+        let ring = RandomRing::new(10, 8, 0);
+        let f = remap_fraction(&ring, 10, 9, 30_000, 3);
+        let owned = balance_ratio(&ring, 10, 30_000, 3);
+        assert!(f < 0.30, "remap {f}");
+        assert!(owned < 1.0);
+    }
+
+    #[test]
+    fn balance_ratio_ordering_matches_fig5() {
+        let p = ProteusPlacement::generate(10);
+        let quad = RandomRing::with_quadratic_vnodes(10, 0);
+        let logn = RandomRing::with_log_vnodes(10, 0);
+        let m = ModuloStrategy::new(10);
+        let samples = 300_000;
+        let r_p = balance_ratio(&p, 10, samples, 4);
+        let r_m = balance_ratio(&m, 10, samples, 4);
+        let r_q = balance_ratio(&quad, 10, samples, 4);
+        let r_l = balance_ratio(&logn, 10, samples, 4);
+        assert!(r_p > 0.97, "proteus {r_p}");
+        assert!(r_m > 0.97, "modulo {r_m}");
+        assert!(r_q < r_p, "quadratic consistent {r_q} vs proteus {r_p}");
+        assert!(r_l < r_q + 0.05, "log-consistent {r_l} vs quadratic {r_q}");
+    }
+
+    #[test]
+    fn final_successor_sets_match_fig2() {
+        // Fig. 2: Ps_i = {s_1, ..., s_{i-1}} for the 6-server example.
+        let p = ProteusPlacement::generate(6);
+        for i in 1..=6u32 {
+            let ps = final_successors(&p, ServerId::new(i - 1));
+            let expect: BTreeSet<ServerId> = (0..i - 1).map(ServerId::new).collect();
+            assert_eq!(ps, expect, "Ps_{i}");
+        }
+    }
+
+    #[test]
+    fn final_successors_cover_predecessors_for_larger_n() {
+        // The pseudo Balance Condition for a larger cluster.
+        let p = ProteusPlacement::generate(16);
+        for i in 2..=16u32 {
+            let ps = final_successors(&p, ServerId::new(i - 1));
+            assert_eq!(ps.len(), (i - 1) as usize, "|Ps_{i}|");
+            for j in 0..i - 1 {
+                assert!(
+                    ps.contains(&ServerId::new(j)),
+                    "s{} missing from Ps_{i}",
+                    j + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn migration_matrix_scale_down_matches_balance_condition() {
+        // 10 → 9: server 10's 1/10 share splits into 1/90 per survivor.
+        let p = ProteusPlacement::generate(10);
+        let m = migration_matrix(&p, 10, 9, 200_000, 1);
+        for (from, row) in m.iter().enumerate() {
+            for (to, &share) in row.iter().enumerate() {
+                if from == 9 && to < 9 {
+                    let expect = 1.0 / 90.0;
+                    assert!(
+                        (share - expect).abs() < 0.002,
+                        "flow {from}->{to}: {share} vs {expect}"
+                    );
+                } else {
+                    assert!(share < 0.001, "unexpected flow {from}->{to}: {share}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn migration_matrix_scale_up_gathers_evenly() {
+        // 9 → 10: the new server takes 1/90 from each incumbent.
+        let p = ProteusPlacement::generate(10);
+        let m = migration_matrix(&p, 9, 10, 200_000, 2);
+        for (from, row) in m.iter().enumerate().take(9) {
+            let to_new = row[9];
+            assert!(
+                (to_new - 1.0 / 90.0).abs() < 0.002,
+                "flow {from}->10: {to_new}"
+            );
+        }
+        let total: f64 = m.iter().flatten().sum();
+        assert!((total - 0.1).abs() < 0.01, "total moved {total}");
+    }
+
+    #[test]
+    fn minimal_remap_fraction_formula() {
+        assert_eq!(minimal_remap_fraction(10, 9), 0.1);
+        assert_eq!(minimal_remap_fraction(9, 10), 0.1);
+        assert_eq!(minimal_remap_fraction(4, 4), 0.0);
+        assert_eq!(minimal_remap_fraction(10, 5), 0.5);
+    }
+}

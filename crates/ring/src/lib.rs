@@ -1,0 +1,64 @@
+//! Consistent hashing and the Proteus virtual-node placement algorithm.
+//!
+//! This crate implements the load-balancing half of the paper
+//! *"Proteus: Power Proportional Memory Cache Cluster in Data Centers"*
+//! (ICDCS 2013, Section III):
+//!
+//! - [`ProteusPlacement`] — the deterministic virtual-node placement of
+//!   **Algorithm 1**: given a fixed provisioning order `s1..sN`, it
+//!   places exactly `N(N-1)/2 + 1` virtual nodes (the Theorem 1 lower
+//!   bound) such that every active prefix of servers owns an exactly
+//!   equal share of the key space and transitions remap the minimum
+//!   possible fraction of keys.
+//! - [`RandomRing`] — classic consistent hashing with randomly placed
+//!   virtual nodes: the paper's `Consistent` baseline, with both the
+//!   `O(log n)` and `n²/2` virtual-node configurations.
+//! - [`ModuloStrategy`] — `hash(key) mod n`: the paper's `Static` and
+//!   `Naive` baselines.
+//! - [`PlacementStrategy`] — the trait unifying key→server lookup for
+//!   any active-prefix size, used by the web tier (`proteus-core`).
+//! - [`analysis`] — remap fractions, per-server ownership shares, and
+//!   final-successor sets (the `Ps_i` of Section III-B / Fig. 2).
+//! - [`ReplicatedPlacement`] — `r` hash rings sharing one placement for
+//!   fault tolerance (Section III-E, Eq. 3).
+//!
+//! Placement arithmetic is *exact*: host ranges are [`Ratio`]s over
+//! `i128`, so the balance and minimal-migration guarantees are verified
+//! bit-for-bit in tests rather than up to floating-point noise.
+//!
+//! # Example
+//!
+//! ```
+//! use proteus_ring::{PlacementStrategy, ProteusPlacement, ServerId};
+//!
+//! // A 6-server cluster with fixed provisioning order s1..s6 (Fig. 2).
+//! let placement = ProteusPlacement::generate(6);
+//! assert_eq!(placement.virtual_node_count(), 6 * 5 / 2 + 1);
+//!
+//! // Any prefix of active servers balances exactly.
+//! let key = proteus_ring::hash::fnv1a64(b"Main_Page");
+//! let with_four = placement.server_for(key, 4);
+//! assert!(with_four.index() < 4);
+//! # let _ = with_four;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod hash;
+mod modulo;
+mod placement;
+mod random_ring;
+mod ratio;
+mod replication;
+mod server;
+mod strategy;
+
+pub use modulo::ModuloStrategy;
+pub use placement::{HostRange, ProteusPlacement, VirtualNode, MAX_EXACT_SERVERS};
+pub use random_ring::RandomRing;
+pub use ratio::Ratio;
+pub use replication::ReplicatedPlacement;
+pub use server::ServerId;
+pub use strategy::PlacementStrategy;

@@ -1,0 +1,100 @@
+//! The `hash(key) mod n` baseline.
+
+use crate::server::ServerId;
+use crate::strategy::PlacementStrategy;
+
+/// The simple hash-and-modulo load distribution: the paper's `Static`
+/// scenario (fixed `n = N`) and `Naive` scenario (`n = n(t)` follows
+/// provisioning).
+///
+/// Perfectly balanced for any fixed `n`, but a change `n → n'` remaps
+/// roughly `1 - 1/max(n, n')`... nearly *all* keys — the Reddit
+/// incident the paper's introduction recounts, and the cause of the
+/// `Naive` delay spikes in Fig. 9.
+///
+/// # Example
+///
+/// ```
+/// use proteus_ring::{ModuloStrategy, PlacementStrategy};
+/// let m = ModuloStrategy::new(10);
+/// assert_eq!(m.server_for(23, 10).index(), 3);
+/// assert_eq!(m.server_for(23, 4).index(), 3);
+/// assert_eq!(m.server_for(22, 4).index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuloStrategy {
+    servers: usize,
+}
+
+impl ModuloStrategy {
+    /// Creates the strategy for a cluster of `servers` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`.
+    #[must_use]
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "need at least one server");
+        ModuloStrategy { servers }
+    }
+}
+
+impl PlacementStrategy for ModuloStrategy {
+    fn server_for(&self, key_hash: u64, active: usize) -> ServerId {
+        assert!(
+            active >= 1 && active <= self.servers,
+            "invalid active count {active}"
+        );
+        ServerId::new((key_hash % active as u64) as u32)
+    }
+
+    fn max_servers(&self) -> usize {
+        self.servers
+    }
+
+    fn name(&self) -> &str {
+        "modulo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::splitmix64;
+
+    #[test]
+    fn distributes_evenly_for_fixed_n() {
+        let m = ModuloStrategy::new(8);
+        let mut counts = vec![0u32; 8];
+        for k in 0..80_000u64 {
+            counts[m.server_for(splitmix64(k), 8).index()] += 1;
+        }
+        for &c in &counts {
+            let dev = (f64::from(c) - 10_000.0).abs() / 10_000.0;
+            assert!(dev < 0.03);
+        }
+    }
+
+    #[test]
+    fn changing_n_remaps_most_keys() {
+        // The motivating failure: n -> n+1 remaps ~n/(n+1) of keys.
+        let m = ModuloStrategy::new(11);
+        let mut moved = 0u32;
+        let samples = 50_000u64;
+        for k in 0..samples {
+            let key = splitmix64(k);
+            if m.server_for(key, 10) != m.server_for(key, 11) {
+                moved += 1;
+            }
+        }
+        let frac = f64::from(moved) / samples as f64;
+        assert!(frac > 0.85, "expected ~10/11 remapped, got {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid active count")]
+    fn rejects_more_active_than_total() {
+        let m = ModuloStrategy::new(4);
+        let _ = m.server_for(1, 5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Physical server identity.
+
+use std::fmt;
+
+/// The identity of a physical cache server within the fixed
+/// provisioning order.
+///
+/// Section III-A fixes a provisioning order `(s1, s2, ..., sN)`; servers
+/// are always activated as a prefix of this order. `ServerId` is a
+/// zero-based index into it: `ServerId::new(0)` is `s1`. A server with
+/// index `i` is active exactly when the active count `n > i`.
+///
+/// # Example
+///
+/// ```
+/// use proteus_ring::ServerId;
+/// let s3 = ServerId::new(2);
+/// assert_eq!(s3.index(), 2);
+/// assert_eq!(s3.ordinal(), 3); // 1-based, as in the paper's notation
+/// assert!(s3.is_active(3));
+/// assert!(!s3.is_active(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ServerId(u32);
+
+impl ServerId {
+    /// Creates a server ID from its zero-based position in the
+    /// provisioning order.
+    #[must_use]
+    pub fn new(index: u32) -> Self {
+        ServerId(index)
+    }
+
+    /// Zero-based index in the provisioning order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// One-based ordinal, matching the paper's `s1..sN` notation.
+    #[must_use]
+    pub fn ordinal(self) -> u32 {
+        self.0 + 1
+    }
+
+    /// Whether this server is active when `active_count` servers are on.
+    #[must_use]
+    pub fn is_active(self, active_count: usize) -> bool {
+        self.index() < active_count
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.ordinal())
+    }
+}
+
+impl From<u32> for ServerId {
+    fn from(index: u32) -> Self {
+        ServerId::new(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinal_is_one_based() {
+        assert_eq!(ServerId::new(0).ordinal(), 1);
+        assert_eq!(ServerId::new(9).ordinal(), 10);
+        assert_eq!(format!("{}", ServerId::new(4)), "s5");
+    }
+
+    #[test]
+    fn activity_follows_prefix_rule() {
+        let s = ServerId::new(5);
+        assert!(!s.is_active(5));
+        assert!(s.is_active(6));
+        assert!(s.is_active(100));
+    }
+
+    #[test]
+    fn ordering_matches_provisioning_order() {
+        assert!(ServerId::new(0) < ServerId::new(1));
+        let mut v = vec![ServerId::new(2), ServerId::new(0), ServerId::new(1)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![ServerId::new(0), ServerId::new(1), ServerId::new(2)]
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! The key→server lookup interface shared by all load-distribution
+//! schemes.
+
+use crate::server::ServerId;
+
+/// A deterministic mapping from key hashes to cache servers, for any
+/// number of active servers.
+///
+/// This is the contract the web tier relies on (Section II's third
+/// objective): lookups are pure functions of `(key_hash, active)`, so
+/// every web server makes identical routing decisions with no
+/// coordination.
+///
+/// Implementations:
+/// - [`ProteusPlacement`](crate::ProteusPlacement) — Algorithm 1.
+/// - [`RandomRing`](crate::RandomRing) — classic consistent hashing
+///   (the paper's `Consistent` baseline).
+/// - [`ModuloStrategy`](crate::ModuloStrategy) — `hash mod n`
+///   (the `Static` / `Naive` baselines).
+///
+/// # Example
+///
+/// ```
+/// use proteus_ring::{ModuloStrategy, PlacementStrategy};
+/// let strategy = ModuloStrategy::new(10);
+/// let server = strategy.server_for(0xDEADBEEF, 4);
+/// assert!(server.index() < 4);
+/// ```
+pub trait PlacementStrategy {
+    /// Maps a key hash to the server responsible for it when the first
+    /// `active` servers of the provisioning order are on.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `active == 0` or
+    /// `active > max_servers()`.
+    fn server_for(&self, key_hash: u64, active: usize) -> ServerId;
+
+    /// The largest supported number of active servers.
+    fn max_servers(&self) -> usize;
+
+    /// A short human-readable name for reports ("proteus",
+    /// "consistent", "modulo").
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModuloStrategy;
+
+    #[test]
+    fn trait_object_usability() {
+        // The trait must stay object-safe: the web tier holds
+        // `Box<dyn PlacementStrategy>` chosen per scenario.
+        let boxed: Box<dyn PlacementStrategy> = Box::new(ModuloStrategy::new(4));
+        assert_eq!(boxed.max_servers(), 4);
+        assert!(boxed.server_for(123, 2).index() < 2);
+        assert!(!boxed.name().is_empty());
+    }
+}

@@ -1,0 +1,318 @@
+//! Latency and workload distributions.
+//!
+//! Implemented from first principles (inverse-CDF, Box–Muller) so the
+//! workspace only needs `rand`'s uniform source. Every distribution
+//! samples a *duration*; parameters are expressed in seconds for
+//! readability at construction sites.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// A duration-valued probability distribution used for service and
+/// network latencies.
+///
+/// # Example
+///
+/// ```
+/// use proteus_sim::{dist::Distribution, SimRng};
+///
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let d = Distribution::exponential(0.010); // mean 10 ms
+/// let sample = d.sample(&mut rng);
+/// assert!(sample.as_secs_f64() >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    // (Empirical sampling lives in [`Empirical`]; this enum stays Copy
+    // for cheap embedding in configs.)
+    /// Always the same duration.
+    Constant {
+        /// The fixed value in seconds.
+        secs: f64,
+    },
+    /// Uniform between `lo` and `hi` seconds.
+    Uniform {
+        /// Lower bound in seconds (inclusive).
+        lo: f64,
+        /// Upper bound in seconds (exclusive).
+        hi: f64,
+    },
+    /// Exponential with the given mean (seconds).
+    Exponential {
+        /// Mean in seconds.
+        mean: f64,
+    },
+    /// Log-normal parameterized by the mean and standard deviation of
+    /// the *resulting* distribution (not of the underlying normal),
+    /// which is the natural way to express "DB lookups take ~40 ms
+    /// give or take".
+    LogNormal {
+        /// Mean of the log-normal in seconds.
+        mean: f64,
+        /// Standard deviation of the log-normal in seconds.
+        std_dev: f64,
+    },
+}
+
+impl Distribution {
+    /// A distribution that always returns `secs` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    #[must_use]
+    pub fn constant(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid constant {secs}");
+        Distribution::Constant { secs }
+    }
+
+    /// Uniform over `[lo, hi)` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= lo <= hi` and both are finite.
+    #[must_use]
+    pub fn uniform(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi,
+            "invalid uniform bounds [{lo}, {hi})"
+        );
+        Distribution::Uniform { lo, hi }
+    }
+
+    /// Exponential with mean `mean` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    #[must_use]
+    pub fn exponential(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "invalid exponential mean {mean}"
+        );
+        Distribution::Exponential { mean }
+    }
+
+    /// Log-normal with the given mean and standard deviation (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are strictly positive and finite.
+    #[must_use]
+    pub fn log_normal(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0 && std_dev.is_finite() && std_dev > 0.0,
+            "invalid log-normal parameters mean={mean} std_dev={std_dev}"
+        );
+        Distribution::LogNormal { mean, std_dev }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        let secs = self.sample_secs(rng);
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Draws one sample as fractional seconds.
+    pub fn sample_secs(&self, rng: &mut SimRng) -> f64 {
+        match *self {
+            Distribution::Constant { secs } => secs,
+            Distribution::Uniform { lo, hi } => lo + (hi - lo) * rng.uniform_f64(),
+            Distribution::Exponential { mean } => {
+                // Inverse CDF: -mean * ln(U), U in (0, 1].
+                -mean * rng.positive_uniform_f64().ln()
+            }
+            Distribution::LogNormal { mean, std_dev } => {
+                // Convert the target (mean, std_dev) of the log-normal
+                // into the (mu, sigma) of the underlying normal.
+                let variance = std_dev * std_dev;
+                let m2 = mean * mean;
+                let sigma2 = (1.0 + variance / m2).ln();
+                let mu = mean.ln() - sigma2 / 2.0;
+                let z = standard_normal(rng);
+                (mu + sigma2.sqrt() * z).exp()
+            }
+        }
+    }
+
+    /// The distribution's mean in seconds.
+    #[must_use]
+    pub fn mean_secs(&self) -> f64 {
+        match *self {
+            Distribution::Constant { secs } => secs,
+            Distribution::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Distribution::Exponential { mean } => mean,
+            Distribution::LogNormal { mean, .. } => mean,
+        }
+    }
+}
+
+/// A distribution backed by recorded samples: draws uniformly from the
+/// sample set (the bootstrap). Useful for replaying measured latency
+/// distributions — e.g. database service times captured from a real
+/// MySQL install — through the simulator.
+///
+/// # Example
+///
+/// ```
+/// use proteus_sim::{dist::Empirical, SimDuration, SimRng};
+/// let observed = vec![
+///     SimDuration::from_millis(10),
+///     SimDuration::from_millis(20),
+///     SimDuration::from_millis(40),
+/// ];
+/// let dist = Empirical::new(observed.clone());
+/// let mut rng = SimRng::seed_from_u64(1);
+/// assert!(observed.contains(&dist.sample(&mut rng)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Empirical {
+    samples: Vec<SimDuration>,
+}
+
+impl Empirical {
+    /// Creates a distribution over the recorded samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    #[must_use]
+    pub fn new(samples: Vec<SimDuration>) -> Self {
+        assert!(!samples.is_empty(), "need at least one recorded sample");
+        Empirical { samples }
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the sample set is empty (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Draws one sample (uniform over the recorded set).
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        self.samples[rng.index(self.samples.len())]
+    }
+
+    /// The exact mean of the recorded samples.
+    #[must_use]
+    pub fn mean(&self) -> SimDuration {
+        let total: u128 = self.samples.iter().map(|d| u128::from(d.as_nanos())).sum();
+        SimDuration::from_nanos((total / self.samples.len() as u128) as u64)
+    }
+}
+
+/// One standard-normal sample via Box–Muller.
+fn standard_normal(rng: &mut SimRng) -> f64 {
+    let u1 = rng.positive_uniform_f64();
+    let u2 = rng.uniform_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(d: Distribution, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample_secs(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let d = Distribution::constant(0.005);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), SimDuration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds_and_mean() {
+        let d = Distribution::uniform(0.010, 0.020);
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let s = d.sample_secs(&mut rng);
+            assert!((0.010..0.020).contains(&s));
+        }
+        let m = mean_of(d, 50_000, 3);
+        assert!((m - 0.015).abs() < 0.0003, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Distribution::exponential(0.040);
+        let m = mean_of(d, 100_000, 4);
+        assert!((m - 0.040).abs() < 0.001, "mean {m}");
+    }
+
+    #[test]
+    fn log_normal_mean_and_positivity() {
+        let d = Distribution::log_normal(0.040, 0.020);
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(d.sample_secs(&mut rng) > 0.0);
+        }
+        let m = mean_of(d, 200_000, 6);
+        assert!((m - 0.040).abs() < 0.001, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_is_memoryless_in_shape() {
+        // P(X > 2m) should be about e^-2 when the mean is m.
+        let d = Distribution::exponential(1.0);
+        let mut rng = SimRng::seed_from_u64(7);
+        let n = 100_000;
+        let tail = (0..n).filter(|_| d.sample_secs(&mut rng) > 2.0).count();
+        let p = tail as f64 / n as f64;
+        assert!((p - (-2.0f64).exp()).abs() < 0.01, "tail prob {p}");
+    }
+
+    #[test]
+    fn mean_secs_reports_parameters() {
+        assert_eq!(Distribution::constant(0.5).mean_secs(), 0.5);
+        assert_eq!(Distribution::uniform(0.0, 1.0).mean_secs(), 0.5);
+        assert_eq!(Distribution::exponential(0.25).mean_secs(), 0.25);
+        assert_eq!(Distribution::log_normal(0.1, 0.05).mean_secs(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid exponential mean")]
+    fn exponential_rejects_zero_mean() {
+        let _ = Distribution::exponential(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform bounds")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = Distribution::uniform(2.0, 1.0);
+    }
+
+    #[test]
+    fn empirical_samples_only_recorded_values() {
+        let observed: Vec<SimDuration> = (1..=5).map(SimDuration::from_millis).collect();
+        let dist = Empirical::new(observed.clone());
+        let mut rng = SimRng::seed_from_u64(8);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let s = dist.sample(&mut rng);
+            assert!(observed.contains(&s));
+            seen.insert(s.as_nanos());
+        }
+        assert_eq!(seen.len(), 5, "all recorded values eventually drawn");
+        assert_eq!(dist.mean(), SimDuration::from_millis(3));
+        assert_eq!(dist.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one recorded sample")]
+    fn empirical_rejects_empty() {
+        let _ = Empirical::new(vec![]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Validates the queueing substrate against closed-form theory.
+//!
+//! The Fig. 9 delay spikes hinge on the database pools queueing
+//! correctly, so the [`Resource`] station is checked here against
+//! M/M/1 and M/M/c (Erlang-C) sojourn times — if these hold, the
+//! simulator's queueing dynamics are trustworthy.
+
+use proteus_sim::{Distribution, Resource, SimDuration, SimRng, SimTime};
+
+/// Runs a Poisson(λ) arrival stream with Exp(1/μ) service through a
+/// `c`-server resource and returns the mean sojourn (wait + service)
+/// in seconds.
+fn simulate_mean_sojourn(lambda: f64, mu: f64, servers: usize, jobs: u64, seed: u64) -> f64 {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let arrivals = Distribution::exponential(1.0 / lambda);
+    let service = Distribution::exponential(1.0 / mu);
+    let mut resource = Resource::new(servers);
+    let mut now = SimTime::ZERO;
+    let mut total = SimDuration::ZERO;
+    for _ in 0..jobs {
+        now += arrivals.sample(&mut rng);
+        let grant = resource.acquire(now, service.sample(&mut rng));
+        total += grant.end.saturating_since(now);
+    }
+    total.as_secs_f64() / jobs as f64
+}
+
+/// Erlang-C probability that an arrival waits, for offered load
+/// `a = λ/μ` on `c` servers.
+fn erlang_c(c: usize, a: f64) -> f64 {
+    let mut term = 1.0;
+    let mut sum = 1.0; // k = 0 term
+    for k in 1..c {
+        term *= a / k as f64;
+        sum += term;
+    }
+    let tail = term * a / c as f64 * (c as f64 / (c as f64 - a));
+    tail / (sum + tail)
+}
+
+#[test]
+fn mm1_sojourn_matches_theory() {
+    // M/M/1: W = 1 / (μ - λ).
+    let lambda = 80.0;
+    let mu = 100.0;
+    let expect = 1.0 / (mu - lambda); // 50 ms
+    let measured = simulate_mean_sojourn(lambda, mu, 1, 400_000, 1);
+    let err = (measured - expect).abs() / expect;
+    assert!(err < 0.05, "measured {measured:.4}s vs theory {expect:.4}s");
+}
+
+#[test]
+fn mmc_sojourn_matches_erlang_c() {
+    // M/M/2 at ρ = 0.75: W = 1/μ + C(c, a) / (cμ - λ).
+    let lambda = 150.0;
+    let mu = 100.0;
+    let servers = 2;
+    let a = lambda / mu;
+    let expect = 1.0 / mu + erlang_c(servers, a) / (servers as f64 * mu - lambda);
+    let measured = simulate_mean_sojourn(lambda, mu, servers, 400_000, 2);
+    let err = (measured - expect).abs() / expect;
+    assert!(err < 0.05, "measured {measured:.4}s vs theory {expect:.4}s");
+}
+
+#[test]
+fn light_load_sojourn_is_service_time() {
+    // Far below saturation the queue is empty: W ≈ 1/μ.
+    let measured = simulate_mean_sojourn(5.0, 100.0, 4, 100_000, 3);
+    let err = (measured - 0.01).abs() / 0.01;
+    assert!(err < 0.05, "measured {measured:.4}s vs 0.0100s");
+}
+
+#[test]
+fn overload_grows_without_bound() {
+    // ρ > 1: the backlog grows with the number of admitted jobs — the
+    // regime Naive's miss storms enter in Fig. 9.
+    let short = simulate_mean_sojourn(150.0, 100.0, 1, 20_000, 4);
+    let long = simulate_mean_sojourn(150.0, 100.0, 1, 80_000, 4);
+    assert!(
+        long > short * 2.0,
+        "overloaded backlog must keep growing: {short:.3}s → {long:.3}s"
+    );
+}
+
+#[test]
+fn pooling_beats_partitioning() {
+    // A classic queueing fact the DB tier design relies on: one pooled
+    // c-server station beats c separate single-server stations at equal
+    // total load.
+    let lambda = 150.0;
+    let mu = 100.0;
+    let pooled = simulate_mean_sojourn(lambda, mu, 2, 200_000, 5);
+    // Two separate M/M/1 queues each see λ/2.
+    let split = simulate_mean_sojourn(lambda / 2.0, mu, 1, 200_000, 6);
+    assert!(
+        pooled < split,
+        "pooled {pooled:.4}s must beat partitioned {split:.4}s"
+    );
+}

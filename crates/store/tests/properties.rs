@@ -1,0 +1,73 @@
+//! Property-based tests for the database tier.
+
+use proptest::prelude::*;
+use proteus_store::{generate_page_content, ShardedStore, StoreConfig};
+
+proptest! {
+    /// Content generation is a pure function of (key, size).
+    #[test]
+    fn content_is_deterministic(key in prop::collection::vec(any::<u8>(), 0..64), size in 1usize..4096) {
+        let a = generate_page_content(&key, size);
+        let b = generate_page_content(&key, size);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), size);
+    }
+
+    /// Distinct keys essentially never collide in content.
+    #[test]
+    fn distinct_keys_distinct_content(
+        a in prop::collection::vec(any::<u8>(), 1..32),
+        b in prop::collection::vec(any::<u8>(), 1..32),
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(generate_page_content(&a, 256), generate_page_content(&b, 256));
+    }
+
+    /// Shard placement is stable and in range for any key and shard
+    /// count; fetch/write bookkeeping is exact.
+    #[test]
+    fn sharding_and_stats_invariants(
+        keys in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..24), 1..60),
+        shards in 1usize..12,
+        writes in prop::collection::vec(any::<bool>(), 60),
+    ) {
+        let mut store = ShardedStore::new(StoreConfig {
+            shards,
+            object_size: 64,
+            placement_seed: 1,
+        });
+        let mut fetches = 0u64;
+        let mut written: std::collections::HashSet<&[u8]> = std::collections::HashSet::new();
+        for (key, &write) in keys.iter().zip(&writes) {
+            let shard = store.shard_of(key);
+            prop_assert!(shard.index() < shards);
+            prop_assert_eq!(shard, store.shard_of(key), "placement stable");
+            if write {
+                store.write(key, b"custom".to_vec());
+                written.insert(key);
+            }
+            if written.contains(&key[..]) {
+                prop_assert_eq!(store.fetch(key), b"custom".to_vec());
+            } else {
+                prop_assert_eq!(store.fetch(key).len(), 64);
+            }
+            fetches += 1;
+        }
+        prop_assert_eq!(store.total_fetches(), fetches);
+        let by_shard: u64 = store.shard_stats().iter().map(|s| s.fetches).sum();
+        prop_assert_eq!(by_shard, fetches);
+    }
+
+    /// Overlay writes only affect their own key.
+    #[test]
+    fn overlay_is_key_local(
+        written in prop::collection::vec(any::<u8>(), 1..16),
+        probed in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        prop_assume!(written != probed);
+        let mut store = ShardedStore::new(StoreConfig::default());
+        let before = store.fetch(&probed);
+        store.write(&written, b"overlay".to_vec());
+        prop_assert_eq!(store.fetch(&probed), before);
+    }
+}

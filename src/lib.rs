@@ -1,0 +1,52 @@
+//! # Proteus: a power-proportional memory cache cluster
+//!
+//! A full reproduction of *"Proteus: Power Proportional Memory Cache
+//! Cluster in Data Centers"* (Shen Li et al., ICDCS 2013) as a Rust
+//! workspace. This facade crate re-exports every subsystem:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`ring`] | `proteus-ring` | Consistent hashing, **Algorithm 1** virtual-node placement, baselines, replication (Eq. 3) |
+//! | [`bloom`] | `proteus-bloom` | Counting Bloom filter digests, **Eq. 10** optimal configuration, snapshots |
+//! | [`cache`] | `proteus-cache` | The memcached-like engine with digest hooks |
+//! | [`store`] | `proteus-store` | The sharded database tier substitute |
+//! | [`workload`] | `proteus-workload` | Zipf + diurnal + session trace synthesis |
+//! | [`core`] | `proteus-core` | **Algorithm 2** routing, smooth transitions, provisioning, power, the DES cluster |
+//! | [`net`] | `proteus-net` | Real TCP cache servers and the cluster client |
+//! | [`sim`] | `proteus-sim` | The discrete-event simulation substrate |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use proteus::core::{ClusterConfig, ClusterSim, ProvisioningPlan, Scenario};
+//! use proteus::workload::Trace;
+//! use proteus::sim::SimDuration;
+//!
+//! // A small cluster, a synthetic diurnal trace, a load-proportional plan.
+//! let config = ClusterConfig::small();
+//! let trace = Trace::synthesize(&config.trace_config(100.0), 1);
+//! let plan = ProvisioningPlan::load_proportional(
+//!     &trace.requests_per_slot(config.slot, config.slots),
+//!     config.cache_servers,
+//!     2,
+//! );
+//! // Run the Proteus scenario and confirm the headline property:
+//! // requests complete, servers scale, hot data migrates.
+//! let report = ClusterSim::new(config, Scenario::Proteus, &trace, &plan, 7).run();
+//! assert!(report.completed_requests() > 0);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end demonstrations and
+//! `crates/bench` for the per-figure experiment binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use proteus_bloom as bloom;
+pub use proteus_cache as cache;
+pub use proteus_core as core;
+pub use proteus_net as net;
+pub use proteus_ring as ring;
+pub use proteus_sim as sim;
+pub use proteus_store as store;
+pub use proteus_workload as workload;

@@ -1,0 +1,204 @@
+//! End-to-end cluster simulations comparing the four Table II
+//! scenarios — the integration-level versions of Figs. 5, 9, 10, 11.
+
+use proteus::core::{ClusterConfig, ClusterReport, ClusterSim, ProvisioningPlan, Scenario};
+use proteus::sim::SimDuration;
+use proteus::workload::Trace;
+
+/// One shared stress workload: forced down/up transitions at a load
+/// where the database pool is the bottleneck during miss storms.
+fn run(scenario: Scenario, seed: u64) -> ClusterReport {
+    let config = ClusterConfig::small();
+    let trace = Trace::synthesize(&config.trace_config(400.0), 21);
+    let plan = ProvisioningPlan::from_counts(vec![4, 3, 2, 3, 4, 3], config.cache_servers);
+    ClusterSim::new(config, scenario, &trace, &plan, seed).run()
+}
+
+#[test]
+fn every_request_completes_in_every_scenario() {
+    let config = ClusterConfig::small();
+    let trace = Trace::synthesize(&config.trace_config(400.0), 21);
+    for sc in Scenario::all() {
+        let report = run(sc, 1);
+        assert_eq!(
+            report.completed_requests(),
+            trace.len() as u64,
+            "{sc} lost requests"
+        );
+    }
+}
+
+#[test]
+fn fig9_spike_ordering_naive_worst_proteus_best_dynamic() {
+    // Fig. 9's ordering among the *dynamic* scenarios, which share the
+    // provisioning plan (and therefore the same cache-capacity
+    // squeeze — this stress plan deliberately shrinks to half
+    // capacity, something the paper's feedback loop would avoid):
+    // naive ≫ consistent ≥ proteus.
+    let naive = run(Scenario::Naive, 2);
+    let consistent = run(
+        Scenario::Consistent(proteus::core::VnodeBudget::Quadratic),
+        2,
+    );
+    let proteus = run(Scenario::Proteus, 2);
+    let n_worst = naive.worst_bucket_quantile(0.999).unwrap();
+    let c_worst = consistent.worst_bucket_quantile(0.999).unwrap();
+    let p_worst = proteus.worst_bucket_quantile(0.999).unwrap();
+    assert!(
+        n_worst.as_secs_f64() > 2.0 * p_worst.as_secs_f64(),
+        "naive {n_worst} vs proteus {p_worst}"
+    );
+    assert!(
+        p_worst <= c_worst,
+        "proteus {p_worst} must not spike above consistent {c_worst}"
+    );
+}
+
+#[test]
+fn proteus_transition_db_traffic_is_bounded() {
+    // Migration is amortized over requests (Section IV): some data
+    // moves cache-to-cache, and total database traffic stays far below
+    // naive's full-remap storms. (Versus consistent hashing the win is
+    // spike *timing*, not volume — in a capacity-bound cache every
+    // migrated item evicts another, so totals converge; Fig. 9 carries
+    // that comparison.)
+    let naive = run(Scenario::Naive, 3);
+    let proteus = run(Scenario::Proteus, 3);
+    assert!(proteus.counters.migrated > 0, "transitions must migrate");
+    assert!(
+        (proteus.counters.database_total() as f64) < 0.7 * naive.counters.database_total() as f64,
+        "proteus {} vs naive {}",
+        proteus.counters.database_total(),
+        naive.counters.database_total()
+    );
+}
+
+#[test]
+fn fig11_energy_ordering() {
+    let static_report = run(Scenario::Static, 4);
+    let naive = run(Scenario::Naive, 4);
+    let proteus = run(Scenario::Proteus, 4);
+    // All dynamic scenarios save cache-tier energy over static.
+    assert!(proteus.cache_energy_j < static_report.cache_energy_j);
+    assert!(naive.cache_energy_j < static_report.cache_energy_j);
+    // Proteus saves essentially as much as naive (its draining servers
+    // stay on only TTL longer).
+    let naive_saving = static_report.cache_energy_j - naive.cache_energy_j;
+    let proteus_saving = static_report.cache_energy_j - proteus.cache_energy_j;
+    // Proteus pays only the TTL-long drain windows over naive: one
+    // drained server burns ~idle-power × TTL extra per down-transition.
+    // The test config runs TTL at 60% of a slot (so short traces still
+    // exercise migration), which prices the two down-transitions at
+    // roughly 2 × 6 s × 80 W ≈ 1 kJ of the ~2.7 kJ naive saving. At the
+    // paper's TTL:slot ratio (minutes against 30-minute slots) the gap
+    // vanishes — the paper_scale experiments in `crates/bench` measure
+    // savings within 1% of naive's.
+    assert!(
+        proteus_saving > 0.5 * naive_saving,
+        "proteus saving {proteus_saving} vs naive {naive_saving}"
+    );
+}
+
+#[test]
+fn digest_false_positives_are_rare() {
+    let proteus = run(Scenario::Proteus, 5);
+    let fp = proteus.counters.database_false_positive as f64;
+    let lookups = proteus.completed_requests() as f64;
+    assert!(
+        fp / lookups < 0.01,
+        "false positive fraction {}",
+        fp / lookups
+    );
+}
+
+#[test]
+fn balance_ratio_tracks_scenario_quality_under_dynamics() {
+    let proteus = run(Scenario::Proteus, 6);
+    let consistent = run(
+        Scenario::Consistent(proteus::core::VnodeBudget::Quadratic),
+        6,
+    );
+    let mean = |r: &ClusterReport| {
+        let v: Vec<f64> = r.balance_ratio_per_slot().into_iter().flatten().collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let p = mean(&proteus);
+    let c = mean(&consistent);
+    assert!(p > c, "proteus balance {p} vs consistent {c}");
+}
+
+#[test]
+fn component_scenarios_split_the_mechanisms() {
+    // Placement without digests keeps balance but regains spikes;
+    // digests without placement keep smoothness but lose balance.
+    let proteus = run(Scenario::Proteus, 8);
+    let blind = run(Scenario::ProteusBlind, 8);
+    let smart_consistent = run(
+        Scenario::ConsistentSmart(proteus::core::VnodeBudget::Quadratic),
+        8,
+    );
+    let consistent = run(
+        Scenario::Consistent(proteus::core::VnodeBudget::Quadratic),
+        8,
+    );
+    let mean_balance = |r: &ClusterReport| {
+        let v: Vec<f64> = r.balance_ratio_per_slot().into_iter().flatten().collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    // Balance follows the placement axis.
+    assert!(mean_balance(&proteus) > mean_balance(&smart_consistent) + 0.1);
+    assert!(mean_balance(&blind) > mean_balance(&consistent) + 0.1);
+    // Digest scenarios migrate; blind ones cannot.
+    assert!(proteus.counters.migrated > 0);
+    assert!(smart_consistent.counters.migrated > 0);
+    assert_eq!(blind.counters.migrated, 0);
+    // Smoothness follows the digest axis: digests never hurt, and the
+    // blind variant pays visibly more at its worst bucket.
+    let worst = |r: &ClusterReport| r.worst_bucket_quantile(0.999).unwrap().as_secs_f64();
+    assert!(worst(&proteus) <= worst(&blind));
+    assert!(worst(&smart_consistent) <= worst(&consistent));
+}
+
+#[test]
+fn cache_wipe_failure_recovers() {
+    // A mid-run cache wipe must neither lose requests nor change
+    // routing; it only costs a transient refill.
+    let config = ClusterConfig::small();
+    let trace = Trace::synthesize(&config.trace_config(400.0), 21);
+    let plan = ProvisioningPlan::all_on(config.slots, config.cache_servers);
+    let mut wiped_config = config.clone();
+    wiped_config.cache_wipe_failures = vec![(proteus::sim::SimTime::from_secs(30), 0)];
+    let clean = ClusterSim::new(config, Scenario::Proteus, &trace, &plan, 9).run();
+    let wiped = ClusterSim::new(wiped_config, Scenario::Proteus, &trace, &plan, 9).run();
+    assert_eq!(
+        wiped.completed_requests(),
+        clean.completed_requests(),
+        "no requests lost to the wipe"
+    );
+    assert!(
+        wiped.counters.database_total() > clean.counters.database_total(),
+        "the refill must show up as extra database traffic"
+    );
+}
+
+#[test]
+fn feedback_controller_scales_with_the_diurnal_load() {
+    let mut config = ClusterConfig::small();
+    config.slots = 8;
+    let trace = Trace::synthesize(&config.trace_config(300.0), 33);
+    let plan = ProvisioningPlan::all_on(config.slots, config.cache_servers);
+    let fc = proteus::core::FeedbackController::paper_defaults(config.cache_servers)
+        .min_servers(1)
+        .set_points(SimDuration::from_millis(400), SimDuration::from_millis(800));
+    let report = ClusterSim::new(config, Scenario::Proteus, &trace, &plan, 7)
+        .with_feedback(fc)
+        .run();
+    // The controller must actually move (not stay pinned at max).
+    let distinct: std::collections::BTreeSet<usize> =
+        report.active_per_slot.iter().copied().collect();
+    assert!(
+        distinct.len() > 1,
+        "controller never moved: {:?}",
+        report.active_per_slot
+    );
+}

@@ -1,0 +1,122 @@
+//! Integration tests pinning the paper's analytical claims, checked
+//! through the public facade API.
+
+use proteus::bloom::{config, BloomConfig};
+use proteus::ring::{analysis, ProteusPlacement, Ratio, ReplicatedPlacement, ServerId};
+
+/// Theorem 1: Algorithm 1 uses exactly `N(N-1)/2 + 1` virtual nodes —
+/// the proven lower bound for the Balance Condition.
+#[test]
+fn theorem_1_virtual_node_lower_bound() {
+    for n in 1..=32 {
+        let p = ProteusPlacement::generate(n);
+        assert_eq!(p.virtual_node_count(), n * (n - 1) / 2 + 1, "N={n}");
+    }
+}
+
+/// Section III-D: every active prefix owns exactly 1/n of the key
+/// space, verified in exact rational arithmetic.
+#[test]
+fn balance_condition_exact_for_the_papers_cluster() {
+    let p = ProteusPlacement::generate(10); // the paper's 10 memcached servers
+    for n in 1..=10 {
+        for share in p.ownership_shares(n) {
+            assert_eq!(share, Ratio::new(1, n as i128));
+        }
+    }
+}
+
+/// Section II's migration objective: at most |Δn| / max(n, n') of the
+/// data is remapped, achieved with equality.
+#[test]
+fn minimal_migration_objective() {
+    let p = ProteusPlacement::generate(10);
+    for (from, to) in [(10usize, 9usize), (9, 10), (10, 6), (5, 10)] {
+        let measured = analysis::remap_fraction(&p, from, to, 60_000, 3);
+        let bound = analysis::minimal_remap_fraction(from, to);
+        assert!(
+            (measured - bound).abs() < 0.01,
+            "{from}->{to}: measured {measured}, bound {bound}"
+        );
+    }
+}
+
+/// Fig. 2's final-successor structure: `Ps_i = {s_1..s_{i-1}}`.
+#[test]
+fn fig2_final_successor_sets() {
+    let p = ProteusPlacement::generate(6);
+    for i in 1..=6u32 {
+        let ps = analysis::final_successors(&p, ServerId::new(i - 1));
+        let expect: std::collections::BTreeSet<ServerId> =
+            (0..i.saturating_sub(1)).map(ServerId::new).collect();
+        assert_eq!(ps, expect, "Ps_{i}");
+    }
+}
+
+/// Eq. 3: replication no-conflict probability, predicted vs measured.
+#[test]
+fn eq3_replication_no_conflict() {
+    // Closed form sanity: r=3, n=10 → 0.72.
+    let p = ReplicatedPlacement::no_conflict_probability(3, 10);
+    assert!((p - 0.72).abs() < 1e-12);
+    // "As r is usually small and n(t) much larger, Pnc should be close
+    // to 1."
+    assert!(ReplicatedPlacement::no_conflict_probability(3, 1000) > 0.99);
+    // Measured agreement.
+    let rp = ReplicatedPlacement::new(10, 3, 7);
+    let trials = 30_000u64;
+    let distinct = (0..trials)
+        .filter(|k| rp.distinct_servers_for(&k.to_le_bytes(), 10).len() == 3)
+        .count();
+    let measured = distinct as f64 / trials as f64;
+    assert!((measured - 0.72).abs() < 0.02, "measured {measured}");
+}
+
+/// §IV-B's worked example: (κ=10⁴, h=4, p=10⁻⁴) → b = 3, ≈150 KB.
+#[test]
+fn eq10_bloom_configuration_example() {
+    let cfg = BloomConfig::optimal(10_000, 4, 1e-4, 1e-4);
+    assert_eq!(cfg.counter_bits, 3);
+    let kb = cfg.memory_bytes() as f64 / 1024.0;
+    assert!((100.0..=160.0).contains(&kb), "{kb} KB");
+    // Both bounds hold at the chosen configuration.
+    assert!(config::false_positive_rate(cfg.counters, 4, 10_000) <= 1e-4 * 1.001);
+    assert!(config::false_negative_bound(cfg.counters, cfg.counter_bits, 4, 10_000) <= 1e-4);
+}
+
+/// The Table II / Fig. 5 ordering: Proteus and modulo balance nearly
+/// perfectly; random consistent hashing does not.
+#[test]
+fn fig5_balance_ordering() {
+    use proteus::core::Scenario;
+    let samples = 250_000;
+    let n = 10;
+    let ratio = |sc: Scenario| {
+        let strategy = sc.strategy(n, 0);
+        analysis::balance_ratio(&*strategy, n, samples, 11)
+    };
+    let r_static = ratio(Scenario::Static);
+    let r_proteus = ratio(Scenario::Proteus);
+    let r_consistent = ratio(Scenario::Consistent(proteus::core::VnodeBudget::Quadratic));
+    assert!(r_static > 0.97, "static {r_static}");
+    assert!(r_proteus > 0.97, "proteus {r_proteus}");
+    assert!(r_consistent < 0.8, "consistent {r_consistent}");
+    assert!(r_proteus > r_consistent + 0.15);
+}
+
+/// Strategy lookups agree across independently constructed instances —
+/// the distributed-consistency objective of Section II.
+#[test]
+fn web_tier_consistency_without_coordination() {
+    use proteus::core::Scenario;
+    for sc in Scenario::all() {
+        let a = sc.strategy(10, 0);
+        let b = sc.strategy(10, 0);
+        for k in 0..2_000u64 {
+            let key = proteus::ring::hash::splitmix64(k);
+            for n in [1usize, 4, 7, 10] {
+                assert_eq!(a.server_for(key, n), b.server_for(key, n), "{sc} n={n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! End-to-end tests of the live TCP tier, including the cross-check
+//! that the wire implementation of Algorithm 2 agrees with the
+//! in-memory reference router.
+
+use parking_lot::Mutex;
+use proteus::cache::{CacheConfig, CacheEngine};
+use proteus::core::{FetchClass, Router, Scenario, TransitionManager};
+use proteus::net::{CacheClient, CacheServer, ClusterClient, ClusterFetch};
+use proteus::sim::{SimDuration, SimTime};
+use proteus::store::{ShardedStore, StoreConfig};
+
+fn spawn_cluster(n: usize) -> (Vec<CacheServer>, Vec<std::net::SocketAddr>) {
+    let servers: Vec<CacheServer> = (0..n)
+        .map(|_| CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(8 << 20)).unwrap())
+        .collect();
+    let addrs = servers.iter().map(CacheServer::addr).collect();
+    (servers, addrs)
+}
+
+#[test]
+fn protocol_round_trip_with_binary_values() {
+    let (servers, addrs) = spawn_cluster(1);
+    let client = CacheClient::connect(addrs[0]).unwrap();
+    let value: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+    client.set(b"binary", &value).unwrap();
+    assert_eq!(client.get(b"binary").unwrap(), Some(value));
+    for s in servers {
+        s.stop();
+    }
+}
+
+#[test]
+fn digest_travels_the_ordinary_data_protocol() {
+    let (servers, addrs) = spawn_cluster(1);
+    let client = CacheClient::connect(addrs[0]).unwrap();
+    for i in 0..500u32 {
+        client.set(format!("page:{i}").as_bytes(), b"x").unwrap();
+    }
+    let digest = client.snapshot_digest().unwrap().unwrap();
+    for i in 0..500u32 {
+        assert!(digest.contains(format!("page:{i}").as_bytes()));
+    }
+    let absent = (1000..2000u32)
+        .filter(|i| digest.contains(format!("page:{i}").as_bytes()))
+        .count();
+    assert!(absent < 10, "{absent} false positives in 1000 probes");
+    for s in servers {
+        s.stop();
+    }
+}
+
+#[test]
+fn live_smooth_transition_has_zero_db_traffic_for_hot_keys() {
+    let (servers, addrs) = spawn_cluster(4);
+    let mut cluster = ClusterClient::connect(&addrs, Scenario::Proteus.strategy(4, 0)).unwrap();
+    let db = Mutex::new(ShardedStore::new(StoreConfig {
+        object_size: 128,
+        ..StoreConfig::default()
+    }));
+    let keys: Vec<Vec<u8>> = (0..150u32)
+        .map(|i| format!("page:{i}").into_bytes())
+        .collect();
+    for k in &keys {
+        cluster.fetch(k, &db).unwrap();
+    }
+    let before = db.lock().total_fetches();
+    cluster.begin_transition(3).unwrap();
+    for k in &keys {
+        let (_, how) = cluster.fetch(k, &db).unwrap();
+        assert_ne!(how, ClusterFetch::Database);
+    }
+    assert_eq!(db.lock().total_fetches(), before);
+    cluster.end_transition();
+    for s in servers {
+        s.stop();
+    }
+}
+
+/// The TCP cluster client and the in-memory reference router must make
+/// identical classification decisions when driven through the same
+/// (deterministic) history.
+#[test]
+fn wire_and_reference_routers_agree() {
+    let n = 4;
+    // Reference side.
+    let router = Router::new(Scenario::Proteus.strategy(n, 0));
+    let mut engines: Vec<CacheEngine> = (0..n)
+        .map(|_| CacheEngine::new(CacheConfig::with_capacity(8 << 20)))
+        .collect();
+    let mut ref_db = ShardedStore::new(StoreConfig {
+        object_size: 128,
+        ..StoreConfig::default()
+    });
+    let mut tm = TransitionManager::new(n, n);
+    // Wire side.
+    let (servers, addrs) = spawn_cluster(n);
+    let mut cluster = ClusterClient::connect(&addrs, Scenario::Proteus.strategy(n, 0)).unwrap();
+    let net_db = Mutex::new(ShardedStore::new(StoreConfig {
+        object_size: 128,
+        ..StoreConfig::default()
+    }));
+
+    let keys: Vec<Vec<u8>> = (0..120u32)
+        .map(|i| format!("page:{i}").into_bytes())
+        .collect();
+    let t0 = SimTime::ZERO;
+    // Phase 1: identical warming.
+    for k in &keys {
+        let ref_out = router.fetch(k, t0, &mut engines, &mut ref_db, &tm, true);
+        let (_, net_out) = cluster.fetch(k, &net_db).unwrap();
+        assert_eq!(classify(ref_out.class), net_out, "warm {k:?}");
+    }
+    // Phase 2: identical transition 4 -> 3.
+    tm.begin(
+        t0 + SimDuration::from_secs(1),
+        3,
+        SimDuration::from_secs(60),
+        |i| engines[i].digest_snapshot(),
+    );
+    cluster.begin_transition(3).unwrap();
+    let t1 = t0 + SimDuration::from_secs(2);
+    for k in &keys {
+        let ref_out = router.fetch(k, t1, &mut engines, &mut ref_db, &tm, true);
+        let (_, net_out) = cluster.fetch(k, &net_db).unwrap();
+        assert_eq!(classify(ref_out.class), net_out, "transition {k:?}");
+    }
+    assert_eq!(ref_db.total_fetches(), net_db.lock().total_fetches());
+    for s in servers {
+        s.stop();
+    }
+}
+
+fn classify(class: FetchClass) -> ClusterFetch {
+    match class {
+        FetchClass::NewHit => ClusterFetch::Hit,
+        FetchClass::Migrated => ClusterFetch::Migrated,
+        FetchClass::Database | FetchClass::DatabaseFalsePositive => ClusterFetch::Database,
+    }
+}
+
+#[test]
+fn concurrent_web_tier_against_one_cluster() {
+    let (servers, addrs) = spawn_cluster(3);
+    let cluster = std::sync::Arc::new(
+        ClusterClient::connect(&addrs, Scenario::Proteus.strategy(3, 0)).unwrap(),
+    );
+    let db = std::sync::Arc::new(Mutex::new(ShardedStore::new(StoreConfig {
+        object_size: 64,
+        ..StoreConfig::default()
+    })));
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let cluster = std::sync::Arc::clone(&cluster);
+        let db = std::sync::Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..100u32 {
+                let key = format!("page:{}", (t * 100 + i) % 150);
+                let (value, _) = cluster.fetch(key.as_bytes(), &*db).unwrap();
+                assert!(!value.is_empty());
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for s in servers {
+        s.stop();
+    }
+}
