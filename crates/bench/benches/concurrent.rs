@@ -1,0 +1,93 @@
+//! Concurrency benchmarks: the single-mutex engine vs the lock-striped
+//! sharded engine under multi-threaded load, and get latency while a
+//! digest snapshot loop runs (the paper's `get SET_BLOOM_FILTER` must
+//! not stall the data path).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use proteus_bench::concurrency::{
+    prepopulate, run_mixed, ConcurrentCache, MixedWorkload, ShardedCache, SingleMutexCache,
+};
+use proteus_cache::CacheConfig;
+
+const OPS_PER_THREAD: u64 = 20_000;
+
+fn config() -> CacheConfig {
+    CacheConfig::with_capacity(256 << 20)
+}
+
+fn bench_engine<C: ConcurrentCache>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    cache: &Arc<C>,
+    threads: usize,
+) {
+    let label = cache.label();
+    group.throughput(Throughput::Elements(OPS_PER_THREAD * threads as u64));
+    group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let workload = MixedWorkload::read_heavy(threads, OPS_PER_THREAD);
+                total += run_mixed(cache, workload).elapsed;
+            }
+            total
+        });
+    });
+}
+
+/// Mixed 90/10 read/write throughput at 1, 2, 4, and 8 threads.
+fn thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_thread_scaling");
+    group.sample_size(10);
+
+    let single = Arc::new(SingleMutexCache::new(config()));
+    let sharded = Arc::new(ShardedCache::new(config()));
+    let probe = MixedWorkload::read_heavy(1, 0);
+    prepopulate(&*single, probe.key_space, probe.value_len);
+    prepopulate(&*sharded, probe.key_space, probe.value_len);
+
+    for threads in [1usize, 2, 4, 8] {
+        bench_engine(&mut group, &single, threads);
+        bench_engine(&mut group, &sharded, threads);
+    }
+    group.finish();
+}
+
+/// Gets while a digest snapshot loops concurrently: on the baseline
+/// every snapshot stops the world; sharded snapshots lock one shard at
+/// a time, so unrelated gets keep flowing.
+fn gets_under_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gets_under_snapshot_loop");
+    group.sample_size(10);
+
+    let single = Arc::new(SingleMutexCache::new(config()));
+    let sharded = Arc::new(ShardedCache::new(config()));
+    let probe = MixedWorkload::read_heavy(1, 0);
+    prepopulate(&*single, probe.key_space, probe.value_len);
+    prepopulate(&*sharded, probe.key_space, probe.value_len);
+
+    fn run<C: ConcurrentCache>(group: &mut criterion::BenchmarkGroup<'_>, cache: &Arc<C>) {
+        group.throughput(Throughput::Elements(4 * OPS_PER_THREAD));
+        group.bench_function(cache.label(), |b| {
+            b.iter_custom(|iters| {
+                let started = Instant::now();
+                for _ in 0..iters {
+                    let workload =
+                        MixedWorkload::read_heavy(4, OPS_PER_THREAD).with_snapshot_loop();
+                    run_mixed(cache, workload);
+                }
+                started.elapsed()
+            });
+        });
+    }
+
+    run(&mut group, &single);
+    run(&mut group, &sharded);
+    group.finish();
+}
+
+criterion_group!(benches, thread_scaling, gets_under_snapshot);
+criterion_main!(benches);

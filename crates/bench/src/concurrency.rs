@@ -1,0 +1,307 @@
+//! Shared harness for the engine concurrency benchmarks.
+//!
+//! Two contestants behind one trait: the single-threaded
+//! [`CacheEngine`] behind one global mutex (the old server design) and
+//! the lock-striped [`ShardedEngine`]. `benches/concurrent.rs` and the
+//! `throughput_scaling` binary both drive them through
+//! [`run_mixed`], so the criterion numbers and the sweep table come
+//! from the identical workload.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use proteus_cache::{CacheConfig, CacheEngine, ShardedEngine};
+use proteus_sim::SimTime;
+
+/// A cache engine that can be driven from many threads at once.
+pub trait ConcurrentCache: Send + Sync + 'static {
+    /// Short label for reports.
+    fn label(&self) -> &'static str;
+    /// Looks up `key`, refreshing recency.
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+    /// Inserts or replaces `key`.
+    fn put(&self, key: &[u8], value: Vec<u8>);
+    /// Takes a full digest snapshot, returning its set-bit count
+    /// (forces the whole digest to be built).
+    fn snapshot_weight(&self) -> u64;
+}
+
+/// The baseline: one [`CacheEngine`] behind one global mutex — every
+/// operation, and the whole digest snapshot, serializes here.
+#[derive(Debug)]
+pub struct SingleMutexCache {
+    engine: Mutex<CacheEngine>,
+}
+
+impl SingleMutexCache {
+    /// Creates the baseline engine.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        SingleMutexCache {
+            engine: Mutex::new(CacheEngine::new(config)),
+        }
+    }
+}
+
+impl ConcurrentCache for SingleMutexCache {
+    fn label(&self) -> &'static str {
+        "single-mutex"
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.engine
+            .lock()
+            .get(key, SimTime::ZERO)
+            .map(<[u8]>::to_vec)
+    }
+
+    fn put(&self, key: &[u8], value: Vec<u8>) {
+        self.engine.lock().put(key, value, SimTime::ZERO);
+    }
+
+    fn snapshot_weight(&self) -> u64 {
+        self.engine.lock().digest_snapshot().set_bits() as u64
+    }
+}
+
+/// The contender: a lock-striped [`ShardedEngine`].
+#[derive(Debug)]
+pub struct ShardedCache {
+    engine: ShardedEngine,
+}
+
+impl ShardedCache {
+    /// Creates the sharded engine (shard count from `config.shards`).
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        ShardedCache {
+            engine: ShardedEngine::new(config),
+        }
+    }
+}
+
+impl ConcurrentCache for ShardedCache {
+    fn label(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.engine.get(key, SimTime::ZERO)
+    }
+
+    fn put(&self, key: &[u8], value: Vec<u8>) {
+        self.engine.put(key, value, SimTime::ZERO);
+    }
+
+    fn snapshot_weight(&self) -> u64 {
+        self.engine.digest_snapshot().set_bits() as u64
+    }
+}
+
+/// Workload knobs for [`run_mixed`].
+#[derive(Debug, Clone, Copy)]
+pub struct MixedWorkload {
+    /// Client threads hammering the engine.
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops_per_thread: u64,
+    /// Keys are drawn uniformly from `0..key_space`.
+    pub key_space: u64,
+    /// Value payload size in bytes.
+    pub value_len: usize,
+    /// Writes per 100 operations (the rest are reads).
+    pub write_percent: u64,
+    /// Run a concurrent thread looping full digest snapshots for the
+    /// duration of the measurement (the paper's `get SET_BLOOM_FILTER`
+    /// under load).
+    pub snapshot_loop: bool,
+}
+
+impl MixedWorkload {
+    /// A 90 % read / 10 % write mix at the given thread count.
+    #[must_use]
+    pub fn read_heavy(threads: usize, ops_per_thread: u64) -> Self {
+        MixedWorkload {
+            threads,
+            ops_per_thread,
+            key_space: 16_384,
+            value_len: 1024,
+            write_percent: 10,
+            snapshot_loop: false,
+        }
+    }
+
+    /// Enables the concurrent snapshot loop (builder style).
+    #[must_use]
+    pub fn with_snapshot_loop(mut self) -> Self {
+        self.snapshot_loop = true;
+        self
+    }
+}
+
+/// What one [`run_mixed`] measured.
+#[derive(Debug, Clone, Copy)]
+pub struct RunReport {
+    /// Total operations completed across all threads.
+    pub ops: u64,
+    /// Wall-clock of the slowest thread.
+    pub elapsed: Duration,
+    /// 99th-percentile single-operation latency (sampled).
+    pub p99: Duration,
+    /// Digest snapshots completed by the snapshot loop (0 when the
+    /// loop is disabled).
+    pub snapshots: u64,
+}
+
+impl RunReport {
+    /// Aggregate throughput in operations per second.
+    #[must_use]
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// xorshift64*: tiny deterministic per-thread RNG so the workload
+/// needs no external randomness.
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Fills `cache` so reads mostly hit: one value per key in
+/// `0..key_space`.
+pub fn prepopulate<C: ConcurrentCache>(cache: &C, key_space: u64, value_len: usize) {
+    for i in 0..key_space {
+        cache.put(&i.to_le_bytes(), vec![0u8; value_len]);
+    }
+}
+
+/// Drives `cache` with `workload` and measures throughput and sampled
+/// p99 latency. All threads start together behind a barrier; every
+/// 32nd operation is timed individually for the percentile.
+pub fn run_mixed<C: ConcurrentCache>(cache: &Arc<C>, workload: MixedWorkload) -> RunReport {
+    assert!(workload.threads > 0, "need at least one thread");
+    let barrier = Arc::new(Barrier::new(workload.threads + 1));
+    let stop_snapshots = Arc::new(AtomicBool::new(false));
+
+    let snapshot_thread = workload.snapshot_loop.then(|| {
+        let cache = Arc::clone(cache);
+        let stop = Arc::clone(&stop_snapshots);
+        std::thread::spawn(move || {
+            let mut taken = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                std::hint::black_box(cache.snapshot_weight());
+                taken += 1;
+            }
+            taken
+        })
+    });
+
+    let workers: Vec<_> = (0..workload.threads)
+        .map(|t| {
+            let cache = Arc::clone(cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ (t as u64 + 1);
+                let mut samples = Vec::with_capacity((workload.ops_per_thread / 32 + 1) as usize);
+                barrier.wait();
+                let started = Instant::now();
+                for op in 0..workload.ops_per_thread {
+                    let r = next_rand(&mut rng);
+                    let key = (r % workload.key_space).to_le_bytes();
+                    let is_write = r % 100 < workload.write_percent;
+                    let sample = op % 32 == 0;
+                    let op_start = sample.then(Instant::now);
+                    if is_write {
+                        cache.put(&key, vec![0u8; workload.value_len]);
+                    } else {
+                        std::hint::black_box(cache.get(&key));
+                    }
+                    if let Some(s) = op_start {
+                        samples.push(s.elapsed());
+                    }
+                }
+                (started.elapsed(), samples)
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let mut elapsed = Duration::ZERO;
+    let mut samples = Vec::new();
+    for w in workers {
+        let (thread_elapsed, thread_samples) = w.join().expect("worker panicked");
+        elapsed = elapsed.max(thread_elapsed);
+        samples.extend(thread_samples);
+    }
+    stop_snapshots.store(true, Ordering::Relaxed);
+    let snapshots = snapshot_thread.map_or(0, |t| t.join().expect("snapshot thread panicked"));
+
+    samples.sort_unstable();
+    let p99 = samples
+        .get((samples.len().saturating_sub(1)) * 99 / 100)
+        .copied()
+        .unwrap_or_default();
+    RunReport {
+        ops: workload.ops_per_thread * workload.threads as u64,
+        elapsed,
+        p99,
+        snapshots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> CacheConfig {
+        CacheConfig::with_capacity(64 << 20)
+    }
+
+    #[test]
+    fn both_engines_complete_the_mixed_workload() {
+        let workload = MixedWorkload {
+            threads: 4,
+            ops_per_thread: 2_000,
+            key_space: 512,
+            value_len: 64,
+            write_percent: 10,
+            snapshot_loop: false,
+        };
+        let single = Arc::new(SingleMutexCache::new(config()));
+        prepopulate(&*single, workload.key_space, workload.value_len);
+        let r1 = run_mixed(&single, workload);
+        assert_eq!(r1.ops, 8_000);
+        assert!(r1.ops_per_sec() > 0.0);
+
+        let sharded = Arc::new(ShardedCache::new(config()));
+        prepopulate(&*sharded, workload.key_space, workload.value_len);
+        let r2 = run_mixed(&sharded, workload);
+        assert_eq!(r2.ops, 8_000);
+        assert!(r2.p99 > Duration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_loop_takes_snapshots_while_serving() {
+        let workload = MixedWorkload::read_heavy(2, 2_000).with_snapshot_loop();
+        let sharded = Arc::new(ShardedCache::new(config()));
+        prepopulate(&*sharded, workload.key_space, workload.value_len);
+        let report = run_mixed(&sharded, workload);
+        assert!(report.snapshots > 0, "snapshot loop never completed");
+    }
+
+    #[test]
+    fn workload_rng_is_deterministic_per_thread() {
+        let mut a = 0x9E37_79B9_7F4A_7C15u64 ^ 1;
+        let mut b = 0x9E37_79B9_7F4A_7C15u64 ^ 1;
+        for _ in 0..100 {
+            assert_eq!(next_rand(&mut a), next_rand(&mut b));
+        }
+    }
+}

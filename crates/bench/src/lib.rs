@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrency;
+
 use std::io::Write;
 use std::path::PathBuf;
 

@@ -189,7 +189,7 @@ mod tests {
 
     #[test]
     fn lambert_w_identity_holds() {
-        for x in [-0.3, -0.1, 0.0, 0.5, 1.0, 2.718281828, 10.0, 1e6] {
+        for x in [-0.3, -0.1, 0.0, 0.5, 1.0, std::f64::consts::E, 10.0, 1e6] {
             let w = lambert_w(x);
             assert!(
                 (w * w.exp() - x).abs() <= 1e-9 * (1.0 + x.abs()),

@@ -139,6 +139,37 @@ impl BloomFilter {
         }
     }
 
+    /// Whether `other` has the same dimensions and hashing (and thus
+    /// can be meaningfully compared or combined with this filter).
+    #[must_use]
+    pub fn same_shape(&self, other: &BloomFilter) -> bool {
+        self.config.counters == other.config.counters
+            && self.config.hashes == other.config.hashes
+            && self.config.seed == other.config.seed
+    }
+
+    /// Unions `other` into this filter (bitwise OR). Because every key
+    /// hashes identically in same-shape filters, the union answers
+    /// `contains` exactly as if all keys had been inserted into one
+    /// filter — this is how per-shard digests collapse into one
+    /// server-wide digest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filters differ in counters, hashes, or seed.
+    pub fn union_with(&mut self, other: &BloomFilter) {
+        assert!(
+            self.same_shape(other),
+            "cannot union differently-shaped filters: {:?} vs {:?}",
+            self.config,
+            other.config
+        );
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        self.set_bits = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+
     /// Clears all bits.
     pub fn clear(&mut self) {
         self.words.fill(0);

@@ -47,6 +47,9 @@ pub enum SnapshotError {
     BadMagic,
     /// A header field held an impossible value.
     BadHeader(&'static str),
+    /// Two snapshots could not be merged because their filters differ
+    /// in counters, hashes, or seed.
+    ShapeMismatch,
 }
 
 impl fmt::Display for SnapshotError {
@@ -57,6 +60,9 @@ impl fmt::Display for SnapshotError {
             }
             SnapshotError::BadMagic => write!(f, "snapshot magic mismatch"),
             SnapshotError::BadHeader(field) => write!(f, "invalid snapshot header field: {field}"),
+            SnapshotError::ShapeMismatch => {
+                write!(f, "cannot merge snapshots with different filter shapes")
+            }
         }
     }
 }
@@ -144,6 +150,23 @@ impl DigestSnapshot {
         Ok(DigestSnapshot {
             filter: BloomFilter::from_words(cfg, words),
         })
+    }
+
+    /// Merges `other` into this snapshot (bitwise union of the
+    /// filters). Each key lives in exactly one cache shard, so the
+    /// union of same-shape per-shard snapshots is identical to the
+    /// snapshot an unsharded digest of the same contents would give.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::ShapeMismatch`] if the filters differ
+    /// in counters, hashes, or seed.
+    pub fn merge(&mut self, other: &DigestSnapshot) -> Result<(), SnapshotError> {
+        if !self.filter.same_shape(&other.filter) {
+            return Err(SnapshotError::ShapeMismatch);
+        }
+        self.filter.union_with(&other.filter);
+        Ok(())
     }
 
     /// Serialized size in bytes.
@@ -242,5 +265,63 @@ mod tests {
         let e = SnapshotError::Truncated { needed: 10, got: 2 };
         assert!(e.to_string().contains("10"));
         assert!(!SnapshotError::BadMagic.to_string().is_empty());
+        assert!(!SnapshotError::ShapeMismatch.to_string().is_empty());
+    }
+
+    #[test]
+    fn merge_unions_membership() {
+        let cfg = BloomConfig::new(5000, 4, 4).with_seed(11);
+        let mut a = CountingBloomFilter::new(cfg);
+        let mut b = CountingBloomFilter::new(cfg);
+        for i in 0..300u64 {
+            a.insert(&i.to_le_bytes());
+        }
+        for i in 300..600u64 {
+            b.insert(&i.to_le_bytes());
+        }
+        let mut merged = DigestSnapshot::from_filter(&a.snapshot());
+        merged
+            .merge(&DigestSnapshot::from_filter(&b.snapshot()))
+            .unwrap();
+        for i in 0..600u64 {
+            assert!(merged.filter().contains(&i.to_le_bytes()), "key {i}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_unsharded_digest() {
+        // Partition one key set across 4 "shards"; the union of the
+        // shard snapshots must be bit-identical to a single digest of
+        // all keys (each key lives in exactly one shard).
+        let cfg = BloomConfig::new(5000, 4, 4).with_seed(7);
+        let mut whole = CountingBloomFilter::new(cfg);
+        let mut shards: Vec<CountingBloomFilter> =
+            (0..4).map(|_| CountingBloomFilter::new(cfg)).collect();
+        for i in 0..1000u64 {
+            let key = i.to_le_bytes();
+            whole.insert(&key);
+            shards[(i % 4) as usize].insert(&key);
+        }
+        let mut merged = DigestSnapshot::from_filter(&shards[0].snapshot());
+        for shard in &shards[1..] {
+            merged
+                .merge(&DigestSnapshot::from_filter(&shard.snapshot()))
+                .unwrap();
+        }
+        assert_eq!(merged.filter(), &whole.snapshot());
+    }
+
+    #[test]
+    fn merge_rejects_shape_mismatch() {
+        let a = DigestSnapshot::from_filter(&BloomFilter::new(BloomConfig::new(5000, 4, 4)));
+        let wrong_size =
+            DigestSnapshot::from_filter(&BloomFilter::new(BloomConfig::new(4096, 4, 4)));
+        let wrong_seed = DigestSnapshot::from_filter(&BloomFilter::new(
+            BloomConfig::new(5000, 4, 4).with_seed(99),
+        ));
+        let mut m = a.clone();
+        assert_eq!(m.merge(&wrong_size), Err(SnapshotError::ShapeMismatch));
+        assert_eq!(m.merge(&wrong_seed), Err(SnapshotError::ShapeMismatch));
+        assert_eq!(m, a, "failed merges must leave the snapshot untouched");
     }
 }

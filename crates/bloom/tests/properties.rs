@@ -148,4 +148,35 @@ proptest! {
         let w = config::lambert_w(x);
         prop_assert!((w * w.exp() - x).abs() <= 1e-8 * (1.0 + x.abs()), "x={x} w={w}");
     }
+
+    /// Sharding invariance: partition any key set across any shard
+    /// count, snapshot each shard's digest, and merge — the result is
+    /// bit-identical to one digest over the whole set. This is the
+    /// property that lets a sharded cache answer `SET_BLOOM_FILTER`
+    /// one shard at a time.
+    #[test]
+    fn merged_shard_snapshots_equal_unsharded_digest(
+        keys in keys_strategy(),
+        shard_count in 1usize..9,
+        l in 64usize..8192,
+        h in 1u32..8,
+    ) {
+        let cfg = BloomConfig::new(l, 4, h);
+        let mut whole = CountingBloomFilter::new(cfg);
+        let mut shards: Vec<CountingBloomFilter> =
+            (0..shard_count).map(|_| CountingBloomFilter::new(cfg)).collect();
+        for k in &keys {
+            whole.insert(&k.to_le_bytes());
+            // Any deterministic key→shard map works; mirror the
+            // cache's hash-based choice with a cheap mix.
+            let shard = (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shard_count;
+            shards[shard].insert(&k.to_le_bytes());
+        }
+        let mut merged = DigestSnapshot::from_filter(&shards[0].snapshot());
+        for shard in &shards[1..] {
+            merged.merge(&DigestSnapshot::from_filter(&shard.snapshot())).unwrap();
+        }
+        prop_assert_eq!(merged.filter(), &whole.snapshot());
+        prop_assert_eq!(merged.filter().set_bits(), whole.snapshot().set_bits());
+    }
 }

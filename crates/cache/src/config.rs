@@ -33,6 +33,11 @@ pub struct CacheConfig {
     pub item_overhead: u32,
     /// Digest (counting Bloom filter) configuration.
     pub digest: BloomConfig,
+    /// Number of independent shards a
+    /// [`ShardedEngine`](crate::ShardedEngine) splits the capacity
+    /// into (rounded up to a power of two, minimum 1). A plain
+    /// [`CacheEngine`](crate::CacheEngine) ignores this.
+    pub shards: usize,
 }
 
 impl CacheConfig {
@@ -48,6 +53,7 @@ impl CacheConfig {
             hot_ttl: SimDuration::from_secs(60),
             item_overhead: 48,
             digest: BloomConfig::optimal(expected_items, 4, 1e-4, 1e-4),
+            shards: 8,
         }
     }
 
@@ -71,6 +77,13 @@ impl CacheConfig {
         self.item_overhead = overhead;
         self
     }
+
+    /// Sets the shard count for sharded engines (builder style).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -92,9 +105,11 @@ mod tests {
         let cfg = CacheConfig::with_capacity(1 << 16)
             .hot_ttl(SimDuration::from_secs(5))
             .item_overhead(0)
+            .shards(4)
             .digest(digest);
         assert_eq!(cfg.hot_ttl, SimDuration::from_secs(5));
         assert_eq!(cfg.item_overhead, 0);
+        assert_eq!(cfg.shards, 4);
         assert_eq!(cfg.digest, digest);
     }
 }

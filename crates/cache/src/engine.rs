@@ -160,7 +160,7 @@ impl CacheEngine {
     pub fn get(&mut self, key: &[u8], now: SimTime) -> Option<&[u8]> {
         match self.index.get(key).copied() {
             Some(idx) if self.slots[idx as usize].expires_at <= now => {
-                self.remove_slot(&self.slots[idx as usize].key.clone(), idx);
+                self.remove_slot(idx);
                 self.stats.expired += 1;
                 self.stats.misses += 1;
                 None
@@ -185,7 +185,7 @@ impl CacheEngine {
     pub fn touch(&mut self, key: &[u8], now: SimTime) -> bool {
         match self.index.get(key).copied() {
             Some(idx) if self.slots[idx as usize].expires_at <= now => {
-                self.remove_slot(&self.slots[idx as usize].key.clone(), idx);
+                self.remove_slot(idx);
                 self.stats.expired += 1;
                 false
             }
@@ -215,15 +215,15 @@ impl CacheEngine {
     /// broadcast digests do not advertise dead items). Returns the
     /// number of items reaped.
     pub fn sweep_expired(&mut self, now: SimTime) -> u64 {
-        let expired: Vec<(Box<[u8]>, u32)> = self
+        let expired: Vec<u32> = self
             .index
-            .iter()
-            .filter(|&(_, &idx)| self.slots[idx as usize].expires_at <= now)
-            .map(|(k, &idx)| (k.clone(), idx))
+            .values()
+            .copied()
+            .filter(|&idx| self.slots[idx as usize].expires_at <= now)
             .collect();
         let count = expired.len() as u64;
-        for (key, idx) in expired {
-            self.remove_slot(&key, idx);
+        for idx in expired {
+            self.remove_slot(idx);
             self.stats.expired += 1;
         }
         count
@@ -304,27 +304,23 @@ impl CacheEngine {
     fn evict_to_capacity(&mut self) -> u64 {
         let mut evicted = 0;
         while self.bytes_used > self.config.capacity_bytes && self.tail != NIL {
-            let victim = self.tail;
-            let key = self.slots[victim as usize].key.clone();
-            self.remove_slot(&key, victim);
+            self.remove_slot(self.tail);
             self.stats.evictions += 1;
             evicted += 1;
         }
         evicted
     }
 
-    fn remove_slot(&mut self, key: &[u8], idx: u32) {
-        let cost = {
-            let s = &self.slots[idx as usize];
-            self.entry_cost(&s.key, &s.value)
-        };
+    fn remove_slot(&mut self, idx: u32) {
         self.detach(idx);
-        self.index.remove(key);
-        self.digest.remove(key);
+        // Taking the payloads both empties the freed slot and hands us
+        // the key for index/digest removal without cloning it.
+        let key = std::mem::take(&mut self.slots[idx as usize].key);
+        let value = std::mem::take(&mut self.slots[idx as usize].value);
+        let cost = self.entry_cost(&key, &value);
+        self.index.remove(&key);
+        self.digest.remove(&key);
         self.bytes_used -= cost;
-        // Shrink payloads so freed slots hold no data.
-        self.slots[idx as usize].key = Box::default();
-        self.slots[idx as usize].value = Box::default();
         self.free.push(idx);
     }
 
@@ -332,7 +328,7 @@ impl CacheEngine {
     pub fn delete(&mut self, key: &[u8]) -> bool {
         match self.index.get(key).copied() {
             Some(idx) => {
-                self.remove_slot(key, idx);
+                self.remove_slot(idx);
                 self.stats.deletes += 1;
                 true
             }

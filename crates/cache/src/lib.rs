@@ -7,9 +7,12 @@
 //! always exactly consistent with the cache contents — the property
 //! Algorithm 2 depends on.
 //!
-//! The engine is deliberately single-threaded and deterministic; the
-//! discrete-event simulator drives one engine per simulated cache
-//! server, and the TCP tier (`proteus-net`) wraps engines in locks.
+//! [`CacheEngine`] is deliberately single-threaded and deterministic;
+//! the discrete-event simulator drives one engine per simulated cache
+//! server. The TCP tier (`proteus-net`) uses [`ShardedEngine`], which
+//! stripes keys across independent per-shard engines so concurrent
+//! connections rarely contend, keeps statistics in lock-free atomics,
+//! and answers digest snapshots one shard at a time.
 //!
 //! # Example
 //!
@@ -31,8 +34,10 @@
 
 mod config;
 mod engine;
+mod sharded;
 mod stats;
 
 pub use config::CacheConfig;
 pub use engine::CacheEngine;
+pub use sharded::ShardedEngine;
 pub use stats::CacheStats;

@@ -1,0 +1,471 @@
+//! Lock-striped cache engine for concurrent servers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use proteus_bloom::BloomFilter;
+use proteus_sim::{SimDuration, SimTime};
+
+use crate::config::CacheConfig;
+use crate::engine::CacheEngine;
+use crate::stats::CacheStats;
+
+/// Lock-free cumulative counters, mirroring [`CacheStats`].
+#[derive(Debug, Default)]
+struct AtomicStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    sets: AtomicU64,
+    deletes: AtomicU64,
+    evictions: AtomicU64,
+    expired: AtomicU64,
+}
+
+impl AtomicStats {
+    /// Folds the per-shard counter movement `before → after` into the
+    /// global totals. Engine counters only ever grow, so the deltas
+    /// are non-negative.
+    fn accumulate(&self, before: CacheStats, after: CacheStats) {
+        let add = |counter: &AtomicU64, b: u64, a: u64| {
+            if a != b {
+                counter.fetch_add(a - b, Ordering::Relaxed);
+            }
+        };
+        add(&self.hits, before.hits, after.hits);
+        add(&self.misses, before.misses, after.misses);
+        add(&self.sets, before.sets, after.sets);
+        add(&self.deletes, before.deletes, after.deletes);
+        add(&self.evictions, before.evictions, after.evictions);
+        add(&self.expired, before.expired, after.expired);
+    }
+
+    fn load(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            sets: self.sets.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A concurrent cache engine: N independent [`CacheEngine`] shards,
+/// each behind its own mutex, selected by key hash.
+///
+/// Compared to one engine behind one mutex:
+///
+/// - Operations on different shards proceed in parallel; the write
+///   lock a `put` takes only stalls the ~1/N of keys sharing its
+///   shard.
+/// - Statistics live in lock-free atomics, so `stats()` never touches
+///   a shard lock.
+/// - [`digest_snapshot`](Self::digest_snapshot) visits shards *one at
+///   a time* and unions their digests, so a snapshot (the paper's
+///   `get SET_BLOOM_FILTER`) never stops the world — at most one
+///   shard is briefly locked while the other N−1 keep serving.
+///
+/// Every shard's digest shares one [`BloomConfig`](proteus_bloom::BloomConfig),
+/// and each key lives in exactly one shard, so the union is
+/// bit-identical to the digest an unsharded engine with the same
+/// contents would broadcast (see `DigestSnapshot::merge`).
+///
+/// Capacity is partitioned statically: each shard evicts independently
+/// against `capacity_bytes / shards`, which bounds total usage by
+/// `capacity_bytes` without any cross-shard accounting.
+///
+/// # Example
+///
+/// ```
+/// use proteus_cache::{CacheConfig, ShardedEngine};
+/// use proteus_sim::SimTime;
+///
+/// let cache = ShardedEngine::new(CacheConfig::with_capacity(1 << 20));
+/// let t = SimTime::ZERO;
+/// cache.put(b"page:1", vec![0u8; 64], t);
+/// assert_eq!(cache.get(b"page:1", t), Some(vec![0u8; 64]));
+/// assert!(cache.digest_snapshot().contains(b"page:1"));
+/// ```
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Vec<Mutex<CacheEngine>>,
+    mask: u64,
+    config: CacheConfig,
+    stats: AtomicStats,
+}
+
+impl ShardedEngine {
+    /// Creates an empty sharded engine. `config.shards` is rounded up
+    /// to a power of two (minimum 1); each shard gets an equal slice
+    /// of `capacity_bytes` and a full-size digest of the same shape.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let shard_count = config.shards.max(1).next_power_of_two();
+        let shard_config = CacheConfig {
+            capacity_bytes: config.capacity_bytes / shard_count as u64,
+            shards: 1,
+            ..config
+        };
+        ShardedEngine {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(CacheEngine::new(shard_config)))
+                .collect(),
+            mask: shard_count as u64 - 1,
+            config,
+            stats: AtomicStats::default(),
+        }
+    }
+
+    /// The engine's configuration (as given, before per-shard split).
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Number of shards (a power of two).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard `key` lives in.
+    #[must_use]
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        // FNV-1a, xor-folded so the low bits see the whole hash.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        ((h ^ (h >> 32)) & self.mask) as usize
+    }
+
+    /// Runs `f` under the lock of `key`'s shard, folding any counter
+    /// movement into the global atomic statistics. This is the engine's
+    /// unit of atomicity: compound per-key operations (`add`,
+    /// `replace`, `incr`, …) run their probe and write inside one call.
+    pub fn with_key_shard<T>(&self, key: &[u8], f: impl FnOnce(&mut CacheEngine) -> T) -> T {
+        self.with_shard(self.shard_of(key), f)
+    }
+
+    fn with_shard<T>(&self, shard: usize, f: impl FnOnce(&mut CacheEngine) -> T) -> T {
+        let mut guard = self.shards[shard].lock();
+        let before = guard.stats();
+        let out = f(&mut guard);
+        let after = guard.stats();
+        drop(guard);
+        self.stats.accumulate(before, after);
+        out
+    }
+
+    /// Looks up `key`, refreshing recency (see [`CacheEngine::get`]).
+    /// Returns an owned copy of the value (the shard lock is released
+    /// before returning).
+    #[must_use]
+    pub fn get(&self, key: &[u8], now: SimTime) -> Option<Vec<u8>> {
+        self.with_key_shard(key, |e| e.get(key, now).map(<[u8]>::to_vec))
+    }
+
+    /// Inserts or replaces `key` with no expiry. Returns evictions
+    /// caused (within `key`'s shard).
+    pub fn put(&self, key: &[u8], value: Vec<u8>, now: SimTime) -> u64 {
+        self.with_key_shard(key, |e| e.put(key, value, now))
+    }
+
+    /// Inserts or replaces `key` with an optional TTL (see
+    /// [`CacheEngine::put_with_expiry`]).
+    pub fn put_with_expiry(
+        &self,
+        key: &[u8],
+        value: Vec<u8>,
+        now: SimTime,
+        ttl: Option<SimDuration>,
+    ) -> u64 {
+        self.with_key_shard(key, |e| e.put_with_expiry(key, value, now, ttl))
+    }
+
+    /// Deletes `key`, returning whether it was present.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        self.with_key_shard(key, |e| e.delete(key))
+    }
+
+    /// Refreshes `key`'s recency without reading it (see
+    /// [`CacheEngine::touch`]).
+    pub fn touch(&self, key: &[u8], now: SimTime) -> bool {
+        self.with_key_shard(key, |e| e.touch(key, now))
+    }
+
+    /// Non-mutating owned-copy lookup (see [`CacheEngine::peek`]).
+    #[must_use]
+    pub fn peek(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.with_key_shard(key, |e| e.peek(key).map(<[u8]>::to_vec))
+    }
+
+    /// Whether `key` is cached (no side effects).
+    #[must_use]
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.with_key_shard(key, |e| e.contains(key))
+    }
+
+    /// Total cached items across shards (locked one at a time, so the
+    /// count is a consistent-per-shard approximation under writes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether no shard holds any item.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Total accounted bytes across shards.
+    #[must_use]
+    pub fn bytes_used(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().bytes_used()).sum()
+    }
+
+    /// Cumulative statistics, read lock-free from atomics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats.load()
+    }
+
+    /// Reaps expired items in every shard (one shard locked at a
+    /// time). Returns the number reaped.
+    pub fn sweep_expired(&self, now: SimTime) -> u64 {
+        (0..self.shards.len())
+            .map(|i| self.with_shard(i, |e| e.sweep_expired(now)))
+            .sum()
+    }
+
+    /// Snapshot of the whole engine's digest: per-shard snapshots are
+    /// taken and unioned **one shard at a time**, so ongoing operations
+    /// on other shards never wait on the snapshot. The result is
+    /// bit-identical to an unsharded digest of the same contents.
+    #[must_use]
+    pub fn digest_snapshot(&self) -> BloomFilter {
+        let mut merged = self.shards[0].lock().digest_snapshot();
+        for shard in &self.shards[1..] {
+            let snap = shard.lock().digest_snapshot();
+            merged.union_with(&snap);
+        }
+        merged
+    }
+
+    /// Estimated distinct-item count from the merged digest, or `None`
+    /// if the digest is saturated (every bit set).
+    #[must_use]
+    pub fn digest_estimate(&self) -> Option<f64> {
+        self.digest_snapshot().estimate_cardinality()
+    }
+
+    /// Empties every shard (one at a time).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_bloom::BloomConfig;
+    use std::sync::Arc;
+
+    const T0: SimTime = SimTime::ZERO;
+
+    fn engine(capacity: u64, shards: usize) -> ShardedEngine {
+        ShardedEngine::new(
+            CacheConfig::with_capacity(capacity)
+                .item_overhead(0)
+                .shards(shards)
+                .digest(BloomConfig::new(1 << 14, 4, 4)),
+        )
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        assert_eq!(engine(1 << 20, 1).shard_count(), 1);
+        assert_eq!(engine(1 << 20, 3).shard_count(), 4);
+        assert_eq!(engine(1 << 20, 8).shard_count(), 8);
+        assert_eq!(engine(1 << 20, 0).shard_count(), 1);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_spreads() {
+        let c = engine(1 << 20, 8);
+        let mut seen = vec![0usize; c.shard_count()];
+        for i in 0..4096u64 {
+            let key = i.to_le_bytes();
+            assert_eq!(c.shard_of(&key), c.shard_of(&key));
+            seen[c.shard_of(&key)] += 1;
+        }
+        for (shard, &count) in seen.iter().enumerate() {
+            // 4096/8 = 512 expected; allow generous imbalance.
+            assert!(count > 256, "shard {shard} got only {count} keys");
+        }
+    }
+
+    #[test]
+    fn basic_ops_roundtrip_across_shards() {
+        let c = engine(1 << 20, 4);
+        for i in 0..500u64 {
+            c.put(&i.to_le_bytes(), i.to_string().into_bytes(), T0);
+        }
+        for i in 0..500u64 {
+            assert_eq!(
+                c.get(&i.to_le_bytes(), T0),
+                Some(i.to_string().into_bytes())
+            );
+            assert!(c.contains(&i.to_le_bytes()));
+        }
+        assert_eq!(c.len(), 500);
+        assert!(!c.is_empty());
+        assert!(c.delete(&7u64.to_le_bytes()));
+        assert!(!c.delete(&7u64.to_le_bytes()));
+        assert_eq!(c.len(), 499);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes_used(), 0);
+    }
+
+    #[test]
+    fn stats_sum_exactly_across_shards() {
+        let c = engine(1 << 20, 8);
+        for i in 0..300u64 {
+            c.put(&i.to_le_bytes(), vec![0; 8], T0);
+        }
+        for i in 0..400u64 {
+            let _ = c.get(&i.to_le_bytes(), T0);
+        }
+        for i in 0..100u64 {
+            assert!(c.delete(&i.to_le_bytes()));
+        }
+        let s = c.stats();
+        assert_eq!(s.sets, 300);
+        assert_eq!(s.hits, 300);
+        assert_eq!(s.misses, 100);
+        assert_eq!(s.deletes, 100);
+    }
+
+    #[test]
+    fn stats_are_exact_under_concurrency() {
+        let c = Arc::new(engine(1 << 24, 8));
+        let threads = 8;
+        let per_thread = 2000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let key = (t * per_thread + i).to_le_bytes();
+                        c.put(&key, vec![0; 16], T0);
+                        assert!(c.get(&key, T0).is_some());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.sets, threads * per_thread);
+        assert_eq!(s.hits, threads * per_thread);
+        assert_eq!(c.len() as u64, threads * per_thread);
+    }
+
+    #[test]
+    fn capacity_is_partitioned_and_never_exceeded() {
+        let c = engine(8000, 4);
+        for i in 0..2000u64 {
+            c.put(&i.to_le_bytes(), vec![0; 50], T0);
+            assert!(c.bytes_used() <= 8000, "over capacity at item {i}");
+        }
+        assert!(c.stats().evictions > 0, "pressure must evict");
+    }
+
+    #[test]
+    fn merged_snapshot_equals_unsharded_digest() {
+        let config = CacheConfig::with_capacity(1 << 20)
+            .item_overhead(0)
+            .digest(BloomConfig::new(1 << 14, 4, 4));
+        let sharded = ShardedEngine::new(config.shards(8));
+        let mut single = CacheEngine::new(config.shards(1));
+        for i in 0..2000u64 {
+            let key = i.to_le_bytes();
+            sharded.put(&key, vec![0; 16], T0);
+            single.put(&key, vec![0; 16], T0);
+        }
+        assert_eq!(sharded.digest_snapshot(), single.digest_snapshot());
+        let est = sharded.digest_estimate().unwrap();
+        assert!((est - 2000.0).abs() / 2000.0 < 0.05, "estimate {est}");
+    }
+
+    #[test]
+    fn expiry_and_sweep_work_per_shard() {
+        let c = engine(1 << 20, 4);
+        let ttl = SimDuration::from_secs(10);
+        for i in 0..100u64 {
+            c.put_with_expiry(&i.to_le_bytes(), vec![0; 8], T0, Some(ttl));
+        }
+        for i in 100..200u64 {
+            c.put(&i.to_le_bytes(), vec![0; 8], T0);
+        }
+        let later = T0 + SimDuration::from_secs(11);
+        assert_eq!(c.sweep_expired(later), 100);
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.stats().expired, 100);
+        // Lazy expiry path through get() as well.
+        let c2 = engine(1 << 20, 4);
+        c2.put_with_expiry(b"gone", vec![1], T0, Some(ttl));
+        assert_eq!(c2.get(b"gone", later), None);
+        assert_eq!(c2.stats().expired, 1);
+    }
+
+    #[test]
+    fn touch_and_peek_do_not_disturb_stats() {
+        let c = engine(1 << 20, 4);
+        c.put(b"k", vec![1, 2], T0);
+        let before = c.stats();
+        assert!(c.touch(b"k", T0));
+        assert!(!c.touch(b"missing", T0));
+        assert_eq!(c.peek(b"k"), Some(vec![1, 2]));
+        assert_eq!(c.peek(b"missing"), None);
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn with_key_shard_makes_compound_ops_atomic() {
+        let c = Arc::new(engine(1 << 20, 8));
+        c.put(b"counter", b"0".to_vec(), T0);
+        let threads = 8;
+        let per_thread = 500u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        c.with_key_shard(b"counter", |e| {
+                            let v: u64 = std::str::from_utf8(e.peek(b"counter").unwrap())
+                                .unwrap()
+                                .parse()
+                                .unwrap();
+                            e.put(b"counter", (v + 1).to_string().into_bytes(), T0);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            c.peek(b"counter"),
+            Some((threads * per_thread).to_string().into_bytes())
+        );
+    }
+}

@@ -9,8 +9,20 @@ use proteus_bloom::{BloomFilter, DigestSnapshot};
 
 use crate::error::NetError;
 use crate::protocol::{
-    read_response, write_command, Command, Response, DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
+    read_response, write_command, Command, Response, ValueItem, DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
 };
+
+/// An in-flight multi-key get whose request has been written but whose
+/// response has not yet been read. Produced by
+/// [`CacheClient::send_get_many`]; redeem it with
+/// [`CacheClient::recv_get_many`]. Holding several of these (one per
+/// server) pipelines a batch: all requests go out before any response
+/// is awaited.
+#[derive(Debug)]
+pub struct PendingGets {
+    reader: BufReader<TcpStream>,
+    keys: Vec<Vec<u8>>,
+}
 
 /// A pooled, blocking client for one cache server.
 ///
@@ -107,6 +119,75 @@ impl CacheClient {
             Response::Miss => Ok(None),
             other => Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
         }
+    }
+
+    /// Fetches several keys in one request/response round trip
+    /// (memcached `get k1 k2 ...`). Results align with `keys`: position
+    /// `i` holds `Some(value)` if `keys[i]` was cached, `None` if not.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a [`NetError::ServerError`].
+    pub fn get_many(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>, NetError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let pending = self.send_get_many(keys)?;
+        self.recv_get_many(pending)
+    }
+
+    /// Writes a multi-key get and returns without waiting for the
+    /// response. Each call uses its own pooled connection, so sending
+    /// to several servers (or several batches) first and receiving
+    /// afterwards overlaps the round trips.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors, or [`NetError::Protocol`] if `keys`
+    /// is empty.
+    pub fn send_get_many(&self, keys: &[&[u8]]) -> Result<PendingGets, NetError> {
+        if keys.is_empty() {
+            return Err(NetError::Protocol("get_many needs at least one key".into()));
+        }
+        let owned: Vec<Vec<u8>> = keys.iter().map(|k| k.to_vec()).collect();
+        let cmd = if owned.len() == 1 {
+            Command::Get {
+                key: owned[0].clone(),
+            }
+        } else {
+            Command::MultiGet {
+                keys: owned.clone(),
+            }
+        };
+        let stream = self.checkout()?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        write_command(&mut writer, &cmd)?;
+        Ok(PendingGets {
+            reader: BufReader::new(stream),
+            keys: owned,
+        })
+    }
+
+    /// Reads the response for a [`send_get_many`](Self::send_get_many)
+    /// and returns values aligned with the keys that were sent.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a [`NetError::ServerError`].
+    pub fn recv_get_many(&self, pending: PendingGets) -> Result<Vec<Option<Vec<u8>>>, NetError> {
+        let PendingGets { mut reader, keys } = pending;
+        let response = read_response(&mut reader)?;
+        self.checkin(reader.into_inner());
+        let items = match response {
+            Response::Error(msg) => return Err(NetError::ServerError(msg)),
+            Response::Miss => Vec::new(),
+            Response::Value { key, flags, data } => vec![ValueItem { key, flags, data }],
+            Response::Values(items) => items,
+            other => return Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
+        };
+        let found: std::collections::HashMap<Vec<u8>, Vec<u8>> =
+            items.into_iter().map(|i| (i.key, i.data)).collect();
+        Ok(keys.iter().map(|k| found.get(k).cloned()).collect())
     }
 
     /// Stores `value` under `key`.
@@ -338,6 +419,75 @@ mod tests {
         }
         for h in handles {
             h.join().unwrap();
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn get_many_aligns_hits_and_misses() {
+        let server =
+            CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(1 << 20)).unwrap();
+        let client = CacheClient::connect(server.addr()).unwrap();
+        client.set(b"a", b"1").unwrap();
+        client.set(b"c", b"3").unwrap();
+        let got = client
+            .get_many(&[
+                b"a".as_slice(),
+                b"b".as_slice(),
+                b"c".as_slice(),
+                b"a".as_slice(),
+            ])
+            .unwrap();
+        assert_eq!(
+            got,
+            vec![
+                Some(b"1".to_vec()),
+                None,
+                Some(b"3".to_vec()),
+                Some(b"1".to_vec()),
+            ]
+        );
+        // Degenerate sizes.
+        assert_eq!(client.get_many(&[]).unwrap(), Vec::<Option<Vec<u8>>>::new());
+        assert_eq!(
+            client.get_many(&[b"c".as_slice()]).unwrap(),
+            vec![Some(b"3".to_vec())]
+        );
+        assert_eq!(client.get_many(&[b"nope".as_slice()]).unwrap(), vec![None]);
+        server.stop();
+    }
+
+    #[test]
+    fn pipelined_gets_overlap_round_trips() {
+        let server =
+            CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(1 << 20)).unwrap();
+        let client = CacheClient::connect(server.addr()).unwrap();
+        for i in 0..10u32 {
+            client
+                .set(format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        // Send three batches before reading any response.
+        let batches: Vec<Vec<Vec<u8>>> = (0..3)
+            .map(|b| {
+                (0..4)
+                    .map(|i| format!("k{}", b * 3 + i).into_bytes())
+                    .collect()
+            })
+            .collect();
+        let pendings: Vec<_> = batches
+            .iter()
+            .map(|batch| {
+                let refs: Vec<&[u8]> = batch.iter().map(Vec::as_slice).collect();
+                client.send_get_many(&refs).unwrap()
+            })
+            .collect();
+        for (batch, pending) in batches.iter().zip(pendings) {
+            let got = client.recv_get_many(pending).unwrap();
+            for (key, value) in batch.iter().zip(got) {
+                let expect = format!("v{}", &String::from_utf8_lossy(key)[1..]);
+                assert_eq!(value, Some(expect.into_bytes()), "key {key:?}");
+            }
         }
         server.stop();
     }

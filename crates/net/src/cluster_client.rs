@@ -189,6 +189,62 @@ impl ClusterClient {
         self.clients[new_server.index()].set(key, &value)?;
         Ok((value, ClusterFetch::Database))
     }
+
+    /// Batched Algorithm 2: fetches many keys with one pipelined
+    /// multi-key get per involved server instead of one round trip per
+    /// key. Keys are grouped by their new-mapping server, all requests
+    /// are written before any response is awaited, and only the keys
+    /// that miss fall back to the single-key [`fetch`](Self::fetch)
+    /// path (migration digest check, then the backing store).
+    ///
+    /// Results align with `keys`.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures from the cache servers or the
+    /// backing store.
+    pub fn fetch_many<D: DbFallback + ?Sized>(
+        &self,
+        keys: &[&[u8]],
+        db: &D,
+    ) -> Result<Vec<(Vec<u8>, ClusterFetch)>, NetError> {
+        let mut groups: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (pos, key) in keys.iter().enumerate() {
+            groups
+                .entry(self.server_for(key).index())
+                .or_default()
+                .push(pos);
+        }
+        // Phase 1: write every server's multi-get before reading any
+        // response, overlapping the per-server round trips.
+        let mut pending = Vec::with_capacity(groups.len());
+        for (server, positions) in groups {
+            let group_keys: Vec<&[u8]> = positions.iter().map(|&p| keys[p]).collect();
+            let sent = self.clients[server].send_get_many(&group_keys)?;
+            pending.push((server, positions, sent));
+        }
+        // Phase 2: collect responses and slot the hits.
+        let mut out: Vec<Option<(Vec<u8>, ClusterFetch)>> = vec![None; keys.len()];
+        for (server, positions, sent) in pending {
+            let values = self.clients[server].recv_get_many(sent)?;
+            for (pos, value) in positions.into_iter().zip(values) {
+                if let Some(data) = value {
+                    out[pos] = Some((data, ClusterFetch::Hit));
+                }
+            }
+        }
+        // Phase 3: misses take the full single-key decision tree.
+        for (pos, slot) in out.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(self.fetch(keys[pos], db)?);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect())
+    }
 }
 
 impl fmt::Debug for ClusterClient {
@@ -290,6 +346,61 @@ mod tests {
             .unwrap();
         let (_, how) = client.fetch(&moved, &db).unwrap();
         assert_eq!(how, ClusterFetch::Database);
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn fetch_many_matches_per_key_fetch() {
+        let (servers, client, db) = cluster(3);
+        let keys: Vec<Vec<u8>> = (0..60u32)
+            .map(|i| format!("page:{i}").into_bytes())
+            .collect();
+        // Warm the even keys only.
+        for k in keys.iter().step_by(2) {
+            client.fetch(k, &db).unwrap();
+        }
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let batched = client.fetch_many(&refs, &db).unwrap();
+        assert_eq!(batched.len(), keys.len());
+        for (i, (value, how)) in batched.iter().enumerate() {
+            // Values always match a direct single-key fetch.
+            let (single, _) = client.fetch(&keys[i], &db).unwrap();
+            assert_eq!(value, &single, "key {i}");
+            let expected = if i % 2 == 0 {
+                ClusterFetch::Hit
+            } else {
+                ClusterFetch::Database
+            };
+            assert_eq!(*how, expected, "key {i}");
+        }
+        // The batch installed the misses; a re-run is all hits.
+        for (_, how) in client.fetch_many(&refs, &db).unwrap() {
+            assert_eq!(how, ClusterFetch::Hit);
+        }
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn fetch_many_migrates_during_transition() {
+        let (servers, mut client, db) = cluster(4);
+        let keys: Vec<Vec<u8>> = (0..80u32)
+            .map(|i| format!("page:{i}").into_bytes())
+            .collect();
+        for k in &keys {
+            client.fetch(k, &db).unwrap();
+        }
+        let db_before = db.lock().total_fetches();
+        client.begin_transition(3).unwrap();
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        for (_, how) in client.fetch_many(&refs, &db).unwrap() {
+            assert_ne!(how, ClusterFetch::Database);
+        }
+        assert_eq!(db.lock().total_fetches(), db_before);
+        client.end_transition();
         for s in servers {
             s.stop();
         }

@@ -6,14 +6,18 @@
 //! section:
 //!
 //! - [`CacheServer`] — a thread-per-connection cache server wrapping a
-//!   [`proteus_cache::CacheEngine`], speaking a memcached-flavoured
-//!   text protocol (`get` / `set` / `delete` / `stats` / `quit`). Like
-//!   the paper's modified memcached, the reserved keys
+//!   lock-striped [`proteus_cache::ShardedEngine`] (no global engine
+//!   mutex), speaking a memcached-flavoured text protocol (`get` /
+//!   multi-key `get k1 k2 ...` / `set` / `delete` / `stats` / `quit`).
+//!   Like the paper's modified memcached, the reserved keys
 //!   `SET_BLOOM_FILTER` and `BLOOM_FILTER` snapshot and retrieve the
 //!   server's digest **through the ordinary data protocol**, so any
-//!   stock client library can fetch digests.
+//!   stock client library can fetch digests; the snapshot is built one
+//!   shard at a time and never stalls unrelated traffic.
 //! - [`CacheClient`] — a blocking client with connection pooling
-//!   (the paper pools connections via Apache Commons Pool).
+//!   (the paper pools connections via Apache Commons Pool) and
+//!   batched, pipelined multi-key gets
+//!   ([`get_many`](CacheClient::get_many)).
 //! - [`ClusterClient`] — the web-tier side: consistent routing over
 //!   any [`PlacementStrategy`](proteus_ring::PlacementStrategy) plus
 //!   Algorithm 2 retrieval against live servers with a pluggable
@@ -42,11 +46,11 @@ mod error;
 mod protocol;
 mod server;
 
-pub use client::CacheClient;
+pub use client::{CacheClient, PendingGets};
 pub use cluster_client::{ClusterClient, ClusterFetch, DbFallback};
 pub use error::NetError;
 pub use protocol::{
-    read_command, read_response, write_command, write_response, Command, Response, DIGEST_KEY,
-    DIGEST_SNAPSHOT_KEY,
+    read_command, read_response, write_command, write_response, Command, Response, ValueItem,
+    DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
 };
 pub use server::CacheServer;

@@ -3,7 +3,7 @@
 //! Grammar (all lines CRLF-terminated):
 //!
 //! ```text
-//! get <key>
+//! get <key> [<key> ...]
 //! set <key> <flags> <exptime> <bytes>\r\n<data of `bytes` octets>
 //! add <key> <flags> <exptime> <bytes>\r\n<data>      (store if absent)
 //! replace <key> <flags> <exptime> <bytes>\r\n<data>  (store if present)
@@ -22,6 +22,8 @@
 //! ```text
 //! VALUE <key> <flags> <bytes>\r\n<data>\r\nEND     (get hit)
 //! END                                             (get miss)
+//! VALUE ...\r\n<data>\r\nVALUE ...\r\n<data>\r\nEND (multi-key get;
+//!                                                  misses are omitted)
 //! STORED / NOT_STORED / DELETED / NOT_FOUND / TOUCHED / OK
 //! <number>                                        (incr/decr result)
 //! VERSION <string>
@@ -51,6 +53,13 @@ pub enum Command {
     Get {
         /// The requested key.
         key: Vec<u8>,
+    },
+    /// `get <key> <key> ...`: memcached-style multi-key get. All hits
+    /// come back as consecutive `VALUE` blocks in one response;
+    /// misses are silently omitted.
+    MultiGet {
+        /// The requested keys, in request order (at least two).
+        keys: Vec<Vec<u8>>,
     },
     /// `set <key> <flags> <exptime> <bytes>` + data block.
     Set {
@@ -122,6 +131,17 @@ pub enum Command {
     Quit,
 }
 
+/// One `VALUE` block inside a multi-key get response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueItem {
+    /// Echoed key.
+    pub key: Vec<u8>,
+    /// Echoed flags.
+    pub flags: u32,
+    /// The value bytes.
+    pub data: Vec<u8>,
+}
+
 /// A server response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -134,6 +154,12 @@ pub enum Response {
         /// The value bytes.
         data: Vec<u8>,
     },
+    /// Two or more `VALUE` blocks from a multi-key get. An empty or
+    /// single-item list is never produced by
+    /// [`read_response`](crate::protocol::read_response): zero hits
+    /// parse as [`Miss`](Response::Miss), one as
+    /// [`Value`](Response::Value).
+    Values(Vec<ValueItem>),
     /// A `get` miss.
     Miss,
     /// A successful `set`/`add`/`replace`.
@@ -181,15 +207,22 @@ pub fn read_command<R: BufRead>(reader: &mut R) -> Result<Command, NetError> {
         .ok_or_else(|| NetError::Protocol("empty command".into()))?;
     match verb {
         "get" => {
-            let key = parts
-                .next()
-                .ok_or_else(|| NetError::Protocol("get needs a key".into()))?
-                .as_bytes()
-                .to_vec();
-            if !valid_key(&key) {
+            let keys: Vec<Vec<u8>> = parts.map(|p| p.as_bytes().to_vec()).collect();
+            if keys.is_empty() {
+                return Err(NetError::Protocol("get needs a key".into()));
+            }
+            if keys.len() > 1024 {
+                return Err(NetError::Protocol("too many keys in one get".into()));
+            }
+            if keys.iter().any(|k| !valid_key(k)) {
                 return Err(NetError::Protocol("invalid key".into()));
             }
-            Ok(Command::Get { key })
+            if keys.len() == 1 {
+                let key = keys.into_iter().next().expect("one key");
+                Ok(Command::Get { key })
+            } else {
+                Ok(Command::MultiGet { keys })
+            }
         }
         "set" => {
             let key = parts
@@ -324,6 +357,14 @@ pub fn write_command<W: Write>(writer: &mut W, cmd: &Command) -> Result<(), NetE
             writer.write_all(key)?;
             writer.write_all(b"\r\n")?;
         }
+        Command::MultiGet { keys } => {
+            writer.write_all(b"get")?;
+            for key in keys {
+                writer.write_all(b" ")?;
+                writer.write_all(key)?;
+            }
+            writer.write_all(b"\r\n")?;
+        }
         Command::Set {
             key,
             flags,
@@ -402,6 +443,16 @@ pub fn write_response<W: Write>(writer: &mut W, resp: &Response) -> Result<(), N
             write!(writer, " {flags} {}\r\n", data.len())?;
             writer.write_all(data)?;
             writer.write_all(b"\r\nEND\r\n")?;
+        }
+        Response::Values(items) => {
+            for item in items {
+                writer.write_all(b"VALUE ")?;
+                writer.write_all(&item.key)?;
+                write!(writer, " {} {}\r\n", item.flags, item.data.len())?;
+                writer.write_all(&item.data)?;
+                writer.write_all(b"\r\n")?;
+            }
+            writer.write_all(b"END\r\n")?;
         }
         Response::Miss => writer.write_all(b"END\r\n")?,
         Response::Stored => writer.write_all(b"STORED\r\n")?,
@@ -493,31 +544,51 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, NetError> {
                 .map_err(|_| NetError::Protocol("stats line is not UTF-8".into()))?;
         }
     }
-    if let Some(rest) = text.strip_prefix("VALUE ") {
-        let mut parts = rest.split_ascii_whitespace();
-        let key = parts
-            .next()
-            .ok_or_else(|| NetError::Protocol("VALUE missing key".into()))?
-            .as_bytes()
-            .to_vec();
-        let flags: u32 = parse_field(parts.next(), "flags")?;
-        let bytes: usize = parse_field(parts.next(), "bytes")?;
-        if bytes > 64 << 20 {
-            return Err(NetError::Protocol("value too large".into()));
+    if text.starts_with("VALUE ") {
+        // One or more VALUE blocks, then a lone END. Zero blocks never
+        // reach here (that is the bare-END Miss case above); one block
+        // parses as Value so single-key responses are unchanged.
+        let mut items = Vec::new();
+        let mut current = text.to_string();
+        loop {
+            let rest = current
+                .strip_prefix("VALUE ")
+                .ok_or_else(|| NetError::Protocol(format!("bad value line {current:?}")))?;
+            let mut parts = rest.split_ascii_whitespace();
+            let key = parts
+                .next()
+                .ok_or_else(|| NetError::Protocol("VALUE missing key".into()))?
+                .as_bytes()
+                .to_vec();
+            let flags: u32 = parse_field(parts.next(), "flags")?;
+            let bytes: usize = parse_field(parts.next(), "bytes")?;
+            if bytes > 64 << 20 {
+                return Err(NetError::Protocol("value too large".into()));
+            }
+            let mut data = vec![0u8; bytes];
+            std::io::Read::read_exact(reader, &mut data)?;
+            let mut tail = [0u8; 2];
+            std::io::Read::read_exact(reader, &mut tail)?;
+            if &tail != b"\r\n" {
+                return Err(NetError::Protocol("value not CRLF-terminated".into()));
+            }
+            items.push(ValueItem { key, flags, data });
+            if items.len() > 1024 {
+                return Err(NetError::Protocol("too many VALUE blocks".into()));
+            }
+            let mut next = Vec::new();
+            read_line(reader, &mut next)?;
+            if next == b"END" {
+                break;
+            }
+            current = String::from_utf8(next)
+                .map_err(|_| NetError::Protocol("value line is not UTF-8".into()))?;
         }
-        let mut data = vec![0u8; bytes];
-        std::io::Read::read_exact(reader, &mut data)?;
-        let mut tail = [0u8; 2];
-        std::io::Read::read_exact(reader, &mut tail)?;
-        if &tail != b"\r\n" {
-            return Err(NetError::Protocol("value not CRLF-terminated".into()));
+        if items.len() == 1 {
+            let ValueItem { key, flags, data } = items.into_iter().next().expect("one item");
+            return Ok(Response::Value { key, flags, data });
         }
-        let mut end = Vec::new();
-        read_line(reader, &mut end)?;
-        if end != b"END" {
-            return Err(NetError::Protocol("missing END after VALUE".into()));
-        }
-        return Ok(Response::Value { key, flags, data });
+        return Ok(Response::Values(items));
     }
     Err(NetError::Protocol(format!(
         "unrecognized response {text:?}"
@@ -649,6 +720,98 @@ mod tests {
     #[test]
     fn eof_surfaces_as_io() {
         assert!(matches!(read_command(&mut &b""[..]), Err(NetError::Io(_))));
+    }
+
+    #[test]
+    fn multi_key_get_roundtrips() {
+        let cmd = Command::MultiGet {
+            keys: vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()],
+        };
+        let mut buf = Vec::new();
+        write_command(&mut buf, &cmd).unwrap();
+        assert_eq!(buf, b"get a b c\r\n");
+        assert_eq!(read_command(&mut &buf[..]).unwrap(), cmd);
+    }
+
+    #[test]
+    fn single_key_get_stays_get() {
+        // `get k` must keep parsing to Get, not a one-key MultiGet, so
+        // single-key traffic is byte-identical to the previous protocol.
+        assert_eq!(
+            read_command(&mut &b"get k\r\n"[..]).unwrap(),
+            Command::Get { key: b"k".to_vec() }
+        );
+    }
+
+    #[test]
+    fn multi_get_rejects_any_invalid_key() {
+        let long = format!("get ok {}\r\n", "k".repeat(300));
+        assert!(matches!(
+            read_command(&mut long.as_bytes()),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn values_roundtrip_and_degenerate_cases_normalize() {
+        let items = vec![
+            ValueItem {
+                key: b"a".to_vec(),
+                flags: 1,
+                data: b"first".to_vec(),
+            },
+            ValueItem {
+                key: b"c".to_vec(),
+                flags: 0,
+                data: vec![0, 255, b'\r', b'\n'],
+            },
+        ];
+        let resp = Response::Values(items.clone());
+        assert_eq!(roundtrip_response(resp.clone()), resp);
+        // Zero hits on the wire are exactly a miss; one hit is exactly
+        // a single-key Value. Both normalize on read.
+        assert_eq!(
+            roundtrip_response(Response::Values(Vec::new())),
+            Response::Miss
+        );
+        assert_eq!(
+            roundtrip_response(Response::Values(items[..1].to_vec())),
+            Response::Value {
+                key: b"a".to_vec(),
+                flags: 1,
+                data: b"first".to_vec(),
+            }
+        );
+    }
+
+    #[test]
+    fn multi_value_wire_bytes_are_memcached_shaped() {
+        let resp = Response::Values(vec![
+            ValueItem {
+                key: b"x".to_vec(),
+                flags: 0,
+                data: b"1".to_vec(),
+            },
+            ValueItem {
+                key: b"y".to_vec(),
+                flags: 2,
+                data: b"22".to_vec(),
+            },
+        ]);
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        assert_eq!(buf, b"VALUE x 0 1\r\n1\r\nVALUE y 2 2\r\n22\r\nEND\r\n");
+    }
+
+    #[test]
+    fn truncated_multi_value_stream_errors() {
+        // Second VALUE block promised but stream ends: Io error, not a
+        // bogus partial response.
+        let bytes = b"VALUE x 0 1\r\n1\r\nVALUE y 0 5\r\n".to_vec();
+        assert!(matches!(
+            read_response(&mut &bytes[..]),
+            Err(NetError::Io(_))
+        ));
     }
 
     #[test]

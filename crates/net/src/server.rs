@@ -9,16 +9,16 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 use proteus_bloom::DigestSnapshot;
-use proteus_cache::{CacheConfig, CacheEngine};
+use proteus_cache::{CacheConfig, ShardedEngine};
 use proteus_sim::{SimDuration, SimTime};
 
 use crate::error::NetError;
 use crate::protocol::{
-    read_command, write_response, Command, Response, DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
+    read_command, write_response, Command, Response, ValueItem, DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
 };
 
 struct Shared {
-    engine: Mutex<CacheEngine>,
+    engine: ShardedEngine,
     /// The digest snapshot taken by the last `get SET_BLOOM_FILTER`.
     snapshot: Mutex<Option<Vec<u8>>>,
     started: Instant,
@@ -32,11 +32,15 @@ impl Shared {
 }
 
 /// A running cache server: a listener thread plus one thread per
-/// connection, all sharing one [`CacheEngine`] behind a mutex.
+/// connection, all sharing one lock-striped [`ShardedEngine`].
+/// Connections touching different key shards proceed in parallel;
+/// there is no global engine lock.
 ///
 /// Digest protocol, exactly as in the paper's modified memcached:
-/// `get SET_BLOOM_FILTER` snapshots the counting Bloom filter digest;
+/// `get SET_BLOOM_FILTER` snapshots the counting Bloom filter digest
+/// (built one shard at a time, so unrelated gets keep flowing);
 /// `get BLOOM_FILTER` returns the snapshot bytes as a normal value.
+/// Multi-key `get k1 k2 ...` answers all keys in one round trip.
 ///
 /// # Example
 ///
@@ -65,7 +69,7 @@ impl CacheServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            engine: Mutex::new(CacheEngine::new(config)),
+            engine: ShardedEngine::new(config),
             snapshot: Mutex::new(None),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
@@ -100,8 +104,8 @@ impl CacheServer {
 
     /// Runs `f` on the server's engine (inspection from tests and the
     /// transition orchestrator).
-    pub fn with_engine<T>(&self, f: impl FnOnce(&mut CacheEngine) -> T) -> T {
-        f(&mut self.shared.engine.lock())
+    pub fn with_engine<T>(&self, f: impl FnOnce(&ShardedEngine) -> T) -> T {
+        f(&self.shared.engine)
     }
 
     /// Stops accepting connections and joins the accept thread.
@@ -161,19 +165,50 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
 /// (missing key → `NOT_FOUND`; non-numeric value → error).
 fn numeric_op(shared: &Shared, key: &[u8], op: impl FnOnce(u64) -> u64) -> Response {
     let now = shared.now();
-    let mut engine = shared.engine.lock();
-    let Some(current) = engine.peek(key) else {
-        return Response::NotFound;
-    };
-    let Ok(text) = std::str::from_utf8(current) else {
-        return Response::Error("cannot increment or decrement non-numeric value".into());
-    };
-    let Ok(value) = text.trim().parse::<u64>() else {
-        return Response::Error("cannot increment or decrement non-numeric value".into());
-    };
-    let next = op(value);
-    engine.put(key, next.to_string().into_bytes(), now);
-    Response::Numeric(next)
+    // Probe and store under one shard lock so concurrent incr/decr on
+    // the same key never lose updates.
+    shared.engine.with_key_shard(key, |engine| {
+        let Some(current) = engine.peek(key) else {
+            return Response::NotFound;
+        };
+        let Ok(text) = std::str::from_utf8(current) else {
+            return Response::Error("cannot increment or decrement non-numeric value".into());
+        };
+        let Ok(value) = text.trim().parse::<u64>() else {
+            return Response::Error("cannot increment or decrement non-numeric value".into());
+        };
+        let next = op(value);
+        engine.put(key, next.to_string().into_bytes(), now);
+        Response::Numeric(next)
+    })
+}
+
+/// Serves one key of a `get`, including the paper's two reserved keys.
+/// Returns `None` on a miss (multi-key gets omit misses).
+fn lookup(shared: &Shared, key: &[u8]) -> Option<ValueItem> {
+    if key == DIGEST_SNAPSHOT_KEY {
+        let snapshot = shared.engine.digest_snapshot();
+        let bytes = DigestSnapshot::from_filter(&snapshot).to_bytes();
+        *shared.snapshot.lock() = Some(bytes);
+        return Some(ValueItem {
+            key: DIGEST_SNAPSHOT_KEY.to_vec(),
+            flags: 0,
+            data: b"OK".to_vec(),
+        });
+    }
+    if key == DIGEST_KEY {
+        return shared.snapshot.lock().clone().map(|data| ValueItem {
+            key: DIGEST_KEY.to_vec(),
+            flags: 0,
+            data,
+        });
+    }
+    let now = shared.now();
+    shared.engine.get(key, now).map(|data| ValueItem {
+        key: key.to_vec(),
+        flags: 0,
+        data,
+    })
 }
 
 /// Maps the protocol's `exptime` seconds to an engine TTL
@@ -184,34 +219,14 @@ fn expiry(exptime: u32) -> Option<SimDuration> {
 
 fn execute(command: Command, shared: &Shared) -> Response {
     match command {
-        Command::Get { key } if key == DIGEST_SNAPSHOT_KEY => {
-            let snapshot = shared.engine.lock().digest_snapshot();
-            let bytes = DigestSnapshot::from_filter(&snapshot).to_bytes();
-            *shared.snapshot.lock() = Some(bytes);
-            Response::Value {
-                key: DIGEST_SNAPSHOT_KEY.to_vec(),
-                flags: 0,
-                data: b"OK".to_vec(),
-            }
-        }
-        Command::Get { key } if key == DIGEST_KEY => match shared.snapshot.lock().clone() {
-            Some(data) => Response::Value {
-                key: DIGEST_KEY.to_vec(),
-                flags: 0,
-                data,
-            },
+        Command::Get { key } => match lookup(shared, &key) {
+            Some(ValueItem { key, flags, data }) => Response::Value { key, flags, data },
             None => Response::Miss,
         },
-        Command::Get { key } => {
-            let now = shared.now();
-            match shared.engine.lock().get(&key, now) {
-                Some(v) => Response::Value {
-                    key,
-                    flags: 0,
-                    data: v.to_vec(),
-                },
-                None => Response::Miss,
-            }
+        Command::MultiGet { keys } => {
+            // Memcached semantics: each key is served independently
+            // (misses omitted), in one response round trip.
+            Response::Values(keys.iter().filter_map(|k| lookup(shared, k)).collect())
         }
         Command::Set {
             key, data, exptime, ..
@@ -219,7 +234,6 @@ fn execute(command: Command, shared: &Shared) -> Response {
             let now = shared.now();
             shared
                 .engine
-                .lock()
                 .put_with_expiry(&key, data, now, expiry(exptime));
             Response::Stored
         }
@@ -227,31 +241,34 @@ fn execute(command: Command, shared: &Shared) -> Response {
             key, data, exptime, ..
         } => {
             let now = shared.now();
-            let mut engine = shared.engine.lock();
             // `contains` sees expired-but-unreaped items; a get-style
-            // probe reaps them so `add` succeeds after expiry.
-            if engine.get(&key, now).is_some() {
-                Response::NotStored
-            } else {
-                engine.put_with_expiry(&key, data, now, expiry(exptime));
-                Response::Stored
-            }
+            // probe reaps them so `add` succeeds after expiry. Probe
+            // and store share one shard lock.
+            shared.engine.with_key_shard(&key, |engine| {
+                if engine.get(&key, now).is_some() {
+                    Response::NotStored
+                } else {
+                    engine.put_with_expiry(&key, data, now, expiry(exptime));
+                    Response::Stored
+                }
+            })
         }
         Command::Replace {
             key, data, exptime, ..
         } => {
             let now = shared.now();
-            let mut engine = shared.engine.lock();
-            if engine.get(&key, now).is_some() {
-                engine.put_with_expiry(&key, data, now, expiry(exptime));
-                Response::Stored
-            } else {
-                Response::NotStored
-            }
+            shared.engine.with_key_shard(&key, |engine| {
+                if engine.get(&key, now).is_some() {
+                    engine.put_with_expiry(&key, data, now, expiry(exptime));
+                    Response::Stored
+                } else {
+                    Response::NotStored
+                }
+            })
         }
         Command::Touch { key, .. } => {
             let now = shared.now();
-            if shared.engine.lock().touch(&key, now) {
+            if shared.engine.touch(&key, now) {
                 Response::Touched
             } else {
                 Response::NotFound
@@ -260,25 +277,24 @@ fn execute(command: Command, shared: &Shared) -> Response {
         Command::Incr { key, delta } => numeric_op(shared, &key, |v| v.saturating_add(delta)),
         Command::Decr { key, delta } => numeric_op(shared, &key, |v| v.saturating_sub(delta)),
         Command::Delete { key } => {
-            if shared.engine.lock().delete(&key) {
+            if shared.engine.delete(&key) {
                 Response::Deleted
             } else {
                 Response::NotFound
             }
         }
         Command::FlushAll => {
-            shared.engine.lock().clear();
+            shared.engine.clear();
             Response::Ok
         }
         Command::Version => {
             Response::Version(format!("proteus-cache {}", env!("CARGO_PKG_VERSION")))
         }
         Command::Stats => {
-            let engine = shared.engine.lock();
-            let stats = engine.stats();
+            let stats = shared.engine.stats();
             Response::Stats(vec![
-                ("curr_items".into(), engine.len().to_string()),
-                ("bytes".into(), engine.bytes_used().to_string()),
+                ("curr_items".into(), shared.engine.len().to_string()),
+                ("bytes".into(), shared.engine.bytes_used().to_string()),
                 ("get_hits".into(), stats.hits.to_string()),
                 ("get_misses".into(), stats.misses.to_string()),
                 ("cmd_set".into(), stats.sets.to_string()),
@@ -287,9 +303,9 @@ fn execute(command: Command, shared: &Shared) -> Response {
                 ("expirations".into(), stats.expired.to_string()),
                 (
                     "digest_estimated_items".into(),
-                    engine
-                        .digest()
-                        .estimate_cardinality()
+                    shared
+                        .engine
+                        .digest_estimate()
                         .map_or_else(|| "saturated".into(), |e| format!("{e:.0}")),
                 ),
             ])

@@ -107,7 +107,7 @@ impl From<std::io::Error> for TraceError {
 ///     pages: 1000,
 ///     ..TraceConfig::default()
 /// };
-/// let trace = Trace::synthesize(&cfg, 7);
+/// let trace = Trace::synthesize(&cfg, 12);
 /// // Short horizons truncate sessions, so expect well below 30 s × 50/s,
 /// // but clearly nonempty.
 /// assert!(trace.len() > 100);

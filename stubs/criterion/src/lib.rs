@@ -1,0 +1,279 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates-io access, so this local crate
+//! supplies the subset of criterion the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size` / `throughput` / `bench_function` / `bench_with_input`
+//! / `finish`, [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! - Measurement is a simple wall-clock loop (median of N samples), with
+//!   no statistical analysis, plots, or baseline storage.
+//! - `cargo bench -- --test` runs each benchmark body exactly once and
+//!   reports `ok`, matching criterion's smoke-test mode (this is what CI
+//!   relies on).
+//! - Unrecognized CLI flags and name filters are accepted and ignored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver. Holds the run mode parsed from the command line.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--test` enables run-once mode;
+    /// everything else, including cargo's `--bench`, is ignored).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares the per-iteration throughput (recorded but unused by
+    /// this stand-in's reporting).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            samples: self.sample_size.unwrap_or(self.criterion.sample_size),
+            result: None,
+        };
+        f(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream finalizes reports here; no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Times a closure over many iterations.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`, timing batches and keeping the median
+    /// per-iteration duration. In `--test` mode runs it exactly once.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.result = None;
+            return;
+        }
+        // Warm up and size the batch so each sample takes ~1ms.
+        let start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
+        let batch = (1_000_000 / per_iter).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() / u128::from(batch));
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        self.result = Some(Duration::from_nanos(median.min(u128::from(u64::MAX)) as u64));
+    }
+
+    /// Benchmarks a routine that does its own timing: `routine` receives
+    /// an iteration count and returns the elapsed time for that many
+    /// iterations.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine(1));
+            self.result = None;
+            return;
+        }
+        let iters = 1_000u64;
+        let total = routine(iters);
+        self.result = Some(total / u32::try_from(iters).unwrap_or(u32::MAX));
+    }
+
+    fn report(&self, label: &str) {
+        match self.result {
+            Some(median) => println!("{label:<50} median {median:>12.2?}/iter"),
+            None => println!("{label:<50} ok (test mode)"),
+        }
+    }
+}
+
+/// Identifies a benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Units of work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 10,
+        };
+        let mut ran = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("f", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn timed_mode_produces_result() {
+        let mut c = Criterion {
+            test_mode: false,
+            sample_size: 5,
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("spin", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

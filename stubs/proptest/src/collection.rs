@@ -1,0 +1,144 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Size bounds for a generated collection (inclusive on both ends).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(self, rng: &mut TestRng) -> usize {
+        self.lo + rng.index(self.hi - self.lo + 1)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `element` and a length
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec()`](fn@vec).
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<T>` with a target size drawn from `size`.
+///
+/// Keeps drawing elements until the set reaches the target size, with a
+/// bounded number of attempts so low-entropy element strategies fail
+/// loudly instead of looping forever.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut set = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        while set.len() < target {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+            assert!(
+                attempts < target.saturating_mul(100) + 1_000,
+                "hash_set strategy could not reach size {target} (element space too small?)"
+            );
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_and_elements() {
+        let s = vec(1u8..=6, 2..10);
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..10).contains(&v.len()));
+            assert!(v.iter().all(|&d| (1..=6).contains(&d)));
+        }
+    }
+
+    #[test]
+    fn exact_size_from_usize() {
+        let s = vec(0u64..10, 5usize);
+        let mut rng = TestRng::from_seed(7);
+        assert_eq!(s.generate(&mut rng).len(), 5);
+    }
+
+    #[test]
+    fn hash_set_reaches_target() {
+        let s = hash_set(0u32..1000, 8..=8);
+        let mut rng = TestRng::from_seed(7);
+        assert_eq!(s.generate(&mut rng).len(), 8);
+    }
+}

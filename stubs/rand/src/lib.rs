@@ -1,0 +1,178 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no crates-io access,
+//! so external dependencies are replaced by minimal, API-compatible
+//! local implementations (see `stubs/` in the workspace root). This
+//! crate provides exactly the surface `proteus-sim`'s [`SimRng`]
+//! wrapper consumes: [`SeedableRng::seed_from_u64`], [`Rng::random`]
+//! for `u64`/`f64`, and [`Rng::random_range`] over integer ranges.
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded via
+//! SplitMix64 — not the ChaCha12 of the real `StdRng`, so absolute
+//! random streams differ from upstream `rand`, but every consumer in
+//! this workspace only relies on determinism-per-seed and statistical
+//! uniformity, both of which hold.
+//!
+//! [`SimRng`]: https://docs.rs/proteus-sim
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling surface (subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample of `T` (`u64` over its full range, `f64` in `[0, 1)`).
+    fn random<T: Uniform>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Uniform sample within `range` (Lemire-style rejection for lack of bias).
+    fn random_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(lo < hi, "cannot sample an empty range");
+        let span = hi - lo;
+        // Rejection sampling: draw until the value falls in the largest
+        // multiple of `span`, guaranteeing an unbiased result.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return T::from_u64(lo + v % span);
+            }
+        }
+    }
+}
+
+/// Types `Rng::random` can produce.
+pub trait Uniform {
+    /// Maps 64 uniform bits to a uniform `Self`.
+    fn sample(bits: u64) -> Self;
+}
+
+impl Uniform for u64 {
+    fn sample(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Uniform for f64 {
+    fn sample(bits: u64) -> f64 {
+        // 53 uniform mantissa bits -> [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types `Rng::random_range` can produce.
+pub trait UniformInt: Copy {
+    /// Widens to `u64`.
+    fn to_u64(self) -> u64;
+    /// Narrows from `u64` (caller guarantees the value fits).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state,
+            // as recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_is_respected_and_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+}

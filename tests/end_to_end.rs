@@ -35,12 +35,12 @@ fn fig9_spike_ordering_naive_worst_proteus_best_dynamic() {
     // squeeze — this stress plan deliberately shrinks to half
     // capacity, something the paper's feedback loop would avoid):
     // naive ≫ consistent ≥ proteus.
-    let naive = run(Scenario::Naive, 2);
+    let naive = run(Scenario::Naive, 4);
     let consistent = run(
         Scenario::Consistent(proteus::core::VnodeBudget::Quadratic),
-        2,
+        4,
     );
-    let proteus = run(Scenario::Proteus, 2);
+    let proteus = run(Scenario::Proteus, 4);
     let n_worst = naive.worst_bucket_quantile(0.999).unwrap();
     let c_worst = consistent.worst_bucket_quantile(0.999).unwrap();
     let p_worst = proteus.worst_bucket_quantile(0.999).unwrap();
@@ -131,15 +131,15 @@ fn balance_ratio_tracks_scenario_quality_under_dynamics() {
 fn component_scenarios_split_the_mechanisms() {
     // Placement without digests keeps balance but regains spikes;
     // digests without placement keep smoothness but lose balance.
-    let proteus = run(Scenario::Proteus, 8);
-    let blind = run(Scenario::ProteusBlind, 8);
+    let proteus = run(Scenario::Proteus, 4);
+    let blind = run(Scenario::ProteusBlind, 4);
     let smart_consistent = run(
         Scenario::ConsistentSmart(proteus::core::VnodeBudget::Quadratic),
-        8,
+        4,
     );
     let consistent = run(
         Scenario::Consistent(proteus::core::VnodeBudget::Quadratic),
-        8,
+        4,
     );
     let mean_balance = |r: &ClusterReport| {
         let v: Vec<f64> = r.balance_ratio_per_slot().into_iter().flatten().collect();

@@ -138,6 +138,161 @@ fn classify(class: FetchClass) -> ClusterFetch {
     }
 }
 
+/// A multi-key `get` must produce exactly the bytes of the N single
+/// `get`s concatenated (each intermediate `END\r\n` removed, one final
+/// `END`), with misses omitted — stock memcached clients depend on
+/// this shape.
+#[test]
+fn multi_get_is_byte_identical_to_single_gets() {
+    use std::io::{Read, Write};
+    let (servers, addrs) = spawn_cluster(1);
+    let client = CacheClient::connect(addrs[0]).unwrap();
+    client.set(b"alpha", b"one").unwrap();
+    client
+        .set(b"gamma", &(0..=255u8).collect::<Vec<u8>>())
+        .unwrap();
+    client.set(b"delta", b"").unwrap();
+    // "beta" and "omega" stay misses.
+    let keys: [&[u8]; 5] = [b"alpha", b"beta", b"gamma", b"delta", b"omega"];
+
+    let mut raw = std::net::TcpStream::connect(addrs[0]).unwrap();
+    let mut read_single = |key: &[u8]| -> Vec<u8> {
+        raw.write_all(b"get ").unwrap();
+        raw.write_all(key).unwrap();
+        raw.write_all(b"\r\n").unwrap();
+        // Responses end with the first END line.
+        let mut bytes = Vec::new();
+        let mut one = [0u8; 1];
+        loop {
+            raw.read_exact(&mut one).unwrap();
+            bytes.push(one[0]);
+            if bytes.ends_with(b"END\r\n") {
+                return bytes;
+            }
+        }
+    };
+
+    // Expected: single-get responses concatenated, inner ENDs dropped.
+    let mut expected = Vec::new();
+    for key in keys {
+        let single = read_single(key);
+        expected.extend_from_slice(&single[..single.len() - b"END\r\n".len()]);
+    }
+    expected.extend_from_slice(b"END\r\n");
+
+    raw.write_all(b"get alpha beta gamma delta omega\r\n")
+        .unwrap();
+    let mut actual = vec![0u8; expected.len()];
+    raw.read_exact(&mut actual).unwrap();
+    assert_eq!(
+        actual,
+        expected,
+        "multi-get bytes diverge: {:?} vs {:?}",
+        String::from_utf8_lossy(&actual),
+        String::from_utf8_lossy(&expected)
+    );
+    // The connection is still in sync: no stray bytes follow.
+    raw.write_all(b"version\r\n").unwrap();
+    let mut tail = [0u8; 8];
+    raw.read_exact(&mut tail).unwrap();
+    assert!(tail.starts_with(b"VERSION "), "{tail:?}");
+    for s in servers {
+        s.stop();
+    }
+}
+
+/// The sharded server under fire: 8 client threads doing mixed
+/// set/get/delete on disjoint key ranges while another thread loops
+/// `get SET_BLOOM_FILTER` snapshots. No update may be lost, and the
+/// final digest must match the final contents modulo Bloom false
+/// positives.
+#[test]
+fn stress_concurrent_clients_with_snapshot_loop() {
+    let (servers, addrs) = spawn_cluster(1);
+    let addr = addrs[0];
+    let threads = 8u32;
+    let keys_per_thread = 120u32;
+    let rounds = 3u32;
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let snapshotter = {
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let client = CacheClient::connect(addr).unwrap();
+            let mut taken = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let digest = client.snapshot_digest().unwrap();
+                assert!(digest.is_some(), "snapshot must always be available");
+                taken += 1;
+            }
+            taken
+        })
+    };
+
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let client = CacheClient::connect(addr).unwrap();
+                for round in 0..rounds {
+                    for i in 0..keys_per_thread {
+                        let key = format!("t{t}:k{i}");
+                        let value = format!("{t}:{i}:{round}");
+                        client.set(key.as_bytes(), value.as_bytes()).unwrap();
+                        // Read-your-write: the per-key shard lock makes
+                        // this exact, snapshots notwithstanding.
+                        assert_eq!(
+                            client.get(key.as_bytes()).unwrap(),
+                            Some(value.into_bytes()),
+                            "lost update on {key}"
+                        );
+                    }
+                }
+                // Final round: delete the odd keys.
+                for i in (1..keys_per_thread).step_by(2) {
+                    let key = format!("t{t}:k{i}");
+                    assert!(client.delete(key.as_bytes()).unwrap(), "{key} vanished");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let snapshots = snapshotter.join().unwrap();
+    assert!(snapshots > 0, "snapshot loop never completed a snapshot");
+
+    // Verify final contents and digest agreement.
+    let client = CacheClient::connect(addr).unwrap();
+    let digest = client.snapshot_digest().unwrap().unwrap();
+    let mut false_positives = 0u32;
+    for t in 0..threads {
+        for i in 0..keys_per_thread {
+            let key = format!("t{t}:k{i}");
+            let expected = format!("{t}:{i}:{}", rounds - 1);
+            if i % 2 == 0 {
+                assert_eq!(
+                    client.get(key.as_bytes()).unwrap(),
+                    Some(expected.into_bytes()),
+                    "wrong final value for {key}"
+                );
+                assert!(digest.contains(key.as_bytes()), "digest lost {key}");
+            } else {
+                assert_eq!(client.get(key.as_bytes()).unwrap(), None, "{key} undeleted");
+                false_positives += u32::from(digest.contains(key.as_bytes()));
+            }
+        }
+    }
+    let deleted = threads * keys_per_thread / 2;
+    assert!(
+        false_positives * 20 < deleted,
+        "{false_positives} false positives on {deleted} deleted keys"
+    );
+    for s in servers {
+        s.stop();
+    }
+}
+
 #[test]
 fn concurrent_web_tier_against_one_cluster() {
     let (servers, addrs) = spawn_cluster(3);
