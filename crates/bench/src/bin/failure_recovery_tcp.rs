@@ -1,0 +1,174 @@
+//! Fault-injection experiment over **real sockets**: kill a live cache
+//! server mid-sweep and measure what the web tier actually pays.
+//!
+//! The DES twin (`failure_recovery`) measures the *policy* question —
+//! how each provisioning scheme's hit ratio recovers after a crash.
+//! This binary measures the *mechanism* question on the TCP tier: with
+//! retry/backoff, circuit breakers, and degrade-to-DB in place, a dead
+//! server must cost latency and database load, never errors. It runs
+//! three phases against a 4-server cluster behind fault proxies:
+//!
+//! 1. **healthy** — warmed sweep, all hits;
+//! 2. **one server dark** — the proxy blackholes one server mid-run;
+//!    its keys degrade to the database, the breaker caps connect
+//!    pressure to O(probes);
+//! 3. **recovered** — the proxy forwards again; the breaker's probe
+//!    closes the circuit and the key space repopulates on demand.
+//!
+//! Regenerate with: `cargo run --release -p proteus-bench --bin failure_recovery_tcp`
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use proteus_cache::CacheConfig;
+use proteus_net::{CacheServer, ClientConfig, ClusterClient, ClusterFetch, FaultMode, FaultProxy};
+use proteus_ring::ProteusPlacement;
+use proteus_store::{ShardedStore, StoreConfig};
+
+const SERVERS: usize = 4;
+const KEYS: u32 = 400;
+const DEAD: usize = 1;
+
+#[derive(Default)]
+struct Phase {
+    requests: u64,
+    hits: u64,
+    migrated: u64,
+    database: u64,
+    degraded: u64,
+    errors: u64,
+    max_us: u128,
+    total_us: u128,
+}
+
+impl Phase {
+    fn record(
+        &mut self,
+        outcome: &Result<(Vec<u8>, ClusterFetch), proteus_net::NetError>,
+        us: u128,
+    ) {
+        self.requests += 1;
+        self.total_us += us;
+        self.max_us = self.max_us.max(us);
+        match outcome {
+            Ok((_, ClusterFetch::Hit)) => self.hits += 1,
+            Ok((_, ClusterFetch::Migrated)) => self.migrated += 1,
+            Ok((_, ClusterFetch::Database)) => self.database += 1,
+            Ok((_, ClusterFetch::Degraded)) => self.degraded += 1,
+            Err(_) => self.errors += 1,
+        }
+    }
+
+    fn print(&self, name: &str) {
+        println!(
+            "{:<12} {:>9} {:>8} {:>9} {:>9} {:>9} {:>7} {:>10.1} {:>10.1}",
+            name,
+            self.requests,
+            self.hits,
+            self.migrated,
+            self.database,
+            self.degraded,
+            self.errors,
+            self.total_us as f64 / self.requests.max(1) as f64 / 1000.0,
+            self.max_us as f64 / 1000.0,
+        );
+    }
+}
+
+fn sweep(cluster: &ClusterClient, keys: &[Vec<u8>], db: &Mutex<ShardedStore>, phase: &mut Phase) {
+    for k in keys {
+        let start = Instant::now();
+        let outcome = cluster.fetch(k, db);
+        phase.record(&outcome, start.elapsed().as_micros());
+    }
+}
+
+fn main() {
+    let servers: Vec<CacheServer> = (0..SERVERS)
+        .map(|_| CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(16 << 20)).unwrap())
+        .collect();
+    let proxies: Vec<FaultProxy> = servers
+        .iter()
+        .map(|s| FaultProxy::spawn(s.addr()).unwrap())
+        .collect();
+    let addrs: Vec<_> = proxies.iter().map(FaultProxy::addr).collect();
+    let cluster = ClusterClient::connect_with(
+        &addrs,
+        Box::new(ProteusPlacement::generate(SERVERS)),
+        ClientConfig::fast_failover(),
+    )
+    .unwrap();
+    let db = Mutex::new(ShardedStore::new(StoreConfig {
+        object_size: 512,
+        ..StoreConfig::default()
+    }));
+    let keys: Vec<Vec<u8>> = (0..KEYS)
+        .map(|i| format!("page:{i}").into_bytes())
+        .collect();
+
+    // Warm the whole hot set (all database fetches, installs at caches).
+    for k in &keys {
+        cluster.fetch(k, &db).unwrap();
+    }
+
+    println!(
+        "{:<12} {:>9} {:>8} {:>9} {:>9} {:>9} {:>7} {:>10} {:>10}",
+        "phase",
+        "requests",
+        "hits",
+        "migrated",
+        "database",
+        "degraded",
+        "errors",
+        "mean ms",
+        "worst ms"
+    );
+
+    let mut healthy = Phase::default();
+    sweep(&cluster, &keys, &db, &mut healthy);
+    healthy.print("healthy");
+
+    // Kill one server mid-traffic: it accepts but never answers.
+    proxies[DEAD].set_mode(FaultMode::Blackhole);
+    let dials_before = proxies[DEAD].connections_accepted();
+    let mut dark = Phase::default();
+    for _ in 0..3 {
+        sweep(&cluster, &keys, &db, &mut dark);
+    }
+    dark.print("one dark");
+    let dials = proxies[DEAD].connections_accepted() - dials_before;
+    let stats = cluster.fault_stats();
+    println!(
+        "  dead-server dials {dials} (breaker-capped), fast fails {}, retries {}, breaker trips {}",
+        stats.fast_fails, stats.retries, stats.breaker_trips
+    );
+
+    // Bring it back; wait out the breaker cooldown, then sweep again.
+    proxies[DEAD].set_mode(FaultMode::Forward);
+    std::thread::sleep(cluster.client(DEAD).config().breaker_cooldown + Duration::from_millis(50));
+    let mut recovered = Phase::default();
+    for _ in 0..2 {
+        sweep(&cluster, &keys, &db, &mut recovered);
+    }
+    recovered.print("recovered");
+
+    assert_eq!(
+        healthy.errors + dark.errors + recovered.errors,
+        0,
+        "a dead cache server must never surface as a request error"
+    );
+    println!(
+        "\nexpected: the dark phase trades hits for degraded database fetches \
+         with zero errors and O(probes) dials to the dead server; after \
+         recovery the breaker closes on its next probe and the hit ratio \
+         climbs back as keys reinstall on demand."
+    );
+
+    drop(cluster);
+    for p in proxies {
+        p.stop();
+    }
+    for s in servers {
+        s.stop();
+    }
+}

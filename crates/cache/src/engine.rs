@@ -210,6 +210,34 @@ impl CacheEngine {
             .map(|&idx| &*self.slots[idx as usize].value)
     }
 
+    /// Presence probe for compound storage commands (`add`/`replace`):
+    /// reaps the item if it has expired (like [`get`](Self::get)), but
+    /// moves **no** statistics and does not refresh recency. memcached's
+    /// `add` on a present key is not a cache read and must not count as
+    /// a `get` hit.
+    pub fn probe(&mut self, key: &[u8], now: SimTime) -> bool {
+        match self.index.get(key).copied() {
+            Some(idx) if self.slots[idx as usize].expires_at <= now => {
+                self.remove_slot(idx);
+                self.stats.expired += 1;
+                false
+            }
+            Some(_) => true,
+            None => false,
+        }
+    }
+
+    /// The absolute expiry instant of `key`, if cached:
+    /// `Some(SimTime::MAX)` means it never expires; `None` means the
+    /// key is absent. Expired-but-unreaped items still report their
+    /// (past) deadline, matching [`peek`](Self::peek) semantics.
+    #[must_use]
+    pub fn expiry_of(&self, key: &[u8]) -> Option<SimTime> {
+        self.index
+            .get(key)
+            .map(|&idx| self.slots[idx as usize].expires_at)
+    }
+
     /// Reaps every expired item now (memcached leaves this to lazy
     /// access; an explicit sweep is useful before digest snapshots so
     /// broadcast digests do not advertise dead items). Returns the
@@ -256,7 +284,20 @@ impl CacheEngine {
         now: SimTime,
         ttl: Option<SimDuration>,
     ) -> u64 {
-        let expires_at = ttl.map_or(SimTime::MAX, |d| now + d);
+        self.put_with_deadline(key, value, now, ttl.map_or(SimTime::MAX, |d| now + d))
+    }
+
+    /// Inserts or replaces `key` with an **absolute** expiry instant
+    /// (`SimTime::MAX` = never). This is the primitive `incr`/`decr`
+    /// need to rewrite a counter's value while preserving the original
+    /// item's deadline, as memcached does.
+    pub fn put_with_deadline(
+        &mut self,
+        key: &[u8],
+        value: Vec<u8>,
+        now: SimTime,
+        expires_at: SimTime,
+    ) -> u64 {
         self.stats.sets += 1;
         if let Some(&idx) = self.index.get(key) {
             // Replace in place: digest sees unlink(old) + link(new).
@@ -597,6 +638,45 @@ mod tests {
             later + SimDuration::from_secs(3),
             SimDuration::from_secs(4)
         ));
+    }
+
+    #[test]
+    fn probe_reports_presence_without_stats_or_recency() {
+        let mut c = engine(1 << 16);
+        c.put(b"a", vec![1], T0);
+        c.put(b"b", vec![2], T0);
+        let before = c.stats();
+        assert!(c.probe(b"a", T0));
+        assert!(!c.probe(b"missing", T0));
+        assert_eq!(c.stats(), before, "probe must not move hit/miss counters");
+        // LRU order unchanged: "b" still MRU despite the probe on "a".
+        assert_eq!(c.keys().next().unwrap(), b"b");
+        // An expired item is reaped by the probe (counted as expired,
+        // never as a miss) and reads as absent.
+        c.put_with_expiry(b"gone", vec![3], T0, Some(SimDuration::from_secs(5)));
+        let later = T0 + SimDuration::from_secs(6);
+        assert!(!c.probe(b"gone", later));
+        assert!(!c.contains(b"gone"));
+        assert_eq!(c.stats().expired, before.expired + 1);
+        assert_eq!(c.stats().misses, before.misses);
+    }
+
+    #[test]
+    fn put_with_deadline_preserves_an_absolute_expiry() {
+        let mut c = engine(1 << 16);
+        c.put_with_expiry(b"k", b"1".to_vec(), T0, Some(SimDuration::from_secs(10)));
+        let deadline = c.expiry_of(b"k").unwrap();
+        assert_eq!(deadline, T0 + SimDuration::from_secs(10));
+        // Rewrite the value 4 seconds in, keeping the original deadline.
+        let t4 = T0 + SimDuration::from_secs(4);
+        c.put_with_deadline(b"k", b"2".to_vec(), t4, deadline);
+        assert_eq!(c.expiry_of(b"k"), Some(deadline));
+        assert!(c.get(b"k", T0 + SimDuration::from_secs(9)).is_some());
+        assert!(c.get(b"k", T0 + SimDuration::from_secs(10)).is_none());
+        // Items without a TTL report the MAX sentinel; absent keys None.
+        c.put(b"forever", vec![0], T0);
+        assert_eq!(c.expiry_of(b"forever"), Some(SimTime::MAX));
+        assert_eq!(c.expiry_of(b"nope"), None);
     }
 
     #[test]

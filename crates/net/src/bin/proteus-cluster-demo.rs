@@ -128,7 +128,7 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
                     Ok((_, ClusterFetch::Migrated)) => {
                         counters.migrated.fetch_add(1, Ordering::Relaxed)
                     }
-                    Ok((_, ClusterFetch::Database)) => {
+                    Ok((_, ClusterFetch::Database)) | Ok((_, ClusterFetch::Degraded)) => {
                         counters.database.fetch_add(1, Ordering::Relaxed)
                     }
                     Err(_) => break,

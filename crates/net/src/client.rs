@@ -1,8 +1,10 @@
-//! Blocking cache client with connection pooling.
+//! Blocking cache client with connection pooling, bounded retries, and
+//! a per-server circuit breaker.
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use proteus_bloom::{BloomFilter, DigestSnapshot};
@@ -11,6 +13,181 @@ use crate::error::NetError;
 use crate::protocol::{
     read_response, write_command, Command, Response, ValueItem, DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
 };
+
+/// Tunables for one [`CacheClient`]'s fault-tolerance machinery.
+///
+/// The defaults suit a production cluster (generous timeouts, a couple
+/// of quick retries, a breaker that fails fast after a burst of
+/// consecutive transport errors). Integration tests and benches shrink
+/// the timeouts so injected faults resolve in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Read/write timeout for one protocol exchange.
+    pub op_timeout: Duration,
+    /// TCP connect timeout (a dead host otherwise pays the OS SYN
+    /// retransmit schedule, which is tens of seconds).
+    pub connect_timeout: Duration,
+    /// Transport-failure retries per operation (total attempts =
+    /// `max_retries + 1`). Semantic errors never retry.
+    pub max_retries: u32,
+    /// First retry backoff; doubles per retry (with jitter).
+    pub backoff_base: Duration,
+    /// Upper bound for any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Consecutive transport failures that trip the circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker fails fast before probing the server
+    /// again.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            op_timeout: Duration::from_secs(10),
+            connect_timeout: Duration::from_secs(1),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A configuration with short timeouts and cooldowns, for tests and
+    /// benches that inject faults and cannot afford multi-second
+    /// timeouts per dead server.
+    #[must_use]
+    pub fn fast_failover() -> Self {
+        ClientConfig {
+            op_timeout: Duration::from_millis(150),
+            connect_timeout: Duration::from_millis(150),
+            max_retries: 1,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(40),
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Cumulative fault-tolerance counters for one [`CacheClient`]
+/// (a snapshot of lock-free atomics; see [`CacheClient::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientStats {
+    /// Operations retried after a transport failure.
+    pub retries: u64,
+    /// Fresh connections dialed (first use and reconnects alike).
+    pub connects: u64,
+    /// Closed→open breaker transitions.
+    pub breaker_trips: u64,
+    /// Operations rejected without touching the network because the
+    /// breaker was open.
+    pub fast_fails: u64,
+    /// Half-open probes sent after a cooldown elapsed.
+    pub probes: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicClientStats {
+    retries: AtomicU64,
+    connects: AtomicU64,
+    breaker_trips: AtomicU64,
+    fast_fails: AtomicU64,
+    probes: AtomicU64,
+}
+
+impl AtomicClientStats {
+    fn load(&self) -> ClientStats {
+        ClientStats {
+            retries: self.retries.load(Ordering::Relaxed),
+            connects: self.connects.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            fast_fails: self.fast_fails.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Traffic flows normally.
+    Closed,
+    /// Failing fast until the cooldown deadline.
+    Open { until: Instant },
+    /// One probe is in flight; everyone else still fails fast.
+    HalfOpen,
+}
+
+/// Admission decision for one attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admission {
+    Normal,
+    Probe,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    state: Mutex<BreakerState>,
+    consecutive: AtomicU32,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker {
+            state: Mutex::new(BreakerState::Closed),
+            consecutive: AtomicU32::new(0),
+        }
+    }
+
+    /// Whether an attempt may proceed right now, and in what role.
+    fn admit(&self) -> Result<Admission, ()> {
+        let mut state = self.state.lock();
+        match *state {
+            BreakerState::Closed => Ok(Admission::Normal),
+            BreakerState::Open { until } if Instant::now() >= until => {
+                *state = BreakerState::HalfOpen;
+                Ok(Admission::Probe)
+            }
+            BreakerState::Open { .. } | BreakerState::HalfOpen => Err(()),
+        }
+    }
+
+    fn record_success(&self) {
+        self.consecutive.store(0, Ordering::Relaxed);
+        *self.state.lock() = BreakerState::Closed;
+    }
+
+    /// Records one transport failure; returns `true` when this failure
+    /// transitions the breaker to open (a "trip").
+    fn record_failure(&self, config: &ClientConfig) -> bool {
+        let consecutive = self.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut state = self.state.lock();
+        match *state {
+            // A failed probe swings straight back to open (not a fresh
+            // trip for counting purposes — the outage is ongoing).
+            BreakerState::HalfOpen => {
+                *state = BreakerState::Open {
+                    until: Instant::now() + config.breaker_cooldown,
+                };
+                false
+            }
+            BreakerState::Closed if consecutive >= config.breaker_threshold => {
+                *state = BreakerState::Open {
+                    until: Instant::now() + config.breaker_cooldown,
+                };
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        !matches!(*self.state.lock(), BreakerState::Closed)
+    }
+}
 
 /// An in-flight multi-key get whose request has been written but whose
 /// response has not yet been read. Produced by
@@ -29,6 +206,19 @@ pub struct PendingGets {
 /// Connections are created lazily, checked out per call, and returned
 /// to the pool afterwards — the paper's web tier does the same with
 /// Apache Commons Pool so servlet threads share connections.
+///
+/// Every operation is fault tolerant:
+///
+/// - transport failures (broken pooled connection, refused connect,
+///   read timeout) retry up to [`ClientConfig::max_retries`] times on a
+///   **fresh** connection, with exponential backoff and jitter;
+/// - after [`ClientConfig::breaker_threshold`] consecutive transport
+///   failures the per-server circuit breaker opens and operations fail
+///   fast with [`NetError::CircuitOpen`] — no connect timeout is paid —
+///   until a cooldown elapses and a single probe tests the server
+///   again;
+/// - semantic errors ([`NetError::ServerError`], protocol violations)
+///   never retry and never trip the breaker.
 ///
 /// `CacheClient` is `Send + Sync`; clone-free sharing via `&` works
 /// from multiple threads.
@@ -49,25 +239,63 @@ pub struct PendingGets {
 pub struct CacheClient {
     addr: SocketAddr,
     pool: Mutex<Vec<TcpStream>>,
-    timeout: Duration,
+    config: ClientConfig,
+    breaker: Breaker,
+    stats: AtomicClientStats,
+    /// xorshift state for backoff jitter (quality is irrelevant; only
+    /// decorrelation between concurrent retriers matters).
+    jitter: AtomicU64,
 }
 
 impl CacheClient {
-    /// Creates a client for the server at `addr` and verifies
-    /// connectivity with one probe connection.
+    /// Creates a client for the server at `addr` with default
+    /// [`ClientConfig`] and verifies connectivity with one probe
+    /// connection.
     ///
     /// # Errors
     ///
     /// Returns an error if the server is unreachable.
     pub fn connect(addr: SocketAddr) -> Result<CacheClient, NetError> {
-        let client = CacheClient {
-            addr,
-            pool: Mutex::new(Vec::new()),
-            timeout: Duration::from_secs(10),
-        };
-        let probe = client.checkout()?;
+        CacheClient::connect_with(addr, ClientConfig::default())
+    }
+
+    /// [`connect`](Self::connect) with explicit fault-tolerance
+    /// tunables.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the server is unreachable.
+    pub fn connect_with(addr: SocketAddr, config: ClientConfig) -> Result<CacheClient, NetError> {
+        let client = CacheClient::disconnected(addr, config);
+        let probe = client.dial()?;
         client.checkin(probe);
         Ok(client)
+    }
+
+    /// Creates a client without probing connectivity. The first
+    /// operation dials lazily; a dead server surfaces there (and trips
+    /// the breaker like any other transport failure). This is what a
+    /// web tier wants when some cache servers may be powered off at
+    /// start-up.
+    #[must_use]
+    pub fn disconnected(addr: SocketAddr, config: ClientConfig) -> CacheClient {
+        // Decorrelate jitter streams across clients without consuming
+        // an RNG dependency: hash the address and a wall-clock sample.
+        let seed = {
+            let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+            h ^= u64::from(addr.port());
+            h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            h ^= Instant::now().elapsed().as_nanos() as u64 ^ (&h as *const u64 as u64);
+            h | 1
+        };
+        CacheClient {
+            addr,
+            pool: Mutex::new(Vec::new()),
+            config,
+            breaker: Breaker::new(),
+            stats: AtomicClientStats::default(),
+            jitter: AtomicU64::new(seed),
+        }
     }
 
     /// The server address.
@@ -76,15 +304,41 @@ impl CacheClient {
         self.addr
     }
 
+    /// The client's fault-tolerance configuration.
+    #[must_use]
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Snapshot of the client-side fault-tolerance counters (retries,
+    /// reconnects, breaker activity). The server's own `stats` command
+    /// is [`stats`](Self::stats).
+    #[must_use]
+    pub fn fault_stats(&self) -> ClientStats {
+        self.stats.load()
+    }
+
+    /// Whether the circuit breaker currently refuses (or probes)
+    /// traffic instead of flowing normally.
+    #[must_use]
+    pub fn breaker_open(&self) -> bool {
+        self.breaker.is_open()
+    }
+
+    fn dial(&self) -> Result<TcpStream, NetError> {
+        self.stats.connects.fetch_add(1, Ordering::Relaxed);
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
+        stream.set_read_timeout(Some(self.config.op_timeout))?;
+        stream.set_write_timeout(Some(self.config.op_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
     fn checkout(&self) -> Result<TcpStream, NetError> {
         if let Some(stream) = self.pool.lock().pop() {
             return Ok(stream);
         }
-        let stream = TcpStream::connect(self.addr)?;
-        stream.set_read_timeout(Some(self.timeout))?;
-        stream.set_write_timeout(Some(self.timeout))?;
-        stream.set_nodelay(true)?;
-        Ok(stream)
+        self.dial()
     }
 
     fn checkin(&self, stream: TcpStream) {
@@ -94,14 +348,88 @@ impl CacheClient {
         }
     }
 
+    /// Drops every pooled connection. After one transport failure the
+    /// rest of the pool is suspect (server restart, network blip), and
+    /// reconnecting is cheaper than diagnosing each stream.
+    fn poison_pool(&self) {
+        self.pool.lock().clear();
+    }
+
+    fn jitter_sleep(&self, retry: u32) {
+        // Exponential backoff with full-ish jitter: sleep uniformly in
+        // [backoff/2, backoff), so concurrent retriers spread out.
+        let exp = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32 << retry.min(16))
+            .min(self.config.backoff_cap);
+        let mut x = self.jitter.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter.store(x, Ordering::Relaxed);
+        let nanos = exp.as_nanos() as u64;
+        let jittered = nanos / 2 + x % (nanos / 2).max(1);
+        std::thread::sleep(Duration::from_nanos(jittered));
+    }
+
+    /// Runs `attempt` under the retry + circuit-breaker policy:
+    /// transport failures poison the pool, feed the breaker, and retry
+    /// with backoff; anything else passes through. An open breaker
+    /// fails fast with [`NetError::CircuitOpen`].
+    fn with_failover<T>(
+        &self,
+        mut attempt: impl FnMut() -> Result<T, NetError>,
+    ) -> Result<T, NetError> {
+        let mut retry = 0u32;
+        loop {
+            let admission = match self.breaker.admit() {
+                Ok(a) => a,
+                Err(()) => {
+                    self.stats.fast_fails.fetch_add(1, Ordering::Relaxed);
+                    return Err(NetError::CircuitOpen(self.addr));
+                }
+            };
+            if admission == Admission::Probe {
+                self.stats.probes.fetch_add(1, Ordering::Relaxed);
+            }
+            match attempt() {
+                Ok(value) => {
+                    self.breaker.record_success();
+                    return Ok(value);
+                }
+                Err(e) if matches!(e, NetError::Io(_)) => {
+                    self.poison_pool();
+                    if self.breaker.record_failure(&self.config) {
+                        self.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                        // The breaker just opened: stop burning retries,
+                        // callers get the underlying error this once and
+                        // fast CircuitOpen failures afterwards.
+                        return Err(e);
+                    }
+                    if admission == Admission::Probe || retry >= self.config.max_retries {
+                        return Err(e);
+                    }
+                    retry += 1;
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    self.jitter_sleep(retry);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     fn round_trip(&self, cmd: &Command) -> Result<Response, NetError> {
-        let stream = self.checkout()?;
-        let mut writer = BufWriter::new(stream.try_clone()?);
-        let mut reader = BufReader::new(stream);
-        write_command(&mut writer, cmd)?;
-        let response = read_response(&mut reader)?;
-        // Only reusable if the exchange completed cleanly.
-        self.checkin(reader.into_inner());
+        let response = self.with_failover(|| {
+            let stream = self.checkout()?;
+            let mut writer = BufWriter::new(stream.try_clone()?);
+            let mut reader = BufReader::new(stream);
+            write_command(&mut writer, cmd)?;
+            let response = read_response(&mut reader)?;
+            // Only reusable if the exchange completed cleanly.
+            self.checkin(reader.into_inner());
+            Ok(response)
+        })?;
         match response {
             Response::Error(msg) => Err(NetError::ServerError(msg)),
             ok => Ok(ok),
@@ -125,6 +453,10 @@ impl CacheClient {
     /// (memcached `get k1 k2 ...`). Results align with `keys`: position
     /// `i` holds `Some(value)` if `keys[i]` was cached, `None` if not.
     ///
+    /// Unlike the split [`send_get_many`](Self::send_get_many) /
+    /// [`recv_get_many`](Self::recv_get_many) pair, this combined form
+    /// retries the whole exchange on transport failures.
+    ///
     /// # Errors
     ///
     /// Returns transport errors or a [`NetError::ServerError`].
@@ -132,14 +464,23 @@ impl CacheClient {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
-        let pending = self.send_get_many(keys)?;
-        self.recv_get_many(pending)
+        self.with_failover(|| {
+            let pending = self.send_get_many_once(keys)?;
+            self.recv_get_many_once(pending)
+        })
     }
 
     /// Writes a multi-key get and returns without waiting for the
     /// response. Each call uses its own pooled connection, so sending
     /// to several servers (or several batches) first and receiving
     /// afterwards overlaps the round trips.
+    ///
+    /// The write is retried under the client's failover policy; the
+    /// later [`recv_get_many`](Self::recv_get_many) is not (the request
+    /// cannot be replayed once the pipeline has moved on) — a transport
+    /// failure there feeds the breaker and surfaces to the caller,
+    /// which is how `ClusterClient::fetch_many` isolates a dead server
+    /// to its own key group.
     ///
     /// # Errors
     ///
@@ -149,6 +490,10 @@ impl CacheClient {
         if keys.is_empty() {
             return Err(NetError::Protocol("get_many needs at least one key".into()));
         }
+        self.with_failover(|| self.send_get_many_once(keys))
+    }
+
+    fn send_get_many_once(&self, keys: &[&[u8]]) -> Result<PendingGets, NetError> {
         let owned: Vec<Vec<u8>> = keys.iter().map(|k| k.to_vec()).collect();
         let cmd = if owned.len() == 1 {
             Command::Get {
@@ -173,8 +518,27 @@ impl CacheClient {
     ///
     /// # Errors
     ///
-    /// Returns transport errors or a [`NetError::ServerError`].
+    /// Returns transport errors or a [`NetError::ServerError`]. A
+    /// transport failure here counts against the circuit breaker but is
+    /// not retried (see [`send_get_many`](Self::send_get_many)).
     pub fn recv_get_many(&self, pending: PendingGets) -> Result<Vec<Option<Vec<u8>>>, NetError> {
+        match self.recv_get_many_once(pending) {
+            Ok(values) => {
+                self.breaker.record_success();
+                Ok(values)
+            }
+            Err(e) if matches!(e, NetError::Io(_)) => {
+                self.poison_pool();
+                if self.breaker.record_failure(&self.config) {
+                    self.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn recv_get_many_once(&self, pending: PendingGets) -> Result<Vec<Option<Vec<u8>>>, NetError> {
         let PendingGets { mut reader, keys } = pending;
         let response = read_response(&mut reader)?;
         self.checkin(reader.into_inner());
@@ -398,6 +762,8 @@ mod tests {
         }
         // Sequential use should keep exactly one pooled connection.
         assert_eq!(client.pool.lock().len(), 1);
+        // ... which means exactly one dial ever happened.
+        assert_eq!(client.fault_stats().connects, 1);
         server.stop();
     }
 
@@ -501,6 +867,93 @@ mod tests {
         let digest = client.snapshot_digest().unwrap().unwrap();
         assert!(digest.contains(b"page:1"));
         assert!(!digest.contains(b"page:2"));
+        server.stop();
+    }
+
+    #[test]
+    fn reconnects_when_pooled_connection_breaks() {
+        let server =
+            CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(1 << 20)).unwrap();
+        let addr = server.addr();
+        let client = CacheClient::connect_with(addr, ClientConfig::fast_failover()).unwrap();
+        client.set(b"k", b"v").unwrap();
+        // Kill the server; the pooled connection is now broken.
+        server.stop();
+        let server2 = CacheServer::spawn(addr, CacheConfig::with_capacity(1 << 20)).unwrap();
+        // The stale pooled stream fails, the retry dials fresh, and the
+        // operation succeeds against the restarted server.
+        assert_eq!(client.get(b"k").unwrap(), None);
+        let stats = client.fault_stats();
+        assert!(stats.retries >= 1, "expected a retry, stats {stats:?}");
+        assert!(stats.connects >= 2, "expected a reconnect, stats {stats:?}");
+        server2.stop();
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_recovers() {
+        let server =
+            CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(1 << 20)).unwrap();
+        let addr = server.addr();
+        let mut config = ClientConfig::fast_failover();
+        config.breaker_cooldown = Duration::from_millis(100);
+        let client = CacheClient::connect_with(addr, config).unwrap();
+        client.set(b"k", b"v").unwrap();
+        server.stop();
+
+        // Failures accumulate until the breaker trips...
+        let mut saw_io = 0;
+        while !client.breaker_open() {
+            match client.get(b"k") {
+                Err(NetError::Io(_)) => saw_io += 1,
+                other => panic!("expected Io failure against dead server, got {other:?}"),
+            }
+            assert!(saw_io < 10, "breaker never opened");
+        }
+        assert_eq!(client.fault_stats().breaker_trips, 1);
+        // ...then operations fail fast without touching the network.
+        let dials_when_open = client.fault_stats().connects;
+        for _ in 0..20 {
+            match client.get(b"k") {
+                Err(NetError::CircuitOpen(a)) => assert_eq!(a, addr),
+                other => panic!("expected CircuitOpen, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            client.fault_stats().connects,
+            dials_when_open,
+            "open breaker must not dial"
+        );
+        assert!(client.fault_stats().fast_fails >= 20);
+
+        // After the cooldown, a probe finds the restarted server and
+        // the breaker closes again.
+        let server2 = CacheServer::spawn(addr, CacheConfig::with_capacity(1 << 20)).unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(client.get(b"k").unwrap(), None);
+        assert!(!client.breaker_open());
+        assert!(client.fault_stats().probes >= 1);
+        client.set(b"k2", b"v2").unwrap();
+        assert_eq!(client.get(b"k2").unwrap(), Some(b"v2".to_vec()));
+        server2.stop();
+    }
+
+    #[test]
+    fn server_errors_do_not_retry_or_trip_the_breaker() {
+        let server =
+            CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(1 << 20)).unwrap();
+        let client =
+            CacheClient::connect_with(server.addr(), ClientConfig::fast_failover()).unwrap();
+        client.set(b"text", b"not-a-number").unwrap();
+        for _ in 0..5 {
+            assert!(matches!(
+                client.incr(b"text", 1),
+                Err(NetError::ServerError(_))
+            ));
+        }
+        let stats = client.fault_stats();
+        assert_eq!(stats.retries, 0, "semantic errors must not retry");
+        assert_eq!(stats.breaker_trips, 0);
+        assert!(!client.breaker_open());
         server.stop();
     }
 }

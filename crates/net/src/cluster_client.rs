@@ -1,13 +1,15 @@
-//! The web-tier cluster client: Algorithm 2 over live TCP servers.
+//! The web-tier cluster client: Algorithm 2 over live TCP servers,
+//! degrading to the database when cache servers fail.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use proteus_bloom::BloomFilter;
 use proteus_ring::{hash::KeyHasher, PlacementStrategy, ServerId};
 use proteus_store::ShardedStore;
 
-use crate::client::CacheClient;
+use crate::client::{CacheClient, ClientConfig, ClientStats};
 use crate::error::NetError;
 
 /// The authoritative backing store a [`ClusterClient`] falls back to
@@ -32,14 +34,52 @@ impl DbFallback for Mutex<ShardedStore> {
 }
 
 /// How a [`ClusterClient::fetch`] was served.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClusterFetch {
     /// Hit at the key's new-mapping server.
     Hit,
     /// Migrated on demand from the old server during a transition.
     Migrated,
-    /// Fetched from the backing store.
+    /// Fetched from the backing store (ordinary miss).
     Database,
+    /// Fetched from the backing store because a cache server was
+    /// unreachable: the paper's failure model — a dead cache reads as
+    /// a miss, never as an outage. Counted separately so callers and
+    /// benches can see failure-induced database load.
+    Degraded,
+}
+
+/// Cumulative cluster-level fault counters (see
+/// [`ClusterClient::fault_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClusterStats {
+    /// Fetches served from the database because a cache server was
+    /// unreachable ([`ClusterFetch::Degraded`]).
+    pub degraded_fetches: u64,
+    /// On-demand migrations skipped because the old-mapping server was
+    /// unreachable during a transition.
+    pub skipped_migrations: u64,
+    /// Cache-install writes (the `set` after a DB fetch or migration)
+    /// dropped because the target server was unreachable.
+    pub dropped_installs: u64,
+    /// Digest snapshots that could not be fetched at
+    /// `begin_transition` (the affected server's keys fall through to
+    /// the database instead of migrating).
+    pub missing_digests: u64,
+    /// Per-op retries summed over every server's client.
+    pub retries: u64,
+    /// Breaker trips summed over every server's client.
+    pub breaker_trips: u64,
+    /// Fast-fails summed over every server's client.
+    pub fast_fails: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicClusterStats {
+    degraded_fetches: AtomicU64,
+    skipped_migrations: AtomicU64,
+    dropped_installs: AtomicU64,
+    missing_digests: AtomicU64,
 }
 
 /// A web server's view of the live cache cluster: one pooled client
@@ -47,7 +87,13 @@ pub enum ClusterFetch {
 /// active counts, and the digests broadcast at the last transition.
 ///
 /// This is the TCP twin of [`proteus_core::Router`]: the same
-/// Algorithm 2 decision tree, with real sockets underneath.
+/// Algorithm 2 decision tree, with real sockets underneath — plus the
+/// failure model the paper's power policy demands. A power policy
+/// turns cache servers off *mid-traffic*, so an unreachable server is
+/// business as usual here: transport failures degrade to the
+/// authoritative store ([`ClusterFetch::Degraded`]) instead of
+/// erroring, and each server's [`CacheClient`] retries, reconnects,
+/// and fails fast through its circuit breaker.
 ///
 /// [`proteus_core::Router`]: https://docs.rs/proteus-core
 pub struct ClusterClient {
@@ -58,11 +104,12 @@ pub struct ClusterClient {
     previous_active: usize,
     digests: Vec<Option<BloomFilter>>,
     in_transition: bool,
+    stats: AtomicClusterStats,
 }
 
 impl ClusterClient {
-    /// Connects to every cache server (in provisioning order) and
-    /// starts with all of them active.
+    /// Connects to every cache server (in provisioning order) with the
+    /// default [`ClientConfig`] and starts with all of them active.
     ///
     /// # Errors
     ///
@@ -76,6 +123,25 @@ impl ClusterClient {
         addrs: &[std::net::SocketAddr],
         strategy: Box<dyn PlacementStrategy + Send + Sync>,
     ) -> Result<ClusterClient, NetError> {
+        ClusterClient::connect_with(addrs, strategy, ClientConfig::default())
+    }
+
+    /// [`connect`](Self::connect) with explicit per-server
+    /// fault-tolerance tunables.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first connection failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty or its length differs from the
+    /// strategy's `max_servers()`.
+    pub fn connect_with(
+        addrs: &[std::net::SocketAddr],
+        strategy: Box<dyn PlacementStrategy + Send + Sync>,
+        config: ClientConfig,
+    ) -> Result<ClusterClient, NetError> {
         assert!(!addrs.is_empty(), "need at least one cache server");
         assert_eq!(
             addrs.len(),
@@ -84,7 +150,7 @@ impl ClusterClient {
         );
         let clients = addrs
             .iter()
-            .map(|&a| CacheClient::connect(a))
+            .map(|&a| CacheClient::connect_with(a, config))
             .collect::<Result<Vec<_>, _>>()?;
         let n = clients.len();
         Ok(ClusterClient {
@@ -95,6 +161,7 @@ impl ClusterClient {
             previous_active: n,
             digests: vec![None; n],
             in_transition: false,
+            stats: AtomicClusterStats::default(),
         })
     }
 
@@ -111,16 +178,52 @@ impl ClusterClient {
             .server_for(self.hasher.hash_bytes(key), self.active)
     }
 
+    /// The per-server client, for inspecting breaker state and
+    /// fault counters.
+    #[must_use]
+    pub fn client(&self, server: usize) -> &CacheClient {
+        &self.clients[server]
+    }
+
+    /// Cluster-level fault counters, with the per-server client
+    /// counters (retries, breaker trips, fast fails) summed in.
+    #[must_use]
+    pub fn fault_stats(&self) -> ClusterStats {
+        let per_server: Vec<ClientStats> =
+            self.clients.iter().map(CacheClient::fault_stats).collect();
+        ClusterStats {
+            degraded_fetches: self.stats.degraded_fetches.load(Ordering::Relaxed),
+            skipped_migrations: self.stats.skipped_migrations.load(Ordering::Relaxed),
+            dropped_installs: self.stats.dropped_installs.load(Ordering::Relaxed),
+            missing_digests: self.stats.missing_digests.load(Ordering::Relaxed),
+            retries: per_server.iter().map(|s| s.retries).sum(),
+            breaker_trips: per_server.iter().map(|s| s.breaker_trips).sum(),
+            fast_fails: per_server.iter().map(|s| s.fast_fails).sum(),
+        }
+    }
+
     /// Begins a provisioning transition to `new_active` servers: pulls
     /// a fresh digest snapshot from every server active under the old
     /// mapping (the broadcast), then switches the mapping. Call
     /// [`end_transition`](Self::end_transition) after the hot-TTL
     /// window elapses and the departing servers have powered off.
     ///
+    /// Overlapping transitions are **rejected**: chaining 4→3→2
+    /// without an intervening `end_transition` would overwrite the old
+    /// mapping and the digest broadcast, stranding keys that only live
+    /// on the original old server. Callers drive one window at a time
+    /// (the paper's Algorithm 2 likewise assumes a single old/new
+    /// mapping pair); finish the first window, then start the next.
+    ///
+    /// A server whose digest cannot be fetched (powered off early,
+    /// crashed) does not fail the transition: its digest is recorded
+    /// as missing, and keys that only lived there fall through to the
+    /// database — a dead cache reads as a miss.
+    ///
     /// # Errors
     ///
-    /// Returns the first digest-fetch failure; the mapping is not
-    /// switched in that case.
+    /// Returns [`NetError::TransitionInProgress`] if a transition
+    /// window is already open.
     ///
     /// # Panics
     ///
@@ -134,9 +237,18 @@ impl ClusterClient {
         if new_active == self.active {
             return Ok(());
         }
+        if self.in_transition {
+            return Err(NetError::TransitionInProgress);
+        }
         let mut digests = vec![None; self.clients.len()];
         for (i, client) in self.clients.iter().enumerate().take(self.active) {
-            digests[i] = client.snapshot_digest()?;
+            match client.snapshot_digest() {
+                Ok(digest) => digests[i] = digest,
+                Err(e) if e.is_transport() => {
+                    self.stats.missing_digests.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => return Err(e),
+            }
         }
         self.digests = digests;
         self.previous_active = self.active;
@@ -153,41 +265,97 @@ impl ClusterClient {
         self.in_transition = false;
     }
 
+    /// Installs `value` at `server` on a best-effort basis: an
+    /// unreachable server just costs the cache fill, never the
+    /// request. Semantic errors still surface.
+    fn install(&self, server: usize, key: &[u8], value: &[u8]) -> Result<(), NetError> {
+        match self.clients[server].set(key, value) {
+            Ok(()) => Ok(()),
+            Err(e) if e.is_transport() => {
+                self.stats.dropped_installs.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Fetches from the database and best-effort installs at the
+    /// new-mapping server.
+    fn db_fetch<D: DbFallback + ?Sized>(
+        &self,
+        key: &[u8],
+        db: &D,
+        new_server: usize,
+        class: ClusterFetch,
+    ) -> Result<(Vec<u8>, ClusterFetch), NetError> {
+        if class == ClusterFetch::Degraded {
+            self.stats.degraded_fetches.fetch_add(1, Ordering::Relaxed);
+        }
+        let value = db.fetch(key)?;
+        self.install(new_server, key, &value)?;
+        Ok((value, class))
+    }
+
     /// Algorithm 2 against live servers: new server first; during a
     /// transition the old server's digest decides whether to migrate on
     /// demand; the backing store is the last resort. The value is
     /// installed at the new server on every non-hit path.
     ///
+    /// Failure semantics: a transport failure at the new-mapping
+    /// server degrades straight to the database
+    /// ([`ClusterFetch::Degraded`]); a transport failure at the old
+    /// server mid-transition skips the migration and falls through to
+    /// the database likewise. A request only errors if the **database**
+    /// errors (or a server returns a semantic error).
+    ///
     /// # Errors
     ///
-    /// Returns transport failures from the cache servers or the
-    /// backing store.
+    /// Returns backing-store failures and semantic (non-transport)
+    /// cache-server errors.
     pub fn fetch<D: DbFallback + ?Sized>(
         &self,
         key: &[u8],
         db: &D,
     ) -> Result<(Vec<u8>, ClusterFetch), NetError> {
         let hash = self.hasher.hash_bytes(key);
-        let new_server = self.strategy.server_for(hash, self.active);
-        if let Some(value) = self.clients[new_server.index()].get(key)? {
-            return Ok((value, ClusterFetch::Hit));
+        let new_server = self.strategy.server_for(hash, self.active).index();
+        match self.clients[new_server].get(key) {
+            Ok(Some(value)) => return Ok((value, ClusterFetch::Hit)),
+            Ok(None) => {}
+            Err(e) if e.is_transport() => {
+                // The key's cache server is down: serve from the
+                // authoritative store. No point attempting a migration
+                // either — there is nowhere to install it.
+                return self.db_fetch(key, db, new_server, ClusterFetch::Degraded);
+            }
+            Err(e) => return Err(e),
         }
         if self.in_transition {
-            let old = self.strategy.server_for(hash, self.previous_active);
+            let old = self.strategy.server_for(hash, self.previous_active).index();
             if old != new_server {
-                if let Some(digest) = &self.digests[old.index()] {
+                if let Some(digest) = &self.digests[old] {
                     if digest.contains(key) {
-                        if let Some(value) = self.clients[old.index()].get(key)? {
-                            self.clients[new_server.index()].set(key, &value)?;
-                            return Ok((value, ClusterFetch::Migrated));
+                        match self.clients[old].get(key) {
+                            Ok(Some(value)) => {
+                                self.install(new_server, key, &value)?;
+                                return Ok((value, ClusterFetch::Migrated));
+                            }
+                            Ok(None) => {}
+                            Err(e) if e.is_transport() => {
+                                // The departing server died early; its
+                                // hot keys fall through to the database.
+                                self.stats
+                                    .skipped_migrations
+                                    .fetch_add(1, Ordering::Relaxed);
+                                return self.db_fetch(key, db, new_server, ClusterFetch::Degraded);
+                            }
+                            Err(e) => return Err(e),
                         }
                     }
                 }
             }
         }
-        let value = db.fetch(key)?;
-        self.clients[new_server.index()].set(key, &value)?;
-        Ok((value, ClusterFetch::Database))
+        self.db_fetch(key, db, new_server, ClusterFetch::Database)
     }
 
     /// Batched Algorithm 2: fetches many keys with one pipelined
@@ -197,12 +365,19 @@ impl ClusterClient {
     /// that miss fall back to the single-key [`fetch`](Self::fetch)
     /// path (migration digest check, then the backing store).
     ///
+    /// Per-server failures are isolated: one dead server degrades only
+    /// its own key group (those keys take the single-key path, which
+    /// serves them from the database), while every other group
+    /// proceeds normally — and the dead server's circuit breaker makes
+    /// the per-key fallback fail fast rather than paying a timeout per
+    /// key.
+    ///
     /// Results align with `keys`.
     ///
     /// # Errors
     ///
-    /// Returns transport failures from the cache servers or the
-    /// backing store.
+    /// Returns backing-store failures and semantic (non-transport)
+    /// cache-server errors.
     pub fn fetch_many<D: DbFallback + ?Sized>(
         &self,
         keys: &[&[u8]],
@@ -217,24 +392,36 @@ impl ClusterClient {
                 .push(pos);
         }
         // Phase 1: write every server's multi-get before reading any
-        // response, overlapping the per-server round trips.
+        // response, overlapping the per-server round trips. A server
+        // that fails the send just leaves its group unresolved for the
+        // per-key phase.
         let mut pending = Vec::with_capacity(groups.len());
         for (server, positions) in groups {
             let group_keys: Vec<&[u8]> = positions.iter().map(|&p| keys[p]).collect();
-            let sent = self.clients[server].send_get_many(&group_keys)?;
-            pending.push((server, positions, sent));
-        }
-        // Phase 2: collect responses and slot the hits.
-        let mut out: Vec<Option<(Vec<u8>, ClusterFetch)>> = vec![None; keys.len()];
-        for (server, positions, sent) in pending {
-            let values = self.clients[server].recv_get_many(sent)?;
-            for (pos, value) in positions.into_iter().zip(values) {
-                if let Some(data) = value {
-                    out[pos] = Some((data, ClusterFetch::Hit));
-                }
+            match self.clients[server].send_get_many(&group_keys) {
+                Ok(sent) => pending.push((server, positions, sent)),
+                Err(e) if e.is_transport() => {}
+                Err(e) => return Err(e),
             }
         }
-        // Phase 3: misses take the full single-key decision tree.
+        // Phase 2: collect responses and slot the hits. A receive
+        // failure likewise only abandons that server's group.
+        let mut out: Vec<Option<(Vec<u8>, ClusterFetch)>> = vec![None; keys.len()];
+        for (server, positions, sent) in pending {
+            match self.clients[server].recv_get_many(sent) {
+                Ok(values) => {
+                    for (pos, value) in positions.into_iter().zip(values) {
+                        if let Some(data) = value {
+                            out[pos] = Some((data, ClusterFetch::Hit));
+                        }
+                    }
+                }
+                Err(e) if e.is_transport() => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Phase 3: misses and failed groups take the full single-key
+        // decision tree (which itself degrades on transport failures).
         for (pos, slot) in out.iter_mut().enumerate() {
             if slot.is_none() {
                 *slot = Some(self.fetch(keys[pos], db)?);
@@ -273,8 +460,12 @@ mod tests {
             })
             .collect();
         let addrs: Vec<_> = servers.iter().map(CacheServer::addr).collect();
-        let client =
-            ClusterClient::connect(&addrs, Box::new(ProteusPlacement::generate(n))).unwrap();
+        let client = ClusterClient::connect_with(
+            &addrs,
+            Box::new(ProteusPlacement::generate(n)),
+            ClientConfig::fast_failover(),
+        )
+        .unwrap();
         let db = Mutex::new(ShardedStore::new(StoreConfig {
             object_size: 64,
             ..StoreConfig::default()
@@ -411,6 +602,107 @@ mod tests {
         let (servers, mut client, _db) = cluster(2);
         client.begin_transition(2).unwrap();
         assert_eq!(client.active(), 2);
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn overlapping_transitions_are_rejected_then_chain_cleanly() {
+        let (servers, mut client, db) = cluster(4);
+        let keys: Vec<Vec<u8>> = (0..60u32)
+            .map(|i| format!("page:{i}").into_bytes())
+            .collect();
+        for k in &keys {
+            client.fetch(k, &db).unwrap();
+        }
+        // 4 -> 3 opens a window; 3 -> 2 inside it must be rejected (it
+        // would overwrite previous_active and the digest broadcast,
+        // stranding keys that only live on the original old server).
+        client.begin_transition(3).unwrap();
+        assert!(matches!(
+            client.begin_transition(2),
+            Err(NetError::TransitionInProgress)
+        ));
+        assert_eq!(client.active(), 3, "rejected call must not move state");
+        // Driven one window at a time, the 4 -> 3 -> 2 double step keeps
+        // every hot key out of the database.
+        let db_before = db.lock().total_fetches();
+        for k in &keys {
+            let (_, how) = client.fetch(k, &db).unwrap();
+            assert_ne!(how, ClusterFetch::Database);
+        }
+        client.end_transition();
+        client.begin_transition(2).unwrap();
+        for k in &keys {
+            let (_, how) = client.fetch(k, &db).unwrap();
+            assert_ne!(how, ClusterFetch::Database);
+        }
+        client.end_transition();
+        assert_eq!(db.lock().total_fetches(), db_before);
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn dead_server_degrades_to_database_not_error() {
+        let (mut servers, client, db) = cluster(3);
+        let keys: Vec<Vec<u8>> = (0..60u32)
+            .map(|i| format!("page:{i}").into_bytes())
+            .collect();
+        for k in &keys {
+            client.fetch(k, &db).unwrap();
+        }
+        // Kill server 1; its keys must degrade to the DB, the rest hit.
+        servers.remove(1).stop();
+        let mut degraded = 0;
+        let mut hits = 0;
+        for k in &keys {
+            let (value, how) = client.fetch(k, &db).unwrap();
+            assert!(!value.is_empty());
+            match how {
+                ClusterFetch::Degraded => degraded += 1,
+                ClusterFetch::Hit => hits += 1,
+                other => panic!("unexpected class {other:?} for {k:?}"),
+            }
+            if client.server_for(k).index() == 1 {
+                assert_eq!(how, ClusterFetch::Degraded);
+            }
+        }
+        assert!(degraded > 0, "some keys lived on the dead server");
+        assert!(hits > 0, "other servers keep serving");
+        let stats = client.fault_stats();
+        assert_eq!(stats.degraded_fetches, degraded);
+        assert!(
+            stats.breaker_trips >= 1,
+            "repeated failures must trip the dead server's breaker"
+        );
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn fetch_many_isolates_a_dead_server_to_its_key_group() {
+        let (mut servers, client, db) = cluster(3);
+        let keys: Vec<Vec<u8>> = (0..60u32)
+            .map(|i| format!("page:{i}").into_bytes())
+            .collect();
+        for k in &keys {
+            client.fetch(k, &db).unwrap();
+        }
+        servers.remove(0).stop();
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let results = client.fetch_many(&refs, &db).unwrap();
+        for (k, (value, how)) in keys.iter().zip(&results) {
+            assert!(!value.is_empty());
+            if client.server_for(k).index() == 0 {
+                assert_eq!(*how, ClusterFetch::Degraded, "dead group degrades");
+            } else {
+                assert_eq!(*how, ClusterFetch::Hit, "live groups are untouched");
+            }
+        }
         for s in servers {
             s.stop();
         }

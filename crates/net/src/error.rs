@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 use std::io;
+use std::net::SocketAddr;
 
 /// Errors from cache-protocol clients and servers.
 #[derive(Debug)]
@@ -15,6 +16,26 @@ pub enum NetError {
     ServerError(String),
     /// A digest payload failed to decode.
     BadDigest(proteus_bloom::SnapshotError),
+    /// The client's circuit breaker for this server is open: recent
+    /// consecutive transport failures crossed the threshold, so the
+    /// call failed fast without touching the network. The breaker
+    /// re-probes the server once per cooldown window.
+    CircuitOpen(SocketAddr),
+    /// `begin_transition` was called while a previous transition window
+    /// is still open (see `ClusterClient::begin_transition`).
+    TransitionInProgress,
+}
+
+impl NetError {
+    /// Whether this error is a transport-level failure (the server is
+    /// unreachable, the connection broke, or the breaker is open) as
+    /// opposed to a semantic protocol or server error. The cluster
+    /// client degrades transport failures to database fetches; semantic
+    /// errors always surface.
+    #[must_use]
+    pub fn is_transport(&self) -> bool {
+        matches!(self, NetError::Io(_) | NetError::CircuitOpen(_))
+    }
 }
 
 impl fmt::Display for NetError {
@@ -24,6 +45,12 @@ impl fmt::Display for NetError {
             NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             NetError::ServerError(msg) => write!(f, "server error: {msg}"),
             NetError::BadDigest(e) => write!(f, "bad digest payload: {e}"),
+            NetError::CircuitOpen(addr) => {
+                write!(f, "circuit breaker open for cache server {addr}")
+            }
+            NetError::TransitionInProgress => {
+                write!(f, "a provisioning transition is already in progress")
+            }
         }
     }
 }
@@ -71,5 +98,16 @@ mod tests {
         let io = NetError::from(io::Error::other("x"));
         assert!(io.source().is_some());
         assert!(NetError::Protocol("p".into()).source().is_none());
+    }
+
+    #[test]
+    fn transport_classification() {
+        let addr: SocketAddr = "127.0.0.1:9999".parse().unwrap();
+        assert!(NetError::from(io::Error::other("x")).is_transport());
+        assert!(NetError::CircuitOpen(addr).is_transport());
+        assert!(!NetError::ServerError("oops".into()).is_transport());
+        assert!(!NetError::Protocol("bad".into()).is_transport());
+        assert!(!NetError::TransitionInProgress.is_transport());
+        assert!(NetError::CircuitOpen(addr).to_string().contains("9999"));
     }
 }

@@ -22,6 +22,15 @@
 //!   any [`PlacementStrategy`](proteus_ring::PlacementStrategy) plus
 //!   Algorithm 2 retrieval against live servers with a pluggable
 //!   database fallback.
+//! - **Fault tolerance** — a power policy turns cache servers off
+//!   mid-traffic, so unreachable servers are the common case, not an
+//!   exception. Each [`CacheClient`] retries transport failures with
+//!   jittered exponential backoff, reconnects broken pooled
+//!   connections, and trips a per-server circuit breaker
+//!   ([`ClientConfig`]); the [`ClusterClient`] degrades failed fetches
+//!   to the database ([`ClusterFetch::Degraded`]) instead of erroring.
+//!   [`FaultProxy`] is a TCP fault-injection forwarder for exercising
+//!   these paths in integration tests and benches.
 //!
 //! # Example
 //!
@@ -43,12 +52,14 @@
 mod client;
 mod cluster_client;
 mod error;
+mod fault;
 mod protocol;
 mod server;
 
-pub use client::{CacheClient, PendingGets};
-pub use cluster_client::{ClusterClient, ClusterFetch, DbFallback};
+pub use client::{CacheClient, ClientConfig, ClientStats, PendingGets};
+pub use cluster_client::{ClusterClient, ClusterFetch, ClusterStats, DbFallback};
 pub use error::NetError;
+pub use fault::{FaultMode, FaultProxy};
 pub use protocol::{
     read_command, read_response, write_command, write_response, Command, Response, ValueItem,
     DIGEST_KEY, DIGEST_SNAPSHOT_KEY,

@@ -1,11 +1,12 @@
 //! The TCP cache server.
 
-use std::io::{BufReader, BufWriter};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use proteus_bloom::DigestSnapshot;
@@ -17,18 +18,50 @@ use crate::protocol::{
     read_command, write_response, Command, Response, ValueItem, DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
 };
 
+/// How long an idle connection blocks in `read` before re-checking the
+/// shutdown flag. Bounds how long `CacheServer::stop()` waits for
+/// parked connection threads to quiesce.
+const IDLE_READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Backoff before re-trying `accept` after a resource-exhaustion error
+/// (`EMFILE`/`ENFILE`/`ENOBUFS`/`ENOMEM`): gives the process a beat to
+/// shed file descriptors instead of spinning.
+const ACCEPT_EXHAUSTED_BACKOFF: Duration = Duration::from_millis(50);
+
 struct Shared {
     engine: ShardedEngine,
     /// The digest snapshot taken by the last `get SET_BLOOM_FILTER`.
     snapshot: Mutex<Option<Vec<u8>>>,
     started: Instant,
     shutdown: AtomicBool,
+    /// Live connection sockets, so `stop()` can interrupt blocked
+    /// reads instead of waiting out their timeout. Each connection
+    /// registers a clone on accept and removes itself on exit.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
 }
 
 impl Shared {
     fn now(&self) -> SimTime {
         SimTime::from_nanos(self.started.elapsed().as_nanos() as u64)
     }
+}
+
+/// Classifies an `accept` error: `None` means retry immediately (the
+/// aborted-connection family — the listener itself is fine), `Some(d)`
+/// means back off for `d` first (resource exhaustion — retrying in a
+/// tight loop would spin at 100% CPU). No error kills the accept loop:
+/// a transient `EMFILE` must not permanently silence a server that
+/// keeps running and holding its cache.
+fn accept_retry_delay(e: &std::io::Error) -> Option<Duration> {
+    // EMFILE(24)/ENFILE(23) surface as Uncategorized on stable, so
+    // match raw OS codes; ENOBUFS(105)/ENOMEM(12) likewise.
+    let exhausted = matches!(e.raw_os_error(), Some(23 | 24 | 12 | 105))
+        || matches!(
+            e.kind(),
+            std::io::ErrorKind::OutOfMemory | std::io::ErrorKind::WouldBlock
+        );
+    exhausted.then_some(ACCEPT_EXHAUSTED_BACKOFF)
 }
 
 /// A running cache server: a listener thread plus one thread per
@@ -50,6 +83,7 @@ pub struct CacheServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -73,8 +107,12 @@ impl CacheServer {
             snapshot: Mutex::new(None),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
         });
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_shared = Arc::clone(&shared);
+        let accept_conn_threads = Arc::clone(&conn_threads);
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if accept_shared.shutdown.load(Ordering::SeqCst) {
@@ -83,9 +121,24 @@ impl CacheServer {
                 match stream {
                     Ok(stream) => {
                         let conn_shared = Arc::clone(&accept_shared);
-                        std::thread::spawn(move || serve_connection(stream, &conn_shared));
+                        let handle = std::thread::spawn(move || {
+                            serve_connection(stream, &conn_shared);
+                        });
+                        let mut threads = accept_conn_threads.lock();
+                        // Reap finished handles so long-running servers
+                        // don't accumulate one entry per past connection.
+                        threads.retain(|h| !h.is_finished());
+                        threads.push(handle);
                     }
-                    Err(_) => break,
+                    // A failed accept never kills the listener: the
+                    // connection-level errors (ECONNABORTED & friends)
+                    // retry immediately, resource exhaustion backs off
+                    // first. Only shutdown ends the loop.
+                    Err(e) => {
+                        if let Some(delay) = accept_retry_delay(&e) {
+                            std::thread::sleep(delay);
+                        }
+                    }
                 }
             }
         });
@@ -93,6 +146,7 @@ impl CacheServer {
             addr,
             shared,
             accept_thread: Some(accept_thread),
+            conn_threads,
         })
     }
 
@@ -108,8 +162,11 @@ impl CacheServer {
         f(&self.shared.engine)
     }
 
-    /// Stops accepting connections and joins the accept thread.
-    /// In-flight connections finish their current command.
+    /// Stops accepting connections, quiesces every connection thread
+    /// (idle ones are woken by a socket shutdown and the idle read
+    /// timeout), and joins them all. In-flight connections finish
+    /// their current command; returns promptly even with idle clients
+    /// still attached.
     pub fn stop(mut self) {
         self.shutdown_inner();
     }
@@ -120,7 +177,14 @@ impl CacheServer {
         }
         // Unblock the accept loop with a dummy connection.
         let _ = TcpStream::connect(self.addr);
+        // Interrupt connection threads parked in a blocking read.
+        for stream in self.shared.conns.lock().values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
         if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for handle in self.conn_threads.lock().drain(..) {
             let _ = handle.join();
         }
     }
@@ -133,41 +197,73 @@ impl Drop for CacheServer {
 }
 
 fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = stream.try_clone() {
+        shared.conns.lock().insert(conn_id, clone);
+    }
+    // Idle read timeout: a parked reader wakes every IDLE_READ_TIMEOUT
+    // to re-check the shutdown flag, so `stop()` quiesces instead of
+    // waiting for the peer to hang up.
+    let _ = stream.set_read_timeout(Some(IDLE_READ_TIMEOUT));
     let peer = stream.try_clone();
-    let Ok(write_half) = peer else { return };
-    let mut reader = BufReader::new(stream);
-    let mut writer = BufWriter::new(write_half);
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let command = match read_command(&mut reader) {
-            Ok(c) => c,
-            Err(NetError::Io(_)) => break, // disconnect
-            Err(e) => {
-                let _ = write_response(&mut writer, &Response::Error(e.to_string()));
+    if let Ok(write_half) = peer {
+        let mut reader = BufReader::new(stream);
+        let mut writer = BufWriter::new(write_half);
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
-        };
-        let response = match command {
-            Command::Quit => break,
-            other => execute(other, shared),
-        };
-        if write_response(&mut writer, &response).is_err() {
-            break;
+            // Wait for the first byte of the next command *before*
+            // parsing: a timeout here is mere idleness (keep waiting); a
+            // timeout mid-command below is a genuinely stalled peer.
+            match reader.fill_buf() {
+                Ok([]) => break, // clean EOF
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(_) => break,
+            }
+            let command = match read_command(&mut reader) {
+                Ok(c) => c,
+                Err(NetError::Io(_)) => break, // disconnect
+                Err(e) => {
+                    let _ = write_response(&mut writer, &Response::Error(e.to_string()));
+                    break;
+                }
+            };
+            let response = match command {
+                Command::Quit => break,
+                other => execute(other, shared),
+            };
+            if write_response(&mut writer, &response).is_err() {
+                break;
+            }
         }
+        let _ = writer.get_ref().shutdown(Shutdown::Both);
     }
-    let _ = writer.get_ref().shutdown(Shutdown::Both);
+    shared.conns.lock().remove(&conn_id);
 }
 
 /// Applies `op` to the ASCII-decimal value stored under `key`, storing
 /// and returning the new value — memcached `incr`/`decr` semantics
-/// (missing key → `NOT_FOUND`; non-numeric value → error).
+/// (missing key → `NOT_FOUND`; non-numeric value → error; the item's
+/// original expiry is preserved, not reset).
 fn numeric_op(shared: &Shared, key: &[u8], op: impl FnOnce(u64) -> u64) -> Response {
     let now = shared.now();
     // Probe and store under one shard lock so concurrent incr/decr on
     // the same key never lose updates.
     shared.engine.with_key_shard(key, |engine| {
+        // An expired counter must read as absent, not resurrect.
+        if !engine.probe(key, now) {
+            return Response::NotFound;
+        }
+        let deadline = engine.expiry_of(key).expect("probed present");
         let Some(current) = engine.peek(key) else {
             return Response::NotFound;
         };
@@ -178,7 +274,9 @@ fn numeric_op(shared: &Shared, key: &[u8], op: impl FnOnce(u64) -> u64) -> Respo
             return Response::Error("cannot increment or decrement non-numeric value".into());
         };
         let next = op(value);
-        engine.put(key, next.to_string().into_bytes(), now);
+        // Rewrite the counter under the item's original deadline —
+        // memcached's incr/decr never extend or reset the TTL.
+        engine.put_with_deadline(key, next.to_string().into_bytes(), now, deadline);
         Response::Numeric(next)
     })
 }
@@ -241,11 +339,13 @@ fn execute(command: Command, shared: &Shared) -> Response {
             key, data, exptime, ..
         } => {
             let now = shared.now();
-            // `contains` sees expired-but-unreaped items; a get-style
-            // probe reaps them so `add` succeeds after expiry. Probe
-            // and store share one shard lock.
+            // `probe` reaps expired-but-unreaped items (so `add`
+            // succeeds after expiry) but, unlike a get, moves no
+            // hit/miss statistics: a storage command's presence check
+            // is not a cache read. Probe and store share one shard
+            // lock.
             shared.engine.with_key_shard(&key, |engine| {
-                if engine.get(&key, now).is_some() {
+                if engine.probe(&key, now) {
                     Response::NotStored
                 } else {
                     engine.put_with_expiry(&key, data, now, expiry(exptime));
@@ -258,7 +358,7 @@ fn execute(command: Command, shared: &Shared) -> Response {
         } => {
             let now = shared.now();
             shared.engine.with_key_shard(&key, |engine| {
-                if engine.get(&key, now).is_some() {
+                if engine.probe(&key, now) {
                     engine.put_with_expiry(&key, data, now, expiry(exptime));
                     Response::Stored
                 } else {
@@ -353,6 +453,15 @@ mod tests {
         client.set(b"k", b"v").unwrap();
         let _ = client.get(b"k").unwrap();
         let _ = client.get(b"absent").unwrap();
+        // Storage-command probes are not cache reads: an `add` on a
+        // present key must not count a get hit, a `replace` on a
+        // missing key must not count a get miss, and successful probes
+        // are equally silent — memcached semantics, and what keeps the
+        // hit-ratio benches honest.
+        assert!(!client.add(b"k", b"other").unwrap());
+        assert!(client.add(b"fresh", b"v").unwrap());
+        assert!(!client.replace(b"nothere", b"v").unwrap());
+        assert!(client.replace(b"k", b"v2").unwrap());
         let stats = client.stats().unwrap();
         let lookup = |name: &str| {
             stats
@@ -363,9 +472,99 @@ mod tests {
         };
         assert_eq!(lookup("get_hits"), "1");
         assert_eq!(lookup("get_misses"), "1");
-        assert_eq!(lookup("cmd_set"), "1");
-        assert_eq!(lookup("curr_items"), "1");
+        // set + stored add + stored replace each count as a set.
+        assert_eq!(lookup("cmd_set"), "3");
+        assert_eq!(lookup("curr_items"), "2");
         server.stop();
+    }
+
+    #[test]
+    fn incr_preserves_the_items_expiry() {
+        use crate::protocol::{read_response, write_command};
+        use std::io::{BufReader, BufWriter};
+        let server = test_server();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        let mut reader = BufReader::new(stream);
+        write_command(
+            &mut writer,
+            &Command::Set {
+                key: b"c".to_vec(),
+                flags: 0,
+                exptime: 60,
+                data: b"5".to_vec(),
+            },
+        )
+        .unwrap();
+        assert_eq!(read_response(&mut reader).unwrap(), Response::Stored);
+        let deadline_before = server
+            .with_engine(|e| e.with_key_shard(b"c", |se| se.expiry_of(b"c")))
+            .expect("item present");
+        assert!(deadline_before < SimTime::MAX, "set stored a real TTL");
+        write_command(
+            &mut writer,
+            &Command::Incr {
+                key: b"c".to_vec(),
+                delta: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(read_response(&mut reader).unwrap(), Response::Numeric(8));
+        let deadline_after = server
+            .with_engine(|e| e.with_key_shard(b"c", |se| se.expiry_of(b"c")))
+            .expect("item still present");
+        assert_eq!(
+            deadline_after, deadline_before,
+            "incr must not reset or drop the original expiry"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn accept_errors_never_kill_the_listener() {
+        use std::io::{Error, ErrorKind};
+        // Connection-level aborts retry immediately...
+        assert_eq!(
+            accept_retry_delay(&Error::from(ErrorKind::ConnectionAborted)),
+            None
+        );
+        assert_eq!(
+            accept_retry_delay(&Error::from(ErrorKind::ConnectionReset)),
+            None
+        );
+        // ...resource exhaustion backs off first (EMFILE/ENFILE land in
+        // Uncategorized, so raw OS codes are what's matched).
+        for code in [23, 24, 12, 105] {
+            assert_eq!(
+                accept_retry_delay(&Error::from_raw_os_error(code)),
+                Some(ACCEPT_EXHAUSTED_BACKOFF),
+                "os error {code}"
+            );
+        }
+        assert_eq!(
+            accept_retry_delay(&Error::from(ErrorKind::OutOfMemory)),
+            Some(ACCEPT_EXHAUSTED_BACKOFF)
+        );
+    }
+
+    #[test]
+    fn stop_returns_promptly_with_an_idle_client_attached() {
+        let server = test_server();
+        // A live client connection parked in the server's read loop...
+        let idle = TcpStream::connect(server.addr()).unwrap();
+        let active = CacheClient::connect(server.addr()).unwrap();
+        active.set(b"k", b"v").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // ...must not stall shutdown: the socket shutdown plus the idle
+        // read timeout wake the connection thread, and stop() joins it.
+        let begin = std::time::Instant::now();
+        server.stop();
+        assert!(
+            begin.elapsed() < std::time::Duration::from_secs(1),
+            "stop() took {:?} with an idle client attached",
+            begin.elapsed()
+        );
+        drop(idle);
     }
 
     #[test]
