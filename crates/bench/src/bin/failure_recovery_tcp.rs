@@ -44,7 +44,7 @@ struct Phase {
 impl Phase {
     fn record(
         &mut self,
-        outcome: &Result<(Vec<u8>, ClusterFetch), proteus_net::NetError>,
+        outcome: &Result<(proteus_net::SharedBytes, ClusterFetch), proteus_net::NetError>,
         us: u128,
     ) {
         self.requests += 1;

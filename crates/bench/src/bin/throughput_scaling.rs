@@ -6,12 +6,17 @@
 //!
 //! Run with: `cargo run --release --bin throughput_scaling`
 //!
+//! The binary registers the counting global allocator, so each sweep
+//! row also reports exact allocations per operation — the zero-copy
+//! hot path should hold this near zero for the read-heavy mix.
+//!
 //! `--smoke` runs a shortened sweep and exits non-zero unless the
 //! sharded engine at the highest thread count at least matches the
 //! single-mutex baseline (CI guard against concurrency regressions).
 
 use std::sync::Arc;
 
+use proteus_bench::alloc_track::{measure, CountingAlloc};
 use proteus_bench::concurrency::{
     prepopulate, run_mixed, ConcurrentCache, MixedWorkload, RunReport, ShardedCache,
     SingleMutexCache,
@@ -19,17 +24,24 @@ use proteus_bench::concurrency::{
 use proteus_bench::write_csv;
 use proteus_cache::CacheConfig;
 
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 fn config() -> CacheConfig {
     CacheConfig::with_capacity(256 << 20)
 }
 
-fn sweep<C: ConcurrentCache>(
-    cache: &Arc<C>,
-    ops_per_thread: u64,
-    snapshot_loop: bool,
-) -> Vec<(usize, RunReport)> {
+/// One sweep row: thread count, timing report, and exact allocations
+/// per operation across the whole run (worker threads included).
+struct Row {
+    threads: usize,
+    report: RunReport,
+    allocs_per_op: f64,
+}
+
+fn sweep<C: ConcurrentCache>(cache: &Arc<C>, ops_per_thread: u64, snapshot_loop: bool) -> Vec<Row> {
     THREADS
         .iter()
         .map(|&threads| {
@@ -37,23 +49,36 @@ fn sweep<C: ConcurrentCache>(
             if snapshot_loop {
                 workload = workload.with_snapshot_loop();
             }
-            (threads, run_mixed(cache, workload))
+            let (report, allocs) = measure(|| run_mixed(cache, workload));
+            let total_ops = (threads as u64 * ops_per_thread).max(1);
+            Row {
+                threads,
+                report,
+                allocs_per_op: allocs.allocations as f64 / total_ops as f64,
+            }
         })
         .collect()
 }
 
-fn print_section(title: &str, single: &[(usize, RunReport)], sharded: &[(usize, RunReport)]) {
+fn print_section(title: &str, single: &[Row], sharded: &[Row]) {
     println!("\n{title}");
-    println!("threads | single-mutex ops/s   p99 | sharded ops/s        p99 | speedup");
-    println!("--------+--------------------------+--------------------------+--------");
-    for ((threads, a), (_, b)) in single.iter().zip(sharded) {
+    println!(
+        "threads | single-mutex ops/s   p99  alloc/op | sharded ops/s        p99  alloc/op | speedup"
+    );
+    println!(
+        "--------+------------------------------------+------------------------------------+--------"
+    );
+    for (a, b) in single.iter().zip(sharded) {
         println!(
-            "{threads:>7} | {:>12.0} {:>9.1}us | {:>12.0} {:>9.1}us | {:>6.2}x",
-            a.ops_per_sec(),
-            a.p99.as_secs_f64() * 1e6,
-            b.ops_per_sec(),
-            b.p99.as_secs_f64() * 1e6,
-            b.ops_per_sec() / a.ops_per_sec(),
+            "{:>7} | {:>12.0} {:>9.1}us {:>8.3} | {:>12.0} {:>9.1}us {:>8.3} | {:>6.2}x",
+            a.threads,
+            a.report.ops_per_sec(),
+            a.report.p99.as_secs_f64() * 1e6,
+            a.allocs_per_op,
+            b.report.ops_per_sec(),
+            b.report.p99.as_secs_f64() * 1e6,
+            b.allocs_per_op,
+            b.report.ops_per_sec() / a.report.ops_per_sec(),
         );
     }
 }
@@ -84,22 +109,24 @@ fn main() {
         &single_snap,
         &sharded_snap,
     );
-    let snap_counts: Vec<u64> = sharded_snap.iter().map(|(_, r)| r.snapshots).collect();
+    let snap_counts: Vec<u64> = sharded_snap.iter().map(|r| r.report.snapshots).collect();
     println!("\nsnapshots completed alongside the sharded runs: {snap_counts:?}");
 
     let rows = single_plain
         .iter()
         .zip(&sharded_plain)
         .zip(single_snap.iter().zip(&sharded_snap))
-        .map(|(((threads, a), (_, b)), ((_, c), (_, d)))| {
+        .map(|((a, b), (c, d))| {
             vec![
-                *threads as f64,
-                a.ops_per_sec(),
-                a.p99.as_secs_f64() * 1e6,
-                b.ops_per_sec(),
-                b.p99.as_secs_f64() * 1e6,
-                c.ops_per_sec(),
-                d.ops_per_sec(),
+                a.threads as f64,
+                a.report.ops_per_sec(),
+                a.report.p99.as_secs_f64() * 1e6,
+                a.allocs_per_op,
+                b.report.ops_per_sec(),
+                b.report.p99.as_secs_f64() * 1e6,
+                b.allocs_per_op,
+                c.report.ops_per_sec(),
+                d.report.ops_per_sec(),
             ]
         });
     if let Ok(path) = write_csv(
@@ -108,8 +135,10 @@ fn main() {
             "threads",
             "single_ops_per_sec",
             "single_p99_us",
+            "single_allocs_per_op",
             "sharded_ops_per_sec",
             "sharded_p99_us",
+            "sharded_allocs_per_op",
             "single_snap_ops_per_sec",
             "sharded_snap_ops_per_sec",
         ],
@@ -125,22 +154,39 @@ fn main() {
         // data path — this is the structural invariant, valid on any
         // hardware.
         assert!(
-            sharded_snap.iter().all(|(_, r)| r.snapshots > 0),
+            sharded_snap.iter().all(|r| r.report.snapshots > 0),
             "sharded snapshot loop starved"
         );
 
         // Under the snapshot loop the baseline holds the global mutex
         // while cloning the whole digest, stalling every get; the
         // sharded engine clones one shard at a time.
-        let (_, single_one) = single_snap.first().expect("sweep ran");
-        let (_, sharded_one) = sharded_snap.first().expect("sweep ran");
-        let snap_ratio = sharded_one.ops_per_sec() / single_one.ops_per_sec();
+        let single_one = single_snap.first().expect("sweep ran");
+        let sharded_one = sharded_snap.first().expect("sweep ran");
+        let snap_ratio = sharded_one.report.ops_per_sec() / single_one.report.ops_per_sec();
         println!("\nsmoke: gets under snapshot loop, 1 thread: sharded/single = {snap_ratio:.2}x");
 
-        let (threads, base) = single_plain.last().expect("sweep ran");
-        let (_, contender) = sharded_plain.last().expect("sweep ran");
-        let ratio = contender.ops_per_sec() / base.ops_per_sec();
-        println!("smoke: {threads} threads on {cores} core(s): sharded/single = {ratio:.2}x");
+        let base = single_plain.last().expect("sweep ran");
+        let contender = sharded_plain.last().expect("sweep ran");
+        let ratio = contender.report.ops_per_sec() / base.report.ops_per_sec();
+        println!(
+            "smoke: {} threads on {cores} core(s): sharded/single = {ratio:.2}x",
+            base.threads
+        );
+
+        // The allocation counters are deterministic on any hardware:
+        // a 90/10 read-heavy mix allocates roughly once per write
+        // (the stored value) and nothing per warmed read, so the
+        // sharded engine must stay well under one allocation per op.
+        let worst = sharded_plain
+            .iter()
+            .map(|r| r.allocs_per_op)
+            .fold(0.0f64, f64::max);
+        println!("smoke: sharded allocs/op (worst row) = {worst:.3}");
+        assert!(
+            worst < 0.5,
+            "read-heavy sharded sweep allocates {worst:.3}/op — zero-copy hot path regressed"
+        );
 
         // Ratio gates need real parallelism: on a single-core runner
         // every thread timeslices one CPU, so both ratios degenerate

@@ -1,0 +1,290 @@
+//! Zero-copy hot path: allocations and time per operation, before vs
+//! after.
+//!
+//! Three head-to-head comparisons, each pitting the zero-copy path
+//! against the copying path it replaced:
+//!
+//! 1. **Warmed gets** — `ShardedEngine::get` handing out the shared
+//!    value buffer (a refcount bump) vs cloning the bytes per hit (the
+//!    old `Option<Vec<u8>>` behavior).
+//! 2. **Wire parsing** — `read_raw_command` borrowing keys from one
+//!    reused per-connection buffer pool vs `read_command` allocating
+//!    owned keys per command.
+//! 3. **Ring lookup** — the flat successor index (`server_for`) vs the
+//!    binary search it replaced (`server_for_bsearch`); both are
+//!    allocation-free, so this one is time-only.
+//!
+//! The binary registers a counting global allocator, so the
+//! allocations/op columns are exact, deterministic counts — not
+//! sampled estimates.
+//!
+//! Run with: `cargo run --release --bin zero_copy`
+//!
+//! `--smoke` runs a shortened sweep and exits non-zero unless the
+//! zero-copy paths allocate at most half as often as the copying
+//! paths and the warmed-get path is measurably faster (CI guard).
+
+use std::time::{Duration, Instant};
+
+use proteus_bench::alloc_track::{is_counting, measure, AllocSnapshot, CountingAlloc};
+use proteus_bench::write_csv;
+use proteus_cache::{CacheConfig, ShardedEngine};
+use proteus_net::{read_command, read_raw_command, RawCommand, WireBuf};
+use proteus_ring::{hash::splitmix64, PlacementStrategy, ProteusPlacement};
+use proteus_sim::SimTime;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const VALUE_LEN: usize = 4096;
+
+struct Measured {
+    label: &'static str,
+    ops: u64,
+    elapsed: Duration,
+    allocs: AllocSnapshot,
+}
+
+impl Measured {
+    fn allocs_per_op(&self) -> f64 {
+        self.allocs.allocations as f64 / self.ops as f64
+    }
+
+    fn bytes_per_op(&self) -> f64 {
+        self.allocs.bytes as f64 / self.ops as f64
+    }
+
+    fn ns_per_op(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.ops as f64
+    }
+}
+
+fn run(label: &'static str, ops: u64, f: impl FnOnce()) -> Measured {
+    let started = Instant::now();
+    let ((), allocs) = measure(f);
+    Measured {
+        label,
+        ops,
+        elapsed: started.elapsed(),
+        allocs,
+    }
+}
+
+fn print_pair(title: &str, copying: &Measured, zero_copy: &Measured) {
+    println!("\n{title}");
+    println!("path                 | allocs/op | bytes/op | ns/op");
+    println!("---------------------+-----------+----------+---------");
+    for m in [copying, zero_copy] {
+        println!(
+            "{:<20} | {:>9.3} | {:>8.0} | {:>8.1}",
+            m.label,
+            m.allocs_per_op(),
+            m.bytes_per_op(),
+            m.ns_per_op()
+        );
+    }
+    println!(
+        "reduction: {:.1}x fewer allocations, {:.2}x faster",
+        ratio(copying.allocs_per_op(), zero_copy.allocs_per_op()),
+        ratio(copying.ns_per_op(), zero_copy.ns_per_op()),
+    );
+}
+
+/// `a / b` with an infinity-free rendering when `b` is zero.
+fn ratio(a: f64, b: f64) -> f64 {
+    if b <= 0.0 {
+        if a <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        a / b
+    }
+}
+
+fn warmed_gets(ops: u64) -> (Measured, Measured) {
+    let engine = ShardedEngine::new(CacheConfig::with_capacity(256 << 20));
+    let key_space = 4096u64;
+    for i in 0..key_space {
+        engine.put(&i.to_le_bytes(), vec![7u8; VALUE_LEN], SimTime::ZERO);
+    }
+    let copying = run("get + copy (old)", ops, || {
+        for i in 0..ops {
+            let key = (splitmix64(i) % key_space).to_le_bytes();
+            let hit = engine.get(&key, SimTime::ZERO).map(|v| v.to_vec());
+            std::hint::black_box(&hit);
+        }
+    });
+    let zero_copy = run("get shared (new)", ops, || {
+        for i in 0..ops {
+            let key = (splitmix64(i) % key_space).to_le_bytes();
+            let hit = engine.get(&key, SimTime::ZERO);
+            std::hint::black_box(&hit);
+        }
+    });
+    (copying, zero_copy)
+}
+
+/// One pipelined request stream: interleaved multi-gets, sets, and
+/// single gets, like a busy connection's input buffer.
+fn request_stream(commands: u64) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for i in 0..commands {
+        match i % 3 {
+            0 => stream.extend_from_slice(
+                format!("get page:{} page:{} page:{}\r\n", i, i + 1, i + 2).as_bytes(),
+            ),
+            1 => {
+                stream.extend_from_slice(format!("set page:{i} 0 0 64\r\n").as_bytes());
+                stream.extend_from_slice(&[b'x'; 64]);
+                stream.extend_from_slice(b"\r\n");
+            }
+            _ => stream.extend_from_slice(format!("get page:{i}\r\n").as_bytes()),
+        }
+    }
+    stream
+}
+
+/// Drains `stream` with the borrowing parser; returns commands parsed.
+fn drain_raw(stream: &[u8], buf: &mut WireBuf) -> u64 {
+    let mut input = stream;
+    let mut parsed = 0u64;
+    while let Ok(cmd) = read_raw_command(&mut input, buf) {
+        if matches!(cmd, RawCommand::Quit) {
+            break;
+        }
+        std::hint::black_box(&cmd);
+        parsed += 1;
+    }
+    parsed
+}
+
+fn wire_parsing(commands: u64) -> (Measured, Measured) {
+    let stream = request_stream(commands);
+    let copying = run("owned parse (old)", commands, || {
+        let mut input = &stream[..];
+        let mut parsed = 0u64;
+        while let Ok(cmd) = read_command(&mut input) {
+            std::hint::black_box(&cmd);
+            parsed += 1;
+        }
+        assert_eq!(parsed, commands);
+    });
+    // Warm the pool outside the measurement: the paper-relevant state
+    // is a connection that has served at least a few commands.
+    let mut buf = WireBuf::new();
+    assert_eq!(drain_raw(&stream, &mut buf), commands);
+    let zero_copy = run("borrowed parse (new)", commands, || {
+        assert_eq!(drain_raw(&stream, &mut buf), commands);
+    });
+    (copying, zero_copy)
+}
+
+fn ring_lookup(ops: u64) -> (Measured, Measured) {
+    let p = ProteusPlacement::generate(32);
+    let copying = run("binary search (old)", ops, || {
+        for i in 0..ops {
+            let key = splitmix64(i);
+            let n = 1 + (i % 32) as usize;
+            std::hint::black_box(p.server_for_bsearch(key, n));
+        }
+    });
+    let zero_copy = run("flat index (new)", ops, || {
+        for i in 0..ops {
+            let key = splitmix64(i);
+            let n = 1 + (i % 32) as usize;
+            std::hint::black_box(p.server_for(key, n));
+        }
+    });
+    (copying, zero_copy)
+}
+
+fn main() {
+    assert!(
+        is_counting(),
+        "counting allocator not registered; allocs/op would be vacuously zero"
+    );
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ops: u64 = if smoke { 50_000 } else { 500_000 };
+    println!(
+        "zero-copy hot path: allocations and time per op ({ops} ops{})",
+        if smoke { ", smoke mode" } else { "" }
+    );
+
+    let (get_copy, get_shared) = warmed_gets(ops);
+    print_pair(
+        &format!("warmed gets, {VALUE_LEN}-byte values"),
+        &get_copy,
+        &get_shared,
+    );
+
+    let (parse_owned, parse_raw) = wire_parsing(ops / 5);
+    print_pair("wire parsing, pipelined stream", &parse_owned, &parse_raw);
+
+    let (ring_bsearch, ring_flat) = ring_lookup(ops * 4);
+    print_pair("ring successor lookup, N=32", &ring_bsearch, &ring_flat);
+
+    let rows = [
+        ("warmed_get", &get_copy, &get_shared),
+        ("wire_parse", &parse_owned, &parse_raw),
+        ("ring_lookup", &ring_bsearch, &ring_flat),
+    ]
+    .into_iter()
+    .map(|(name, old, new)| {
+        vec![
+            name.to_string(),
+            format!("{:.4}", old.allocs_per_op()),
+            format!("{:.4}", new.allocs_per_op()),
+            format!("{:.1}", old.ns_per_op()),
+            format!("{:.1}", new.ns_per_op()),
+        ]
+    });
+    if let Ok(path) = write_csv(
+        "zero_copy",
+        &[
+            "section",
+            "old_allocs_per_op",
+            "new_allocs_per_op",
+            "old_ns_per_op",
+            "new_ns_per_op",
+        ],
+        rows,
+    ) {
+        println!("\ncsv: {}", path.display());
+    }
+
+    if smoke {
+        // Allocation counts are deterministic — gate them hard. The
+        // ISSUE acceptance bar is a ≥2x reduction; the measured paths
+        // are in fact ~∞ (zero allocations warmed) vs ≥1 per op.
+        let get_reduction = ratio(get_copy.allocs_per_op(), get_shared.allocs_per_op());
+        let parse_reduction = ratio(parse_owned.allocs_per_op(), parse_raw.allocs_per_op());
+        println!(
+            "\nsmoke: alloc reduction — gets {get_reduction:.1}x, parse {parse_reduction:.1}x"
+        );
+        assert!(
+            get_reduction >= 2.0,
+            "warmed-get alloc reduction {get_reduction:.2}x below the 2x bar"
+        );
+        assert!(
+            parse_reduction >= 2.0,
+            "parse alloc reduction {parse_reduction:.2}x below the 2x bar"
+        );
+        assert!(
+            get_shared.allocs_per_op() < 0.01,
+            "warmed shared get should not allocate, measured {:.4}/op",
+            get_shared.allocs_per_op()
+        );
+        // Wall-clock is noisier than counters; the copy path pays a
+        // 4 KiB allocation + memcpy per hit, so even a loaded machine
+        // shows the gap. Gate leniently.
+        let speedup = ratio(get_copy.ns_per_op(), get_shared.ns_per_op());
+        println!("smoke: warmed-get speedup {speedup:.2}x");
+        assert!(
+            speedup >= 1.05,
+            "warmed-get path shows no throughput gain ({speedup:.2}x)"
+        );
+        println!("smoke check passed");
+    }
+}

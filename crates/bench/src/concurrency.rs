@@ -12,15 +12,16 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use proteus_cache::{CacheConfig, CacheEngine, ShardedEngine};
+use proteus_cache::{CacheConfig, CacheEngine, ShardedEngine, SharedBytes};
 use proteus_sim::SimTime;
 
 /// A cache engine that can be driven from many threads at once.
 pub trait ConcurrentCache: Send + Sync + 'static {
     /// Short label for reports.
     fn label(&self) -> &'static str;
-    /// Looks up `key`, refreshing recency.
-    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+    /// Looks up `key`, refreshing recency. Returns the engine's shared
+    /// buffer — for the sharded engine a refcount bump, never a copy.
+    fn get(&self, key: &[u8]) -> Option<SharedBytes>;
     /// Inserts or replaces `key`.
     fn put(&self, key: &[u8], value: Vec<u8>);
     /// Takes a full digest snapshot, returning its set-bit count
@@ -50,11 +51,8 @@ impl ConcurrentCache for SingleMutexCache {
         "single-mutex"
     }
 
-    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
-        self.engine
-            .lock()
-            .get(key, SimTime::ZERO)
-            .map(<[u8]>::to_vec)
+    fn get(&self, key: &[u8]) -> Option<SharedBytes> {
+        self.engine.lock().get_shared(key, SimTime::ZERO)
     }
 
     fn put(&self, key: &[u8], value: Vec<u8>) {
@@ -87,7 +85,7 @@ impl ConcurrentCache for ShardedCache {
         "sharded"
     }
 
-    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+    fn get(&self, key: &[u8]) -> Option<SharedBytes> {
         self.engine.get(key, SimTime::ZERO)
     }
 

@@ -1,0 +1,88 @@
+//! Allocation-regression gate for the zero-copy hot path.
+//!
+//! Counts heap acquisitions with the crate's counting global allocator
+//! and fails if the warmed read path or the borrowing parser starts
+//! allocating again. Unlike the throughput numbers, these counts are
+//! exact and identical on any hardware, so the budgets are tight.
+//!
+//! Everything runs inside a single `#[test]` — the test harness runs
+//! sibling tests on concurrent threads, and their allocations would
+//! bleed into our measurement windows otherwise.
+
+use proteus_bench::alloc_track::{is_counting, measure, CountingAlloc};
+use proteus_cache::{CacheConfig, ShardedEngine};
+use proteus_net::{read_raw_command, RawCommand, WireBuf};
+use proteus_sim::SimTime;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const GET_OPS: u64 = 10_000;
+const PARSE_COMMANDS: u64 = 1_000;
+
+/// Borrowed parsing materialises at most the multi-get key list per
+/// command once the buffer pool is warm.
+const PARSE_BUDGET: u64 = 2 * PARSE_COMMANDS;
+
+#[test]
+fn hot_paths_stay_within_allocation_budget() {
+    assert!(
+        is_counting(),
+        "counting allocator not registered — the gate would pass vacuously"
+    );
+
+    // Warmed gets: handing out the shared buffer is a refcount bump,
+    // so the budget is zero. No slack: a single allocation per get is
+    // exactly the regression this gate exists to catch.
+    let engine = ShardedEngine::new(CacheConfig::with_capacity(64 << 20));
+    for i in 0..512u64 {
+        engine.put(&i.to_le_bytes(), vec![9u8; 128], SimTime::ZERO);
+    }
+    let ((), warm) = measure(|| {
+        for i in 0..GET_OPS {
+            let key = (i % 512).to_le_bytes();
+            let hit = engine.get(&key, SimTime::ZERO);
+            assert!(hit.is_some(), "prepopulated key missing");
+            std::hint::black_box(&hit);
+        }
+    });
+    assert_eq!(
+        warm.allocations, 0,
+        "warmed gets allocated {} times over {GET_OPS} ops — \
+         the shared-buffer read path has regressed to copying",
+        warm.allocations
+    );
+
+    // Borrowed parsing over a reused buffer pool: after a warm-up
+    // drain sizes the pool, steady state allocates only the per-command
+    // key list for multi-gets, never the key or value bytes.
+    let mut stream = Vec::new();
+    for i in 0..PARSE_COMMANDS {
+        if i % 2 == 0 {
+            stream.extend_from_slice(format!("get a:{i} b:{i}\r\n").as_bytes());
+        } else {
+            stream.extend_from_slice(format!("set k:{i} 0 0 32\r\n").as_bytes());
+            stream.extend_from_slice(&[b'v'; 32]);
+            stream.extend_from_slice(b"\r\n");
+        }
+    }
+    let drain = |buf: &mut WireBuf| {
+        let mut input = &stream[..];
+        let mut parsed = 0u64;
+        while let Ok(cmd) = read_raw_command(&mut input, buf) {
+            assert!(!matches!(cmd, RawCommand::Quit));
+            std::hint::black_box(&cmd);
+            parsed += 1;
+        }
+        assert_eq!(parsed, PARSE_COMMANDS);
+    };
+    let mut buf = WireBuf::new();
+    drain(&mut buf); // warm the pool outside the window
+    let ((), parse) = measure(|| drain(&mut buf));
+    assert!(
+        parse.allocations <= PARSE_BUDGET,
+        "borrowed parser allocated {} times over {PARSE_COMMANDS} commands \
+         (budget {PARSE_BUDGET}) — per-command buffers are no longer reused",
+        parse.allocations
+    );
+}

@@ -8,13 +8,14 @@ use proteus_sim::{SimDuration, SimTime};
 
 use crate::config::CacheConfig;
 use crate::stats::CacheStats;
+use crate::SharedBytes;
 
 const NIL: u32 = u32::MAX;
 
 #[derive(Debug)]
 struct Slot {
     key: Box<[u8]>,
-    value: Box<[u8]>,
+    value: SharedBytes,
     last_access: SimTime,
     /// Absolute expiry instant; `SimTime::MAX` means never.
     expires_at: SimTime,
@@ -158,6 +159,22 @@ impl CacheEngine {
     /// Expiry is lazy, memcached-style: an expired item is unlinked
     /// (digest updated) the first time anything looks at it.
     pub fn get(&mut self, key: &[u8], now: SimTime) -> Option<&[u8]> {
+        self.hit_slot(key, now)
+            .map(|idx| &self.slots[idx as usize].value[..])
+    }
+
+    /// Like [`get`](Self::get), but hands back the value's shared
+    /// buffer. A hit is a refcount bump — no byte copy — so this is the
+    /// lookup the concurrent TCP tier uses under its shard mutex.
+    pub fn get_shared(&mut self, key: &[u8], now: SimTime) -> Option<SharedBytes> {
+        self.hit_slot(key, now)
+            .map(|idx| SharedBytes::clone(&self.slots[idx as usize].value))
+    }
+
+    /// Shared hit path: reaps an expired item, refreshes recency and
+    /// last-access on a hit, and moves the hit/miss counters. Returns
+    /// the slot index on a hit.
+    fn hit_slot(&mut self, key: &[u8], now: SimTime) -> Option<u32> {
         match self.index.get(key).copied() {
             Some(idx) if self.slots[idx as usize].expires_at <= now => {
                 self.remove_slot(idx);
@@ -170,7 +187,7 @@ impl CacheEngine {
                 self.push_front(idx);
                 self.slots[idx as usize].last_access = now;
                 self.stats.hits += 1;
-                Some(&self.slots[idx as usize].value)
+                Some(idx)
             }
             None => {
                 self.stats.misses += 1;
@@ -207,7 +224,16 @@ impl CacheEngine {
     pub fn peek(&self, key: &[u8]) -> Option<&[u8]> {
         self.index
             .get(key)
-            .map(|&idx| &*self.slots[idx as usize].value)
+            .map(|&idx| &self.slots[idx as usize].value[..])
+    }
+
+    /// [`peek`](Self::peek) returning the shared value buffer (refcount
+    /// bump, no byte copy, no side effects).
+    #[must_use]
+    pub fn peek_shared(&self, key: &[u8]) -> Option<SharedBytes> {
+        self.index
+            .get(key)
+            .map(|&idx| SharedBytes::clone(&self.slots[idx as usize].value))
     }
 
     /// Presence probe for compound storage commands (`add`/`replace`):
@@ -270,7 +296,7 @@ impl CacheEngine {
     /// A replacement is an unlink of the old item plus a link of the
     /// new one, exactly as memcached's `do_item_unlink`/`do_item_link`
     /// pair would drive the digest.
-    pub fn put(&mut self, key: &[u8], value: Vec<u8>, now: SimTime) -> u64 {
+    pub fn put(&mut self, key: &[u8], value: impl Into<SharedBytes>, now: SimTime) -> u64 {
         self.put_with_expiry(key, value, now, None)
     }
 
@@ -280,7 +306,7 @@ impl CacheEngine {
     pub fn put_with_expiry(
         &mut self,
         key: &[u8],
-        value: Vec<u8>,
+        value: impl Into<SharedBytes>,
         now: SimTime,
         ttl: Option<SimDuration>,
     ) -> u64 {
@@ -294,10 +320,11 @@ impl CacheEngine {
     pub fn put_with_deadline(
         &mut self,
         key: &[u8],
-        value: Vec<u8>,
+        value: impl Into<SharedBytes>,
         now: SimTime,
         expires_at: SimTime,
     ) -> u64 {
+        let value: SharedBytes = value.into();
         self.stats.sets += 1;
         if let Some(&idx) = self.index.get(key) {
             // Replace in place: digest sees unlink(old) + link(new).
@@ -308,7 +335,7 @@ impl CacheEngine {
             self.digest.remove(key);
             self.bytes_used -= old_cost;
             let slot = &mut self.slots[idx as usize];
-            slot.value = value.into_boxed_slice();
+            slot.value = value;
             slot.last_access = now;
             slot.expires_at = expires_at;
             let new_cost = self.entry_cost(key, &self.slots[idx as usize].value);
@@ -320,7 +347,7 @@ impl CacheEngine {
             let cost = self.entry_cost(key, &value);
             let slot = Slot {
                 key: key.to_vec().into_boxed_slice(),
-                value: value.into_boxed_slice(),
+                value,
                 last_access: now,
                 expires_at,
                 prev: NIL,
@@ -358,7 +385,7 @@ impl CacheEngine {
         // the key for index/digest removal without cloning it.
         let key = std::mem::take(&mut self.slots[idx as usize].key);
         let value = std::mem::take(&mut self.slots[idx as usize].value);
-        let cost = self.entry_cost(&key, &value);
+        let cost = self.entry_cost(&key, &value[..]);
         self.index.remove(&key);
         self.digest.remove(&key);
         self.bytes_used -= cost;
@@ -590,8 +617,27 @@ mod tests {
         c.put(b"b", vec![0], T0);
         c.put(b"c", vec![0], T0);
         let _ = c.get(b"a", T0); // a becomes MRU
-        let order: Vec<Vec<u8>> = c.keys().map(<[u8]>::to_vec).collect();
-        assert_eq!(order, vec![b"a".to_vec(), b"c".to_vec(), b"b".to_vec()]);
+        let order: Vec<&[u8]> = c.keys().collect();
+        assert_eq!(order, [b"a".as_slice(), b"c", b"b"]);
+    }
+
+    #[test]
+    fn get_shared_hands_out_the_same_buffer() {
+        let mut c = engine(1 << 16);
+        c.put(b"k", b"shared".to_vec(), T0);
+        let a = c.get_shared(b"k", T0).unwrap();
+        let b = c.get_shared(b"k", T0).unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&a, &b),
+            "repeated hits must share one allocation"
+        );
+        let p = c.peek_shared(b"k").unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &p));
+        assert_eq!(&a[..], b"shared");
+        assert_eq!(c.stats().hits, 2);
+        // The buffer outlives deletion for holders of the Arc.
+        assert!(c.delete(b"k"));
+        assert_eq!(&a[..], b"shared");
     }
 
     #[test]

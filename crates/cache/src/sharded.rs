@@ -9,6 +9,7 @@ use proteus_sim::{SimDuration, SimTime};
 use crate::config::CacheConfig;
 use crate::engine::CacheEngine;
 use crate::stats::CacheStats;
+use crate::SharedBytes;
 
 /// Lock-free cumulative counters, mirroring [`CacheStats`].
 #[derive(Debug, Default)]
@@ -84,7 +85,7 @@ impl AtomicStats {
 /// let cache = ShardedEngine::new(CacheConfig::with_capacity(1 << 20));
 /// let t = SimTime::ZERO;
 /// cache.put(b"page:1", vec![0u8; 64], t);
-/// assert_eq!(cache.get(b"page:1", t), Some(vec![0u8; 64]));
+/// assert_eq!(cache.get(b"page:1", t).as_deref(), Some(&[0u8; 64][..]));
 /// assert!(cache.digest_snapshot().contains(b"page:1"));
 /// ```
 #[derive(Debug)]
@@ -160,16 +161,19 @@ impl ShardedEngine {
     }
 
     /// Looks up `key`, refreshing recency (see [`CacheEngine::get`]).
-    /// Returns an owned copy of the value (the shard lock is released
-    /// before returning).
+    /// Returns the value's shared buffer: the hit is a refcount bump
+    /// under the shard lock, never a byte copy, and the lock is
+    /// released before returning.
     #[must_use]
-    pub fn get(&self, key: &[u8], now: SimTime) -> Option<Vec<u8>> {
-        self.with_key_shard(key, |e| e.get(key, now).map(<[u8]>::to_vec))
+    pub fn get(&self, key: &[u8], now: SimTime) -> Option<SharedBytes> {
+        self.with_key_shard(key, |e| e.get_shared(key, now))
     }
 
     /// Inserts or replaces `key` with no expiry. Returns evictions
-    /// caused (within `key`'s shard).
-    pub fn put(&self, key: &[u8], value: Vec<u8>, now: SimTime) -> u64 {
+    /// caused (within `key`'s shard). A [`SharedBytes`] value is stored
+    /// as-is (no copy); a `Vec<u8>` is copied into a fresh shared
+    /// buffer once.
+    pub fn put(&self, key: &[u8], value: impl Into<SharedBytes>, now: SimTime) -> u64 {
         self.with_key_shard(key, |e| e.put(key, value, now))
     }
 
@@ -178,7 +182,7 @@ impl ShardedEngine {
     pub fn put_with_expiry(
         &self,
         key: &[u8],
-        value: Vec<u8>,
+        value: impl Into<SharedBytes>,
         now: SimTime,
         ttl: Option<SimDuration>,
     ) -> u64 {
@@ -196,10 +200,10 @@ impl ShardedEngine {
         self.with_key_shard(key, |e| e.touch(key, now))
     }
 
-    /// Non-mutating owned-copy lookup (see [`CacheEngine::peek`]).
+    /// Non-mutating shared-buffer lookup (see [`CacheEngine::peek`]).
     #[must_use]
-    pub fn peek(&self, key: &[u8]) -> Option<Vec<u8>> {
-        self.with_key_shard(key, |e| e.peek(key).map(<[u8]>::to_vec))
+    pub fn peek(&self, key: &[u8]) -> Option<SharedBytes> {
+        self.with_key_shard(key, |e| e.peek_shared(key))
     }
 
     /// Whether `key` is cached (no side effects).
@@ -318,8 +322,8 @@ mod tests {
         }
         for i in 0..500u64 {
             assert_eq!(
-                c.get(&i.to_le_bytes(), T0),
-                Some(i.to_string().into_bytes())
+                c.get(&i.to_le_bytes(), T0).as_deref(),
+                Some(i.to_string().as_bytes())
             );
             assert!(c.contains(&i.to_le_bytes()));
         }
@@ -433,9 +437,23 @@ mod tests {
         let before = c.stats();
         assert!(c.touch(b"k", T0));
         assert!(!c.touch(b"missing", T0));
-        assert_eq!(c.peek(b"k"), Some(vec![1, 2]));
+        assert_eq!(c.peek(b"k").as_deref(), Some(&[1u8, 2][..]));
         assert_eq!(c.peek(b"missing"), None);
         assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn get_is_a_refcount_bump_not_a_copy() {
+        let c = engine(1 << 20, 4);
+        let stored: SharedBytes = SharedBytes::from(vec![7u8; 128]);
+        c.put(b"k", SharedBytes::clone(&stored), T0);
+        let a = c.get(b"k", T0).unwrap();
+        let b = c.get(b"k", T0).unwrap();
+        assert!(
+            Arc::ptr_eq(&stored, &a) && Arc::ptr_eq(&a, &b),
+            "shared puts and gets must alias one allocation"
+        );
+        assert_eq!(c.peek(b"k").map(|v| v.len()), Some(128));
     }
 
     #[test]
@@ -464,8 +482,8 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(
-            c.peek(b"counter"),
-            Some((threads * per_thread).to_string().into_bytes())
+            c.peek(b"counter").as_deref(),
+            Some((threads * per_thread).to_string().as_bytes())
         );
     }
 }

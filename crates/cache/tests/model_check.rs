@@ -190,9 +190,12 @@ proptest! {
                 }
             }
         }
-        let engine_order: Vec<Vec<u8>> = engine.keys().map(<[u8]>::to_vec).collect();
+        let engine_order: Vec<&[u8]> = engine.keys().collect();
         let mut reference_order = reference.recency.clone();
         reference_order.reverse(); // reference is LRU-first
-        prop_assert_eq!(engine_order, reference_order);
+        prop_assert_eq!(
+            engine_order,
+            reference_order.iter().map(Vec::as_slice).collect::<Vec<_>>()
+        );
     }
 }

@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use proteus_bloom::{BloomFilter, DigestSnapshot};
+use proteus_cache::SharedBytes;
 
 use crate::error::NetError;
 use crate::protocol::{
@@ -232,7 +233,7 @@ pub struct PendingGets {
 /// let server = CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(1 << 20))?;
 /// let client = CacheClient::connect(server.addr())?;
 /// client.set(b"k", b"v")?;
-/// assert_eq!(client.get(b"k")?, Some(b"v".to_vec()));
+/// assert_eq!(client.get(b"k")?.as_deref(), Some(&b"v"[..]));
 /// # Ok::<(), proteus_net::NetError>(())
 /// ```
 #[derive(Debug)]
@@ -438,10 +439,15 @@ impl CacheClient {
 
     /// Fetches `key`, returning its value if cached.
     ///
+    /// The value arrives as a [`SharedBytes`] buffer: the bytes were
+    /// copied off the socket exactly once, and handing them onward
+    /// (to a migration re-`set`, another thread, ...) is a refcount
+    /// bump, not a copy.
+    ///
     /// # Errors
     ///
     /// Returns transport errors or a [`NetError::ServerError`].
-    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, NetError> {
+    pub fn get(&self, key: &[u8]) -> Result<Option<SharedBytes>, NetError> {
         match self.round_trip(&Command::Get { key: key.to_vec() })? {
             Response::Value { data, .. } => Ok(Some(data)),
             Response::Miss => Ok(None),
@@ -460,7 +466,7 @@ impl CacheClient {
     /// # Errors
     ///
     /// Returns transport errors or a [`NetError::ServerError`].
-    pub fn get_many(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>, NetError> {
+    pub fn get_many(&self, keys: &[&[u8]]) -> Result<Vec<Option<SharedBytes>>, NetError> {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
@@ -521,7 +527,10 @@ impl CacheClient {
     /// Returns transport errors or a [`NetError::ServerError`]. A
     /// transport failure here counts against the circuit breaker but is
     /// not retried (see [`send_get_many`](Self::send_get_many)).
-    pub fn recv_get_many(&self, pending: PendingGets) -> Result<Vec<Option<Vec<u8>>>, NetError> {
+    pub fn recv_get_many(
+        &self,
+        pending: PendingGets,
+    ) -> Result<Vec<Option<SharedBytes>>, NetError> {
         match self.recv_get_many_once(pending) {
             Ok(values) => {
                 self.breaker.record_success();
@@ -538,7 +547,10 @@ impl CacheClient {
         }
     }
 
-    fn recv_get_many_once(&self, pending: PendingGets) -> Result<Vec<Option<Vec<u8>>>, NetError> {
+    fn recv_get_many_once(
+        &self,
+        pending: PendingGets,
+    ) -> Result<Vec<Option<SharedBytes>>, NetError> {
         let PendingGets { mut reader, keys } = pending;
         let response = read_response(&mut reader)?;
         self.checkin(reader.into_inner());
@@ -549,7 +561,7 @@ impl CacheClient {
             Response::Values(items) => items,
             other => return Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
         };
-        let found: std::collections::HashMap<Vec<u8>, Vec<u8>> =
+        let found: std::collections::HashMap<Vec<u8>, SharedBytes> =
             items.into_iter().map(|i| (i.key, i.data)).collect();
         Ok(keys.iter().map(|k| found.get(k).cloned()).collect())
     }
@@ -560,11 +572,25 @@ impl CacheClient {
     ///
     /// Returns transport errors or a [`NetError::ServerError`].
     pub fn set(&self, key: &[u8], value: &[u8]) -> Result<(), NetError> {
+        self.set_shared(key, value.into())
+    }
+
+    /// Stores an already-shared `value` under `key` without copying it.
+    ///
+    /// This is the zero-copy companion to [`set`](Self::set): a buffer
+    /// obtained from [`get`](Self::get) (for example during a drain
+    /// migration that re-`set`s items onto their new server) is written
+    /// to the wire directly from the shared allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a [`NetError::ServerError`].
+    pub fn set_shared(&self, key: &[u8], value: SharedBytes) -> Result<(), NetError> {
         match self.round_trip(&Command::Set {
             key: key.to_vec(),
             flags: 0,
             exptime: 0,
-            data: value.to_vec(),
+            data: value,
         })? {
             Response::Stored => Ok(()),
             other => Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
@@ -582,7 +608,7 @@ impl CacheClient {
             key: key.to_vec(),
             flags: 0,
             exptime: 0,
-            data: value.to_vec(),
+            data: value.into(),
         })? {
             Response::Stored => Ok(true),
             Response::NotStored => Ok(false),
@@ -601,7 +627,7 @@ impl CacheClient {
             key: key.to_vec(),
             flags: 0,
             exptime: 0,
-            data: value.to_vec(),
+            data: value.into(),
         })? {
             Response::Stored => Ok(true),
             Response::NotStored => Ok(false),
@@ -779,7 +805,10 @@ mod tests {
                 for i in 0..50u32 {
                     let key = format!("t{t}:{i}");
                     c.set(key.as_bytes(), key.as_bytes()).unwrap();
-                    assert_eq!(c.get(key.as_bytes()).unwrap(), Some(key.into_bytes()));
+                    assert_eq!(
+                        c.get(key.as_bytes()).unwrap().as_deref(),
+                        Some(key.as_bytes())
+                    );
                 }
             }));
         }
@@ -804,20 +833,19 @@ mod tests {
                 b"a".as_slice(),
             ])
             .unwrap();
+        let got: Vec<Option<&[u8]>> = got.iter().map(Option::as_deref).collect();
         assert_eq!(
             got,
-            vec![
-                Some(b"1".to_vec()),
-                None,
-                Some(b"3".to_vec()),
-                Some(b"1".to_vec()),
-            ]
+            vec![Some(&b"1"[..]), None, Some(&b"3"[..]), Some(&b"1"[..])]
         );
         // Degenerate sizes.
-        assert_eq!(client.get_many(&[]).unwrap(), Vec::<Option<Vec<u8>>>::new());
         assert_eq!(
-            client.get_many(&[b"c".as_slice()]).unwrap(),
-            vec![Some(b"3".to_vec())]
+            client.get_many(&[]).unwrap(),
+            Vec::<Option<SharedBytes>>::new()
+        );
+        assert_eq!(
+            client.get_many(&[b"c".as_slice()]).unwrap()[0].as_deref(),
+            Some(&b"3"[..])
         );
         assert_eq!(client.get_many(&[b"nope".as_slice()]).unwrap(), vec![None]);
         server.stop();
@@ -852,7 +880,7 @@ mod tests {
             let got = client.recv_get_many(pending).unwrap();
             for (key, value) in batch.iter().zip(got) {
                 let expect = format!("v{}", &String::from_utf8_lossy(key)[1..]);
-                assert_eq!(value, Some(expect.into_bytes()), "key {key:?}");
+                assert_eq!(value.as_deref(), Some(expect.as_bytes()), "key {key:?}");
             }
         }
         server.stop();
@@ -933,7 +961,7 @@ mod tests {
         assert!(!client.breaker_open());
         assert!(client.fault_stats().probes >= 1);
         client.set(b"k2", b"v2").unwrap();
-        assert_eq!(client.get(b"k2").unwrap(), Some(b"v2".to_vec()));
+        assert_eq!(client.get(b"k2").unwrap().as_deref(), Some(&b"v2"[..]));
         server2.stop();
     }
 

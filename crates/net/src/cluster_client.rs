@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use proteus_bloom::BloomFilter;
+use proteus_cache::SharedBytes;
 use proteus_ring::{hash::KeyHasher, PlacementStrategy, ServerId};
 use proteus_store::ShardedStore;
 
@@ -267,9 +268,12 @@ impl ClusterClient {
 
     /// Installs `value` at `server` on a best-effort basis: an
     /// unreachable server just costs the cache fill, never the
-    /// request. Semantic errors still surface.
-    fn install(&self, server: usize, key: &[u8], value: &[u8]) -> Result<(), NetError> {
-        match self.clients[server].set(key, value) {
+    /// request. Semantic errors still surface. The shared buffer is
+    /// written to the wire directly — a migration re-`set` reuses the
+    /// allocation the `get` handed back, so the value crosses the web
+    /// tier without ever being copied.
+    fn install(&self, server: usize, key: &[u8], value: SharedBytes) -> Result<(), NetError> {
+        match self.clients[server].set_shared(key, value) {
             Ok(()) => Ok(()),
             Err(e) if e.is_transport() => {
                 self.stats.dropped_installs.fetch_add(1, Ordering::Relaxed);
@@ -287,12 +291,12 @@ impl ClusterClient {
         db: &D,
         new_server: usize,
         class: ClusterFetch,
-    ) -> Result<(Vec<u8>, ClusterFetch), NetError> {
+    ) -> Result<(SharedBytes, ClusterFetch), NetError> {
         if class == ClusterFetch::Degraded {
             self.stats.degraded_fetches.fetch_add(1, Ordering::Relaxed);
         }
-        let value = db.fetch(key)?;
-        self.install(new_server, key, &value)?;
+        let value: SharedBytes = db.fetch(key)?.into();
+        self.install(new_server, key, SharedBytes::clone(&value))?;
         Ok((value, class))
     }
 
@@ -316,7 +320,7 @@ impl ClusterClient {
         &self,
         key: &[u8],
         db: &D,
-    ) -> Result<(Vec<u8>, ClusterFetch), NetError> {
+    ) -> Result<(SharedBytes, ClusterFetch), NetError> {
         let hash = self.hasher.hash_bytes(key);
         let new_server = self.strategy.server_for(hash, self.active).index();
         match self.clients[new_server].get(key) {
@@ -337,7 +341,11 @@ impl ClusterClient {
                     if digest.contains(key) {
                         match self.clients[old].get(key) {
                             Ok(Some(value)) => {
-                                self.install(new_server, key, &value)?;
+                                // Same allocation all the way through:
+                                // the buffer read off the old server's
+                                // socket is the one re-`set` at the new
+                                // server — a refcount bump, not a copy.
+                                self.install(new_server, key, SharedBytes::clone(&value))?;
                                 return Ok((value, ClusterFetch::Migrated));
                             }
                             Ok(None) => {}
@@ -382,7 +390,7 @@ impl ClusterClient {
         &self,
         keys: &[&[u8]],
         db: &D,
-    ) -> Result<Vec<(Vec<u8>, ClusterFetch)>, NetError> {
+    ) -> Result<Vec<(SharedBytes, ClusterFetch)>, NetError> {
         let mut groups: std::collections::HashMap<usize, Vec<usize>> =
             std::collections::HashMap::new();
         for (pos, key) in keys.iter().enumerate() {
@@ -406,7 +414,7 @@ impl ClusterClient {
         }
         // Phase 2: collect responses and slot the hits. A receive
         // failure likewise only abandons that server's group.
-        let mut out: Vec<Option<(Vec<u8>, ClusterFetch)>> = vec![None; keys.len()];
+        let mut out: Vec<Option<(SharedBytes, ClusterFetch)>> = vec![None; keys.len()];
         for (server, positions, sent) in pending {
             match self.clients[server].recv_get_many(sent) {
                 Ok(values) => {

@@ -401,7 +401,7 @@ mod tests {
     fn forwards_faithfully() {
         let (server, proxy, client) = rig();
         client.set(b"k", b"v").unwrap();
-        assert_eq!(client.get(b"k").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(client.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
         assert!(proxy.connections_accepted() >= 1);
         proxy.stop();
         server.stop();
@@ -421,7 +421,7 @@ mod tests {
         loop {
             match client.get(b"k") {
                 Ok(v) => {
-                    assert_eq!(v, Some(b"v".to_vec()));
+                    assert_eq!(v.as_deref(), Some(&b"v"[..]));
                     break;
                 }
                 Err(_) if std::time::Instant::now() < deadline => {
@@ -454,7 +454,7 @@ mod tests {
         client.set(b"k", b"v").unwrap();
         proxy.set_mode(FaultMode::Latency(Duration::from_millis(10)));
         let start = std::time::Instant::now();
-        assert_eq!(client.get(b"k").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(client.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
         assert!(start.elapsed() >= Duration::from_millis(10));
         proxy.stop();
         server.stop();
@@ -477,7 +477,7 @@ mod tests {
         loop {
             match client.get(b"key-with-a-value") {
                 Ok(v) => {
-                    assert_eq!(v, Some(b"0123456789abcdef".to_vec()));
+                    assert_eq!(v.as_deref(), Some(&b"0123456789abcdef"[..]));
                     break;
                 }
                 Err(_) if std::time::Instant::now() < deadline => {

@@ -41,7 +41,7 @@
 //! let server = CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(1 << 20))?;
 //! let client = CacheClient::connect(server.addr())?;
 //! client.set(b"k", b"v")?;
-//! assert_eq!(client.get(b"k")?, Some(b"v".to_vec()));
+//! assert_eq!(client.get(b"k")?.as_deref(), Some(&b"v"[..]));
 //! server.stop();
 //! # Ok::<(), proteus_net::NetError>(())
 //! ```
@@ -61,7 +61,12 @@ pub use cluster_client::{ClusterClient, ClusterFetch, ClusterStats, DbFallback};
 pub use error::NetError;
 pub use fault::{FaultMode, FaultProxy};
 pub use protocol::{
-    read_command, read_response, write_command, write_response, Command, Response, ValueItem,
-    DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
+    read_command, read_raw_command, read_response, read_response_buffered, write_command,
+    write_response, write_response_unflushed, Command, RawCommand, Response, ResponseWriter,
+    ValueItem, WireBuf, DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
 };
 pub use server::CacheServer;
+
+/// Re-export of the shared value-buffer type the wire layer hands out
+/// (see [`proteus_cache::SharedBytes`]).
+pub use proteus_cache::SharedBytes;

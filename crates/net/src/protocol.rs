@@ -37,7 +37,9 @@
 //! "it exactly follows Memcached protocol, and should be compatible
 //! with all Memcached client packages".
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, IoSlice, Write};
+
+use proteus_cache::SharedBytes;
 
 use crate::error::NetError;
 
@@ -45,6 +47,32 @@ use crate::error::NetError;
 pub const DIGEST_SNAPSHOT_KEY: &[u8] = b"SET_BLOOM_FILTER";
 /// Reserved key: retrieve the digest snapshot.
 pub const DIGEST_KEY: &[u8] = b"BLOOM_FILTER";
+
+/// Values larger than this are rejected on read.
+const MAX_VALUE_BYTES: usize = 64 << 20;
+
+/// Reusable per-connection scratch buffers for wire parsing.
+///
+/// One `WireBuf` lives for the whole life of a connection: after the
+/// first few commands its `Vec`s have warmed up to the connection's
+/// working sizes and parsing stops allocating entirely. Command lines
+/// are read into `line` and the borrow-based [`RawCommand`] slices it
+/// in place; data blocks are staged in `data` and promoted to
+/// [`SharedBytes`] only because a stored value must outlive the
+/// request (the one copy the hot path pays — see DESIGN.md §9).
+#[derive(Debug, Default)]
+pub struct WireBuf {
+    line: Vec<u8>,
+    data: Vec<u8>,
+}
+
+impl WireBuf {
+    /// Creates an empty buffer pool (grows on first use, then steadies).
+    #[must_use]
+    pub fn new() -> Self {
+        WireBuf::default()
+    }
+}
 
 /// A parsed client command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,8 +97,9 @@ pub enum Command {
         flags: u32,
         /// Expiry in seconds (0 = never); advisory.
         exptime: u32,
-        /// The value bytes.
-        data: Vec<u8>,
+        /// The value bytes (shared, so a re-`set` of a fetched value
+        /// reuses the same buffer).
+        data: SharedBytes,
     },
     /// `add <key> ...`: store only if the key is absent.
     Add {
@@ -81,7 +110,7 @@ pub enum Command {
         /// Expiry in seconds (advisory).
         exptime: u32,
         /// The value bytes.
-        data: Vec<u8>,
+        data: SharedBytes,
     },
     /// `replace <key> ...`: store only if the key is present.
     Replace {
@@ -92,7 +121,7 @@ pub enum Command {
         /// Expiry in seconds (advisory).
         exptime: u32,
         /// The value bytes.
-        data: Vec<u8>,
+        data: SharedBytes,
     },
     /// `delete <key>`
     Delete {
@@ -138,8 +167,9 @@ pub struct ValueItem {
     pub key: Vec<u8>,
     /// Echoed flags.
     pub flags: u32,
-    /// The value bytes.
-    pub data: Vec<u8>,
+    /// The value bytes (shared with the cache engine on the server
+    /// side; a fresh shared buffer on the client side).
+    pub data: SharedBytes,
 }
 
 /// A server response.
@@ -152,7 +182,7 @@ pub enum Response {
         /// Echoed flags.
         flags: u32,
         /// The value bytes.
-        data: Vec<u8>,
+        data: SharedBytes,
     },
     /// Two or more `VALUE` blocks from a multi-key get. An empty or
     /// single-item list is never produced by
@@ -188,7 +218,166 @@ fn valid_key(key: &[u8]) -> bool {
     !key.is_empty() && key.len() <= 250 && key.iter().all(|&b| b > 32 && b != 127)
 }
 
+/// A command parsed without copying its keys: every key borrows the
+/// [`WireBuf`] line it was read into, so the server's hot path (`get`)
+/// parses with zero allocations once the connection's buffers have
+/// warmed up. Data blocks are the exception — a stored value must
+/// outlive the request, so they are promoted to [`SharedBytes`] during
+/// the parse (the only copy on the path).
+///
+/// [`into_owned`](Self::into_owned) converts to the owned [`Command`]
+/// for callers that need to keep the command around.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawCommand<'a> {
+    /// `get <key>`
+    Get {
+        /// The requested key (borrowed from the wire buffer).
+        key: &'a [u8],
+    },
+    /// `get <key> <key> ...` (at least two keys).
+    MultiGet {
+        /// The requested keys, in request order.
+        keys: Vec<&'a [u8]>,
+    },
+    /// `set <key> <flags> <exptime> <bytes>` + data block.
+    Set {
+        /// The key to store.
+        key: &'a [u8],
+        /// Opaque client flags.
+        flags: u32,
+        /// Expiry in seconds (advisory).
+        exptime: u32,
+        /// The value bytes, already promoted to a shared buffer.
+        data: SharedBytes,
+    },
+    /// `add <key> ...`: store only if the key is absent.
+    Add {
+        /// The key to store.
+        key: &'a [u8],
+        /// Opaque client flags.
+        flags: u32,
+        /// Expiry in seconds (advisory).
+        exptime: u32,
+        /// The value bytes.
+        data: SharedBytes,
+    },
+    /// `replace <key> ...`: store only if the key is present.
+    Replace {
+        /// The key to store.
+        key: &'a [u8],
+        /// Opaque client flags.
+        flags: u32,
+        /// Expiry in seconds (advisory).
+        exptime: u32,
+        /// The value bytes.
+        data: SharedBytes,
+    },
+    /// `delete <key>`
+    Delete {
+        /// The key to remove.
+        key: &'a [u8],
+    },
+    /// `touch <key> <exptime>`
+    Touch {
+        /// The key to touch.
+        key: &'a [u8],
+        /// New expiry in seconds (advisory).
+        exptime: u32,
+    },
+    /// `incr <key> <delta>`
+    Incr {
+        /// The key holding an ASCII number.
+        key: &'a [u8],
+        /// Amount to add.
+        delta: u64,
+    },
+    /// `decr <key> <delta>`
+    Decr {
+        /// The key holding an ASCII number.
+        key: &'a [u8],
+        /// Amount to subtract.
+        delta: u64,
+    },
+    /// `stats`
+    Stats,
+    /// `flush_all`
+    FlushAll,
+    /// `version`
+    Version,
+    /// `quit`
+    Quit,
+}
+
+impl RawCommand<'_> {
+    /// Converts to an owned [`Command`], copying the borrowed keys.
+    #[must_use]
+    pub fn into_owned(self) -> Command {
+        match self {
+            RawCommand::Get { key } => Command::Get { key: key.to_vec() },
+            RawCommand::MultiGet { keys } => Command::MultiGet {
+                keys: keys.into_iter().map(<[u8]>::to_vec).collect(),
+            },
+            RawCommand::Set {
+                key,
+                flags,
+                exptime,
+                data,
+            } => Command::Set {
+                key: key.to_vec(),
+                flags,
+                exptime,
+                data,
+            },
+            RawCommand::Add {
+                key,
+                flags,
+                exptime,
+                data,
+            } => Command::Add {
+                key: key.to_vec(),
+                flags,
+                exptime,
+                data,
+            },
+            RawCommand::Replace {
+                key,
+                flags,
+                exptime,
+                data,
+            } => Command::Replace {
+                key: key.to_vec(),
+                flags,
+                exptime,
+                data,
+            },
+            RawCommand::Delete { key } => Command::Delete { key: key.to_vec() },
+            RawCommand::Touch { key, exptime } => Command::Touch {
+                key: key.to_vec(),
+                exptime,
+            },
+            RawCommand::Incr { key, delta } => Command::Incr {
+                key: key.to_vec(),
+                delta,
+            },
+            RawCommand::Decr { key, delta } => Command::Decr {
+                key: key.to_vec(),
+                delta,
+            },
+            RawCommand::Stats => Command::Stats,
+            RawCommand::FlushAll => Command::FlushAll,
+            RawCommand::Version => Command::Version,
+            RawCommand::Quit => Command::Quit,
+        }
+    }
+}
+
 /// Reads one command from a buffered stream.
+///
+/// Compatibility wrapper over [`read_raw_command`] that allocates a
+/// fresh buffer pool per call and copies the borrowed keys out. The
+/// server's connection loop uses [`read_raw_command`] directly with a
+/// long-lived [`WireBuf`]; this form accepts and rejects exactly the
+/// same byte streams (property-tested in `parser_equivalence.rs`).
 ///
 /// # Errors
 ///
@@ -197,9 +386,24 @@ fn valid_key(key: &[u8]) -> bool {
 /// `UnexpectedEof` before any bytes of a command are read — callers
 /// treat that as connection close).
 pub fn read_command<R: BufRead>(reader: &mut R) -> Result<Command, NetError> {
-    let mut line = Vec::new();
-    read_line(reader, &mut line)?;
-    let text = std::str::from_utf8(&line)
+    let mut buf = WireBuf::new();
+    read_raw_command(reader, &mut buf).map(RawCommand::into_owned)
+}
+
+/// Reads one command, borrowing keys from `buf` instead of copying
+/// them. `buf` is a per-connection scratch pool: reusing it across
+/// calls makes a warmed `get` parse allocation-free.
+///
+/// # Errors
+///
+/// Same contract as [`read_command`].
+pub fn read_raw_command<'a, R: BufRead>(
+    reader: &mut R,
+    buf: &'a mut WireBuf,
+) -> Result<RawCommand<'a>, NetError> {
+    let WireBuf { line, data } = buf;
+    read_line(reader, line)?;
+    let text = std::str::from_utf8(line)
         .map_err(|_| NetError::Protocol("command line is not UTF-8".into()))?;
     let mut parts = text.split_ascii_whitespace();
     let verb = parts
@@ -207,7 +411,7 @@ pub fn read_command<R: BufRead>(reader: &mut R) -> Result<Command, NetError> {
         .ok_or_else(|| NetError::Protocol("empty command".into()))?;
     match verb {
         "get" => {
-            let keys: Vec<Vec<u8>> = parts.map(|p| p.as_bytes().to_vec()).collect();
+            let keys: Vec<&[u8]> = parts.map(str::as_bytes).collect();
             if keys.is_empty() {
                 return Err(NetError::Protocol("get needs a key".into()));
             }
@@ -218,124 +422,113 @@ pub fn read_command<R: BufRead>(reader: &mut R) -> Result<Command, NetError> {
                 return Err(NetError::Protocol("invalid key".into()));
             }
             if keys.len() == 1 {
-                let key = keys.into_iter().next().expect("one key");
-                Ok(Command::Get { key })
+                Ok(RawCommand::Get { key: keys[0] })
             } else {
-                Ok(Command::MultiGet { keys })
+                Ok(RawCommand::MultiGet { keys })
             }
         }
-        "set" => {
+        "set" | "add" | "replace" => {
+            let missing_key = if verb == "set" {
+                "set needs a key"
+            } else {
+                "storage command needs a key"
+            };
             let key = parts
                 .next()
-                .ok_or_else(|| NetError::Protocol("set needs a key".into()))?
-                .as_bytes()
-                .to_vec();
-            if !valid_key(&key) {
+                .ok_or_else(|| NetError::Protocol(missing_key.into()))?
+                .as_bytes();
+            if !valid_key(key) {
                 return Err(NetError::Protocol("invalid key".into()));
             }
             let flags: u32 = parse_field(parts.next(), "flags")?;
             let exptime: u32 = parse_field(parts.next(), "exptime")?;
             let bytes: usize = parse_field(parts.next(), "bytes")?;
-            if bytes > 64 << 20 {
+            if bytes > MAX_VALUE_BYTES {
                 return Err(NetError::Protocol("value too large".into()));
             }
-            let mut data = vec![0u8; bytes];
-            std::io::Read::read_exact(reader, &mut data)?;
-            let mut crlf = [0u8; 2];
-            std::io::Read::read_exact(reader, &mut crlf)?;
-            if &crlf != b"\r\n" {
-                return Err(NetError::Protocol("data block not CRLF-terminated".into()));
-            }
-            Ok(Command::Set {
-                key,
-                flags,
-                exptime,
-                data,
+            let data = read_data_block(reader, data, bytes)?;
+            Ok(match verb {
+                "set" => RawCommand::Set {
+                    key,
+                    flags,
+                    exptime,
+                    data,
+                },
+                "add" => RawCommand::Add {
+                    key,
+                    flags,
+                    exptime,
+                    data,
+                },
+                _ => RawCommand::Replace {
+                    key,
+                    flags,
+                    exptime,
+                    data,
+                },
             })
-        }
-        "add" | "replace" => {
-            let key = parts
-                .next()
-                .ok_or_else(|| NetError::Protocol("storage command needs a key".into()))?
-                .as_bytes()
-                .to_vec();
-            if !valid_key(&key) {
-                return Err(NetError::Protocol("invalid key".into()));
-            }
-            let flags: u32 = parse_field(parts.next(), "flags")?;
-            let exptime: u32 = parse_field(parts.next(), "exptime")?;
-            let bytes: usize = parse_field(parts.next(), "bytes")?;
-            if bytes > 64 << 20 {
-                return Err(NetError::Protocol("value too large".into()));
-            }
-            let mut data = vec![0u8; bytes];
-            std::io::Read::read_exact(reader, &mut data)?;
-            let mut crlf = [0u8; 2];
-            std::io::Read::read_exact(reader, &mut crlf)?;
-            if &crlf != b"\r\n" {
-                return Err(NetError::Protocol("data block not CRLF-terminated".into()));
-            }
-            if verb == "add" {
-                Ok(Command::Add {
-                    key,
-                    flags,
-                    exptime,
-                    data,
-                })
-            } else {
-                Ok(Command::Replace {
-                    key,
-                    flags,
-                    exptime,
-                    data,
-                })
-            }
         }
         "delete" => {
             let key = parts
                 .next()
                 .ok_or_else(|| NetError::Protocol("delete needs a key".into()))?
-                .as_bytes()
-                .to_vec();
-            if !valid_key(&key) {
+                .as_bytes();
+            if !valid_key(key) {
                 return Err(NetError::Protocol("invalid key".into()));
             }
-            Ok(Command::Delete { key })
+            Ok(RawCommand::Delete { key })
         }
         "touch" => {
             let key = parts
                 .next()
                 .ok_or_else(|| NetError::Protocol("touch needs a key".into()))?
-                .as_bytes()
-                .to_vec();
-            if !valid_key(&key) {
+                .as_bytes();
+            if !valid_key(key) {
                 return Err(NetError::Protocol("invalid key".into()));
             }
             let exptime: u32 = parse_field(parts.next(), "exptime")?;
-            Ok(Command::Touch { key, exptime })
+            Ok(RawCommand::Touch { key, exptime })
         }
         "incr" | "decr" => {
             let key = parts
                 .next()
                 .ok_or_else(|| NetError::Protocol("incr/decr needs a key".into()))?
-                .as_bytes()
-                .to_vec();
-            if !valid_key(&key) {
+                .as_bytes();
+            if !valid_key(key) {
                 return Err(NetError::Protocol("invalid key".into()));
             }
             let delta: u64 = parse_field(parts.next(), "delta")?;
             if verb == "incr" {
-                Ok(Command::Incr { key, delta })
+                Ok(RawCommand::Incr { key, delta })
             } else {
-                Ok(Command::Decr { key, delta })
+                Ok(RawCommand::Decr { key, delta })
             }
         }
-        "stats" => Ok(Command::Stats),
-        "flush_all" => Ok(Command::FlushAll),
-        "version" => Ok(Command::Version),
-        "quit" => Ok(Command::Quit),
+        "stats" => Ok(RawCommand::Stats),
+        "flush_all" => Ok(RawCommand::FlushAll),
+        "version" => Ok(RawCommand::Version),
+        "quit" => Ok(RawCommand::Quit),
         other => Err(NetError::Protocol(format!("unknown verb {other:?}"))),
     }
+}
+
+/// Reads a `<bytes>`-long data block plus its CRLF terminator into
+/// `scratch`, then promotes it to a shared buffer — the socket→pool
+/// copy happens here, the pool→Arc copy is the `SharedBytes::from`.
+fn read_data_block<R: BufRead>(
+    reader: &mut R,
+    scratch: &mut Vec<u8>,
+    bytes: usize,
+) -> Result<SharedBytes, NetError> {
+    scratch.clear();
+    scratch.resize(bytes, 0);
+    std::io::Read::read_exact(reader, scratch)?;
+    let mut crlf = [0u8; 2];
+    std::io::Read::read_exact(reader, &mut crlf)?;
+    if &crlf != b"\r\n" {
+        return Err(NetError::Protocol("data block not CRLF-terminated".into()));
+    }
+    Ok(SharedBytes::from(scratch.as_slice()))
 }
 
 fn parse_field<T: std::str::FromStr>(field: Option<&str>, name: &str) -> Result<T, NetError> {
@@ -430,12 +623,25 @@ pub fn write_command<W: Write>(writer: &mut W, cmd: &Command) -> Result<(), NetE
     Ok(())
 }
 
-/// Writes one response.
+/// Writes one response and flushes the stream.
 ///
 /// # Errors
 ///
 /// Propagates socket write failures.
 pub fn write_response<W: Write>(writer: &mut W, resp: &Response) -> Result<(), NetError> {
+    write_response_unflushed(writer, resp)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Writes one response without flushing — the building block
+/// [`ResponseWriter`] uses to coalesce flushes across a pipelined
+/// batch. Byte output is identical to [`write_response`].
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response_unflushed<W: Write>(writer: &mut W, resp: &Response) -> Result<(), NetError> {
     match resp {
         Response::Value { key, flags, data } => {
             writer.write_all(b"VALUE ")?;
@@ -473,20 +679,199 @@ pub fn write_response<W: Write>(writer: &mut W, resp: &Response) -> Result<(), N
             write!(writer, "ERROR {}\r\n", msg.replace(['\r', '\n'], " "))?;
         }
     }
-    writer.flush()?;
+    Ok(())
+}
+
+/// A response writer that coalesces flushes and assembles `VALUE`
+/// responses with vectored writes, so a pipelined batch of gets goes
+/// out in one syscall burst instead of one flush per response.
+///
+/// Nothing reaches the peer until [`flush`](Self::flush) — the
+/// server's connection loop flushes once per drained input buffer.
+/// Wire bytes are identical to [`write_response`].
+#[derive(Debug)]
+pub struct ResponseWriter<W: Write> {
+    writer: W,
+    scratch: Vec<u8>,
+}
+
+impl<W: Write> ResponseWriter<W> {
+    /// Wraps a (typically buffered) writer.
+    pub fn new(writer: W) -> Self {
+        ResponseWriter {
+            writer,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The wrapped writer (e.g. to reach the underlying socket).
+    pub fn get_ref(&self) -> &W {
+        &self.writer
+    }
+
+    /// Queues one response (no flush).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write(&mut self, resp: &Response) -> Result<(), NetError> {
+        match resp {
+            Response::Value { key, flags, data } => self.write_single_value(key, *flags, data),
+            Response::Values(items) => self.write_values(
+                items
+                    .iter()
+                    .map(|it| (it.key.as_slice(), it.flags, &it.data)),
+            ),
+            other => write_response_unflushed(&mut self.writer, other),
+        }
+    }
+
+    /// Queues a single-key `get` hit: `VALUE <key> <flags> <len>`,
+    /// data, `END`. Key and data are borrowed, so the server can echo
+    /// the request's key and the engine's shared buffer with zero
+    /// copies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_single_value(
+        &mut self,
+        key: &[u8],
+        flags: u32,
+        data: &[u8],
+    ) -> Result<(), NetError> {
+        let ResponseWriter { writer, scratch } = self;
+        scratch.clear();
+        scratch.extend_from_slice(b"VALUE ");
+        scratch.extend_from_slice(key);
+        write!(scratch, " {flags} {}\r\n", data.len())?;
+        write_segments_vectored(writer, &[scratch.as_slice(), data, b"\r\nEND\r\n"])
+    }
+
+    /// Queues a multi-key `get` response: one `VALUE` block per item
+    /// (misses omitted by the caller), then `END`. All headers are
+    /// staged in one reused scratch buffer and the whole response goes
+    /// out as a single vectored write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_values<'x, I>(&mut self, items: I) -> Result<(), NetError>
+    where
+        I: Iterator<Item = (&'x [u8], u32, &'x SharedBytes)> + Clone,
+    {
+        let ResponseWriter { writer, scratch } = self;
+        scratch.clear();
+        let mut header_ends = Vec::new();
+        for (key, flags, data) in items.clone() {
+            scratch.extend_from_slice(b"VALUE ");
+            scratch.extend_from_slice(key);
+            write!(scratch, " {flags} {}\r\n", data.len())?;
+            header_ends.push(scratch.len());
+        }
+        let mut segments = Vec::with_capacity(3 * header_ends.len() + 1);
+        let mut start = 0;
+        for ((_, _, data), &end) in items.zip(header_ends.iter()) {
+            segments.push(&scratch[start..end]);
+            segments.push(&data[..]);
+            segments.push(b"\r\n".as_slice());
+            start = end;
+        }
+        segments.push(b"END\r\n".as_slice());
+        write_segments_vectored(writer, &segments)
+    }
+
+    /// Flushes everything queued so far to the peer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn flush(&mut self) -> Result<(), NetError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+}
+
+/// Writes `segments` in order using vectored I/O, handling partial
+/// writes. On a `BufWriter` the whole batch lands in the output buffer
+/// in one call when it fits; oversized batches go straight to the
+/// socket as an iovec array.
+fn write_segments_vectored<W: Write>(writer: &mut W, segments: &[&[u8]]) -> Result<(), NetError> {
+    const MAX_IOV: usize = 64;
+    let total: usize = segments.iter().map(|s| s.len()).sum();
+    let mut written = 0usize;
+    let mut idx = 0usize;
+    let mut off = 0usize;
+    while written < total {
+        while idx < segments.len() && off == segments[idx].len() {
+            idx += 1;
+            off = 0;
+        }
+        let mut batch = [IoSlice::new(&[]); MAX_IOV];
+        let mut count = 0;
+        for (i, seg) in segments[idx..].iter().enumerate() {
+            if count == MAX_IOV {
+                break;
+            }
+            let part = if i == 0 { &seg[off..] } else { seg };
+            if !part.is_empty() {
+                batch[count] = IoSlice::new(part);
+                count += 1;
+            }
+        }
+        let n = writer.write_vectored(&batch[..count])?;
+        if n == 0 {
+            return Err(NetError::Io(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "failed to write response",
+            )));
+        }
+        written += n;
+        let mut rem = n;
+        while rem > 0 {
+            let seg_rem = segments[idx].len() - off;
+            if rem >= seg_rem {
+                rem -= seg_rem;
+                idx += 1;
+                off = 0;
+            } else {
+                off += rem;
+                rem = 0;
+            }
+        }
+    }
     Ok(())
 }
 
 /// Reads one response.
+///
+/// Compatibility wrapper over [`read_response_buffered`] with a fresh
+/// buffer pool per call; long-lived readers (the client's pipelined
+/// multi-get path) hold a [`WireBuf`] and reuse it.
 ///
 /// # Errors
 ///
 /// Returns [`NetError::Protocol`] on malformed responses and
 /// [`NetError::Io`] on socket errors.
 pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, NetError> {
-    let mut line = Vec::new();
-    read_line(reader, &mut line)?;
-    let text = std::str::from_utf8(&line)
+    let mut buf = WireBuf::new();
+    read_response_buffered(reader, &mut buf)
+}
+
+/// Reads one response using `buf` as the line/data staging pool.
+/// Value payloads are promoted to [`SharedBytes`] (one pool→Arc copy);
+/// everything else parses without allocating once `buf` has warmed up.
+///
+/// # Errors
+///
+/// Same contract as [`read_response`].
+pub fn read_response_buffered<R: BufRead>(
+    reader: &mut R,
+    buf: &mut WireBuf,
+) -> Result<Response, NetError> {
+    let WireBuf { line, data } = buf;
+    read_line(reader, line)?;
+    let text = std::str::from_utf8(line)
         .map_err(|_| NetError::Protocol("response line is not UTF-8".into()))?;
     if text == "END" {
         return Ok(Response::Miss);
@@ -524,13 +909,16 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, NetError> {
     if text == "ERROR" {
         return Ok(Response::Error(String::new()));
     }
-    if text.starts_with("STAT ") {
+    let is_stats = text.starts_with("STAT ");
+    let is_value = text.starts_with("VALUE ");
+    if is_stats {
         let mut pairs = Vec::new();
-        let mut current = text.to_string();
         loop {
-            if current == "END" {
+            if line.as_slice() == b"END" {
                 return Ok(Response::Stats(pairs));
             }
+            let current = std::str::from_utf8(line)
+                .map_err(|_| NetError::Protocol("stats line is not UTF-8".into()))?;
             let rest = current
                 .strip_prefix("STAT ")
                 .ok_or_else(|| NetError::Protocol(format!("bad stats line {current:?}")))?;
@@ -538,19 +926,17 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, NetError> {
                 .split_once(' ')
                 .ok_or_else(|| NetError::Protocol("stats line missing value".into()))?;
             pairs.push((name.to_string(), value.to_string()));
-            let mut next = Vec::new();
-            read_line(reader, &mut next)?;
-            current = String::from_utf8(next)
-                .map_err(|_| NetError::Protocol("stats line is not UTF-8".into()))?;
+            read_line(reader, line)?;
         }
     }
-    if text.starts_with("VALUE ") {
+    if is_value {
         // One or more VALUE blocks, then a lone END. Zero blocks never
         // reach here (that is the bare-END Miss case above); one block
         // parses as Value so single-key responses are unchanged.
         let mut items = Vec::new();
-        let mut current = text.to_string();
         loop {
+            let current = std::str::from_utf8(line)
+                .map_err(|_| NetError::Protocol("value line is not UTF-8".into()))?;
             let rest = current
                 .strip_prefix("VALUE ")
                 .ok_or_else(|| NetError::Protocol(format!("bad value line {current:?}")))?;
@@ -562,27 +948,22 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, NetError> {
                 .to_vec();
             let flags: u32 = parse_field(parts.next(), "flags")?;
             let bytes: usize = parse_field(parts.next(), "bytes")?;
-            if bytes > 64 << 20 {
+            if bytes > MAX_VALUE_BYTES {
                 return Err(NetError::Protocol("value too large".into()));
             }
-            let mut data = vec![0u8; bytes];
-            std::io::Read::read_exact(reader, &mut data)?;
-            let mut tail = [0u8; 2];
-            std::io::Read::read_exact(reader, &mut tail)?;
-            if &tail != b"\r\n" {
-                return Err(NetError::Protocol("value not CRLF-terminated".into()));
-            }
-            items.push(ValueItem { key, flags, data });
+            let value = read_data_block(reader, data, bytes)?;
+            items.push(ValueItem {
+                key,
+                flags,
+                data: value,
+            });
             if items.len() > 1024 {
                 return Err(NetError::Protocol("too many VALUE blocks".into()));
             }
-            let mut next = Vec::new();
-            read_line(reader, &mut next)?;
-            if next == b"END" {
+            read_line(reader, line)?;
+            if line.as_slice() == b"END" {
                 break;
             }
-            current = String::from_utf8(next)
-                .map_err(|_| NetError::Protocol("value line is not UTF-8".into()))?;
         }
         if items.len() == 1 {
             let ValueItem { key, flags, data } = items.into_iter().next().expect("one item");
@@ -590,26 +971,50 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, NetError> {
         }
         return Ok(Response::Values(items));
     }
+    // Neither loop ran, so `line` still holds the (UTF-8-validated)
+    // response line; re-borrow it for the error message.
+    let text = std::str::from_utf8(line).expect("validated above");
     Err(NetError::Protocol(format!(
         "unrecognized response {text:?}"
     )))
 }
 
-/// Reads a CRLF-terminated line (without the terminator).
+/// Reads a CRLF-terminated line (without the terminator) into `out`,
+/// scanning the reader's internal buffer in chunks rather than one
+/// byte at a time.
 fn read_line<R: BufRead>(reader: &mut R, out: &mut Vec<u8>) -> Result<(), NetError> {
     out.clear();
     loop {
-        let mut byte = [0u8; 1];
-        std::io::Read::read_exact(reader, &mut byte)?;
-        if byte[0] == b'\n' {
+        let (found, used) = {
+            let available = reader.fill_buf()?;
+            if available.is_empty() {
+                return Err(NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-line",
+                )));
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    out.extend_from_slice(&available[..pos]);
+                    (true, pos + 1)
+                }
+                None => {
+                    out.extend_from_slice(available);
+                    (false, available.len())
+                }
+            }
+        };
+        reader.consume(used);
+        // The cap counts every byte before the newline — including the
+        // CR about to be stripped — matching the old per-byte parser.
+        if out.len() > 1 << 20 {
+            return Err(NetError::Protocol("line too long".into()));
+        }
+        if found {
             if out.last() == Some(&b'\r') {
                 out.pop();
             }
             return Ok(());
-        }
-        out.push(byte[0]);
-        if out.len() > 1 << 20 {
-            return Err(NetError::Protocol("line too long".into()));
         }
     }
 }
@@ -640,7 +1045,7 @@ mod tests {
                 key: b"k".to_vec(),
                 flags: 7,
                 exptime: 60,
-                data: b"hello\r\nworld".to_vec(), // binary-safe data block
+                data: b"hello\r\nworld".to_vec().into(), // binary-safe data block
             },
             Command::Delete { key: b"k".to_vec() },
             Command::Stats,
@@ -656,7 +1061,7 @@ mod tests {
             Response::Value {
                 key: b"k".to_vec(),
                 flags: 1,
-                data: vec![0, 1, 2, 255],
+                data: vec![0, 1, 2, 255].into(),
             },
             Response::Miss,
             Response::Stored,
@@ -758,12 +1163,12 @@ mod tests {
             ValueItem {
                 key: b"a".to_vec(),
                 flags: 1,
-                data: b"first".to_vec(),
+                data: b"first".to_vec().into(),
             },
             ValueItem {
                 key: b"c".to_vec(),
                 flags: 0,
-                data: vec![0, 255, b'\r', b'\n'],
+                data: vec![0, 255, b'\r', b'\n'].into(),
             },
         ];
         let resp = Response::Values(items.clone());
@@ -779,7 +1184,7 @@ mod tests {
             Response::Value {
                 key: b"a".to_vec(),
                 flags: 1,
-                data: b"first".to_vec(),
+                data: b"first".to_vec().into(),
             }
         );
     }
@@ -790,17 +1195,88 @@ mod tests {
             ValueItem {
                 key: b"x".to_vec(),
                 flags: 0,
-                data: b"1".to_vec(),
+                data: b"1".to_vec().into(),
             },
             ValueItem {
                 key: b"y".to_vec(),
                 flags: 2,
-                data: b"22".to_vec(),
+                data: b"22".to_vec().into(),
             },
         ]);
         let mut buf = Vec::new();
         write_response(&mut buf, &resp).unwrap();
         assert_eq!(buf, b"VALUE x 0 1\r\n1\r\nVALUE y 2 2\r\n22\r\nEND\r\n");
+    }
+
+    #[test]
+    fn raw_commands_borrow_and_reuse_one_buffer() {
+        let stream = b"get hot\r\nset k 1 0 3\r\nabc\r\nget a b\r\ndelete k\r\n";
+        let mut reader = &stream[..];
+        let mut buf = WireBuf::new();
+        assert_eq!(
+            read_raw_command(&mut reader, &mut buf).unwrap(),
+            RawCommand::Get { key: b"hot" }
+        );
+        match read_raw_command(&mut reader, &mut buf).unwrap() {
+            RawCommand::Set {
+                key, flags, data, ..
+            } => {
+                assert_eq!((key, flags), (&b"k"[..], 1));
+                assert_eq!(&data[..], b"abc");
+            }
+            other => panic!("expected set, got {other:?}"),
+        }
+        assert_eq!(
+            read_raw_command(&mut reader, &mut buf).unwrap(),
+            RawCommand::MultiGet {
+                keys: vec![b"a", b"b"]
+            }
+        );
+        assert_eq!(
+            read_raw_command(&mut reader, &mut buf)
+                .unwrap()
+                .into_owned(),
+            Command::Delete { key: b"k".to_vec() }
+        );
+    }
+
+    #[test]
+    fn response_writer_output_is_byte_identical() {
+        let responses = [
+            Response::Value {
+                key: b"k".to_vec(),
+                flags: 3,
+                data: vec![0, 255, b'\r', b'\n'].into(),
+            },
+            Response::Values(vec![
+                ValueItem {
+                    key: b"x".to_vec(),
+                    flags: 0,
+                    data: b"1".to_vec().into(),
+                },
+                ValueItem {
+                    key: b"y".to_vec(),
+                    flags: 2,
+                    data: Vec::new().into(), // zero-length value block
+                },
+            ]),
+            Response::Miss,
+            Response::Stored,
+            Response::Numeric(42),
+            Response::Stats(vec![("hits".into(), "1".into())]),
+            Response::Error("nope".into()),
+        ];
+        let mut flushed = Vec::new();
+        for resp in &responses {
+            write_response(&mut flushed, resp).unwrap();
+        }
+        let mut coalesced = ResponseWriter::new(std::io::BufWriter::new(Vec::new()));
+        for resp in &responses {
+            coalesced.write(resp).unwrap();
+        }
+        coalesced.flush().unwrap();
+        let inner = coalesced.writer.into_inner().unwrap();
+        assert_eq!(inner, flushed, "coalesced writer must emit identical bytes");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The TCP cache server.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, BufWriter};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -10,12 +10,13 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use proteus_bloom::DigestSnapshot;
-use proteus_cache::{CacheConfig, ShardedEngine};
+use proteus_cache::{CacheConfig, ShardedEngine, SharedBytes};
 use proteus_sim::{SimDuration, SimTime};
 
 use crate::error::NetError;
 use crate::protocol::{
-    read_command, write_response, Command, Response, ValueItem, DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
+    read_raw_command, RawCommand, Response, ResponseWriter, WireBuf, DIGEST_KEY,
+    DIGEST_SNAPSHOT_KEY,
 };
 
 /// How long an idle connection blocks in `read` before re-checking the
@@ -31,7 +32,8 @@ const ACCEPT_EXHAUSTED_BACKOFF: Duration = Duration::from_millis(50);
 struct Shared {
     engine: ShardedEngine,
     /// The digest snapshot taken by the last `get SET_BLOOM_FILTER`.
-    snapshot: Mutex<Option<Vec<u8>>>,
+    /// Shared so serving `get BLOOM_FILTER` is a refcount bump.
+    snapshot: Mutex<Option<SharedBytes>>,
     started: Instant,
     shutdown: AtomicBool,
     /// Live connection sockets, so `stop()` can interrupt blocked
@@ -208,7 +210,10 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     let peer = stream.try_clone();
     if let Ok(write_half) = peer {
         let mut reader = BufReader::new(stream);
-        let mut writer = BufWriter::new(write_half);
+        let mut writer = ResponseWriter::new(BufWriter::new(write_half));
+        // One buffer pool per connection: after the first few commands
+        // parsing stops allocating (keys borrow the pool in place).
+        let mut buf = WireBuf::new();
         loop {
             if shared.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -229,25 +234,64 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                 }
                 Err(_) => break,
             }
-            let command = match read_command(&mut reader) {
-                Ok(c) => c,
+            let served = match read_raw_command(&mut reader, &mut buf) {
+                Ok(command) => serve_command(command, shared, &mut writer),
                 Err(NetError::Io(_)) => break, // disconnect
                 Err(e) => {
-                    let _ = write_response(&mut writer, &Response::Error(e.to_string()));
+                    let _ = writer.write(&Response::Error(e.to_string()));
+                    let _ = writer.flush();
                     break;
                 }
             };
-            let response = match command {
-                Command::Quit => break,
-                other => execute(other, shared),
-            };
-            if write_response(&mut writer, &response).is_err() {
+            match served {
+                Ok(false) => {}
+                Ok(true) => {
+                    // quit: push out any responses still queued from
+                    // earlier pipelined commands before closing.
+                    let _ = writer.flush();
+                    break;
+                }
+                Err(_) => break, // write failure
+            }
+            // Coalesced flush: while more pipelined input is already
+            // buffered, keep the responses queued; flush once per
+            // drained input buffer instead of once per response.
+            if reader.buffer().is_empty() && writer.flush().is_err() {
                 break;
             }
         }
-        let _ = writer.get_ref().shutdown(Shutdown::Both);
+        let _ = writer.get_ref().get_ref().shutdown(Shutdown::Both);
     }
     shared.conns.lock().remove(&conn_id);
+}
+
+/// Executes one parsed command and queues its response (no flush).
+/// Returns `Ok(true)` for `quit`. The `get` paths write borrowed keys
+/// and shared value buffers straight into the response writer, so a
+/// warmed hit copies nothing.
+fn serve_command<W: Write>(
+    command: RawCommand<'_>,
+    shared: &Shared,
+    writer: &mut ResponseWriter<W>,
+) -> Result<bool, NetError> {
+    match command {
+        RawCommand::Quit => return Ok(true),
+        RawCommand::Get { key } => match lookup(shared, key) {
+            Some((flags, data)) => writer.write_single_value(key, flags, &data)?,
+            None => writer.write(&Response::Miss)?,
+        },
+        RawCommand::MultiGet { keys } => {
+            // Memcached semantics: each key is served independently
+            // (misses omitted), in one response round trip.
+            let hits: Vec<(&[u8], u32, SharedBytes)> = keys
+                .iter()
+                .filter_map(|&k| lookup(shared, k).map(|(flags, data)| (k, flags, data)))
+                .collect();
+            writer.write_values(hits.iter().map(|(k, flags, data)| (*k, *flags, data)))?;
+        }
+        other => writer.write(&execute(other, shared))?,
+    }
+    Ok(false)
 }
 
 /// Applies `op` to the ASCII-decimal value stored under `key`, storing
@@ -282,31 +326,21 @@ fn numeric_op(shared: &Shared, key: &[u8], op: impl FnOnce(u64) -> u64) -> Respo
 }
 
 /// Serves one key of a `get`, including the paper's two reserved keys.
-/// Returns `None` on a miss (multi-key gets omit misses).
-fn lookup(shared: &Shared, key: &[u8]) -> Option<ValueItem> {
+/// Returns `(flags, value)` on a hit — the caller echoes the request's
+/// own (borrowed) key bytes, so no key is ever copied for a response —
+/// or `None` on a miss (multi-key gets omit misses).
+fn lookup(shared: &Shared, key: &[u8]) -> Option<(u32, SharedBytes)> {
     if key == DIGEST_SNAPSHOT_KEY {
         let snapshot = shared.engine.digest_snapshot();
-        let bytes = DigestSnapshot::from_filter(&snapshot).to_bytes();
+        let bytes: SharedBytes = DigestSnapshot::from_filter(&snapshot).to_bytes().into();
         *shared.snapshot.lock() = Some(bytes);
-        return Some(ValueItem {
-            key: DIGEST_SNAPSHOT_KEY.to_vec(),
-            flags: 0,
-            data: b"OK".to_vec(),
-        });
+        return Some((0, SharedBytes::from(&b"OK"[..])));
     }
     if key == DIGEST_KEY {
-        return shared.snapshot.lock().clone().map(|data| ValueItem {
-            key: DIGEST_KEY.to_vec(),
-            flags: 0,
-            data,
-        });
+        return shared.snapshot.lock().clone().map(|data| (0, data));
     }
     let now = shared.now();
-    shared.engine.get(key, now).map(|data| ValueItem {
-        key: key.to_vec(),
-        flags: 0,
-        data,
-    })
+    shared.engine.get(key, now).map(|data| (0, data))
 }
 
 /// Maps the protocol's `exptime` seconds to an engine TTL
@@ -315,27 +349,20 @@ fn expiry(exptime: u32) -> Option<SimDuration> {
     (exptime > 0).then(|| SimDuration::from_secs(u64::from(exptime)))
 }
 
-fn execute(command: Command, shared: &Shared) -> Response {
+fn execute(command: RawCommand<'_>, shared: &Shared) -> Response {
     match command {
-        Command::Get { key } => match lookup(shared, &key) {
-            Some(ValueItem { key, flags, data }) => Response::Value { key, flags, data },
-            None => Response::Miss,
-        },
-        Command::MultiGet { keys } => {
-            // Memcached semantics: each key is served independently
-            // (misses omitted), in one response round trip.
-            Response::Values(keys.iter().filter_map(|k| lookup(shared, k)).collect())
-        }
-        Command::Set {
+        RawCommand::Set {
             key, data, exptime, ..
         } => {
             let now = shared.now();
+            // The parsed data block is already a shared buffer; the
+            // engine stores it as-is with no further copy.
             shared
                 .engine
-                .put_with_expiry(&key, data, now, expiry(exptime));
+                .put_with_expiry(key, data, now, expiry(exptime));
             Response::Stored
         }
-        Command::Add {
+        RawCommand::Add {
             key, data, exptime, ..
         } => {
             let now = shared.now();
@@ -344,53 +371,53 @@ fn execute(command: Command, shared: &Shared) -> Response {
             // hit/miss statistics: a storage command's presence check
             // is not a cache read. Probe and store share one shard
             // lock.
-            shared.engine.with_key_shard(&key, |engine| {
-                if engine.probe(&key, now) {
+            shared.engine.with_key_shard(key, |engine| {
+                if engine.probe(key, now) {
                     Response::NotStored
                 } else {
-                    engine.put_with_expiry(&key, data, now, expiry(exptime));
+                    engine.put_with_expiry(key, data, now, expiry(exptime));
                     Response::Stored
                 }
             })
         }
-        Command::Replace {
+        RawCommand::Replace {
             key, data, exptime, ..
         } => {
             let now = shared.now();
-            shared.engine.with_key_shard(&key, |engine| {
-                if engine.probe(&key, now) {
-                    engine.put_with_expiry(&key, data, now, expiry(exptime));
+            shared.engine.with_key_shard(key, |engine| {
+                if engine.probe(key, now) {
+                    engine.put_with_expiry(key, data, now, expiry(exptime));
                     Response::Stored
                 } else {
                     Response::NotStored
                 }
             })
         }
-        Command::Touch { key, .. } => {
+        RawCommand::Touch { key, .. } => {
             let now = shared.now();
-            if shared.engine.touch(&key, now) {
+            if shared.engine.touch(key, now) {
                 Response::Touched
             } else {
                 Response::NotFound
             }
         }
-        Command::Incr { key, delta } => numeric_op(shared, &key, |v| v.saturating_add(delta)),
-        Command::Decr { key, delta } => numeric_op(shared, &key, |v| v.saturating_sub(delta)),
-        Command::Delete { key } => {
-            if shared.engine.delete(&key) {
+        RawCommand::Incr { key, delta } => numeric_op(shared, key, |v| v.saturating_add(delta)),
+        RawCommand::Decr { key, delta } => numeric_op(shared, key, |v| v.saturating_sub(delta)),
+        RawCommand::Delete { key } => {
+            if shared.engine.delete(key) {
                 Response::Deleted
             } else {
                 Response::NotFound
             }
         }
-        Command::FlushAll => {
+        RawCommand::FlushAll => {
             shared.engine.clear();
             Response::Ok
         }
-        Command::Version => {
+        RawCommand::Version => {
             Response::Version(format!("proteus-cache {}", env!("CARGO_PKG_VERSION")))
         }
-        Command::Stats => {
+        RawCommand::Stats => {
             let stats = shared.engine.stats();
             Response::Stats(vec![
                 ("curr_items".into(), shared.engine.len().to_string()),
@@ -410,7 +437,9 @@ fn execute(command: Command, shared: &Shared) -> Response {
                 ),
             ])
         }
-        Command::Quit => unreachable!("handled by the connection loop"),
+        RawCommand::Get { .. } | RawCommand::MultiGet { .. } | RawCommand::Quit => {
+            unreachable!("handled by serve_command")
+        }
     }
 }
 
@@ -429,7 +458,7 @@ mod tests {
         let server = test_server();
         let client = CacheClient::connect(server.addr()).unwrap();
         client.set(b"a", b"1").unwrap();
-        assert_eq!(client.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(client.get(b"a").unwrap().as_deref(), Some(&b"1"[..]));
         assert_eq!(client.get(b"missing").unwrap(), None);
         assert!(client.delete(b"a").unwrap());
         assert!(!client.delete(b"a").unwrap());
@@ -442,7 +471,7 @@ mod tests {
         let c1 = CacheClient::connect(server.addr()).unwrap();
         let c2 = CacheClient::connect(server.addr()).unwrap();
         c1.set(b"shared", b"value").unwrap();
-        assert_eq!(c2.get(b"shared").unwrap(), Some(b"value".to_vec()));
+        assert_eq!(c2.get(b"shared").unwrap().as_deref(), Some(&b"value"[..]));
         server.stop();
     }
 
@@ -480,7 +509,7 @@ mod tests {
 
     #[test]
     fn incr_preserves_the_items_expiry() {
-        use crate::protocol::{read_response, write_command};
+        use crate::protocol::{read_response, write_command, Command};
         use std::io::{BufReader, BufWriter};
         let server = test_server();
         let stream = TcpStream::connect(server.addr()).unwrap();
@@ -492,7 +521,7 @@ mod tests {
                 key: b"c".to_vec(),
                 flags: 0,
                 exptime: 60,
-                data: b"5".to_vec(),
+                data: b"5".to_vec().into(),
             },
         )
         .unwrap();

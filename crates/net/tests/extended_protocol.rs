@@ -13,7 +13,7 @@ fn add_stores_only_when_absent() {
     let client = CacheClient::connect(server.addr()).unwrap();
     assert!(client.add(b"k", b"first").unwrap());
     assert!(!client.add(b"k", b"second").unwrap());
-    assert_eq!(client.get(b"k").unwrap(), Some(b"first".to_vec()));
+    assert_eq!(client.get(b"k").unwrap().as_deref(), Some(&b"first"[..]));
     server.stop();
 }
 
@@ -24,7 +24,7 @@ fn replace_stores_only_when_present() {
     assert!(!client.replace(b"k", b"nope").unwrap());
     client.set(b"k", b"old").unwrap();
     assert!(client.replace(b"k", b"new").unwrap());
-    assert_eq!(client.get(b"k").unwrap(), Some(b"new".to_vec()));
+    assert_eq!(client.get(b"k").unwrap().as_deref(), Some(&b"new"[..]));
     server.stop();
 }
 
@@ -50,7 +50,7 @@ fn incr_decr_arithmetic() {
     // Missing key.
     assert_eq!(client.incr(b"absent", 1).unwrap(), None);
     // The stored value is the ASCII rendering.
-    assert_eq!(client.get(b"counter").unwrap(), Some(b"0".to_vec()));
+    assert_eq!(client.get(b"counter").unwrap().as_deref(), Some(&b"0"[..]));
     server.stop();
 }
 
@@ -96,7 +96,7 @@ fn exptime_is_honored_over_the_wire() {
             key: b"ephemeral".to_vec(),
             flags: 0,
             exptime: 1,
-            data: b"v".to_vec(),
+            data: b"v".to_vec().into(),
         },
     )
     .unwrap();
@@ -174,6 +174,6 @@ fn counters_survive_concurrent_increments() {
     for h in handles {
         h.join().unwrap();
     }
-    assert_eq!(client.get(b"hits").unwrap(), Some(b"200".to_vec()));
+    assert_eq!(client.get(b"hits").unwrap().as_deref(), Some(&b"200"[..]));
     server.stop();
 }

@@ -20,7 +20,7 @@ fn command_strategy() -> impl Strategy<Value = Command> {
                 key,
                 flags,
                 exptime,
-                data
+                data: data.into()
             }
         ),
         (key_strategy(), any::<u32>(), any::<u32>(), value_strategy()).prop_map(
@@ -28,7 +28,7 @@ fn command_strategy() -> impl Strategy<Value = Command> {
                 key,
                 flags,
                 exptime,
-                data
+                data: data.into()
             }
         ),
         (key_strategy(), any::<u32>(), any::<u32>(), value_strategy()).prop_map(
@@ -36,7 +36,7 @@ fn command_strategy() -> impl Strategy<Value = Command> {
                 key,
                 flags,
                 exptime,
-                data
+                data: data.into()
             }
         ),
         key_strategy().prop_map(|key| Command::Delete { key }),
@@ -53,8 +53,13 @@ fn command_strategy() -> impl Strategy<Value = Command> {
 fn response_strategy() -> impl Strategy<Value = Response> {
     let stat_pair = ("[a-z_]{1,16}", "[a-zA-Z0-9._-]{1,16}").prop_map(|(k, v)| (k, v));
     prop_oneof![
-        (key_strategy(), any::<u32>(), value_strategy())
-            .prop_map(|(key, flags, data)| { Response::Value { key, flags, data } }),
+        (key_strategy(), any::<u32>(), value_strategy()).prop_map(|(key, flags, data)| {
+            Response::Value {
+                key,
+                flags,
+                data: data.into(),
+            }
+        }),
         Just(Response::Miss),
         Just(Response::Stored),
         Just(Response::NotStored),

@@ -92,6 +92,9 @@ pub struct ProteusPlacement {
     /// `tables[n-1]` = sorted `(ring_position, server)` pairs for the
     /// prefix of `n` active servers.
     tables: Vec<Vec<(u64, ServerId)>>,
+    /// `flats[n-1]` = flat successor index over `tables[n-1]`, making
+    /// `server_for` O(1) expected instead of O(log v).
+    flats: Vec<FlatLookup>,
 }
 
 impl ProteusPlacement {
@@ -146,10 +149,12 @@ impl ProteusPlacement {
             }
         }
         let tables = build_tables(servers, &nodes);
+        let flats = tables.iter().map(|t| FlatLookup::build(t)).collect();
         ProteusPlacement {
             servers,
             nodes,
             tables,
+            flats,
         }
     }
 
@@ -230,6 +235,18 @@ impl ProteusPlacement {
         assert!(n >= 1 && n <= self.servers, "invalid active count {n}");
         &self.tables[n - 1]
     }
+
+    /// `server_for` resolved by binary search over the lookup table —
+    /// the pre-flat-index routing path, kept public so tests and
+    /// benches can verify the O(1) path against it bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active == 0` or `active > max_servers()`.
+    #[must_use]
+    pub fn server_for_bsearch(&self, key_hash: u64, active: usize) -> ServerId {
+        successor(self.lookup_table(active), key_hash)
+    }
 }
 
 fn build_tables(servers: usize, nodes: &[VirtualNode]) -> Vec<Vec<(u64, ServerId)>> {
@@ -257,9 +274,63 @@ pub(crate) fn successor(table: &[(u64, ServerId)], key: u64) -> ServerId {
     }
 }
 
+/// Flat successor index over one sorted `(position, server)` table.
+///
+/// The ring is cut into a power-of-two number of equal buckets (twice
+/// the table length, so buckets hold half an entry on average). The
+/// top bits of a key hash select its bucket directly; `starts[b]` is
+/// the index of the first table entry at or past the bucket's floor
+/// position, so a lookup lands there and scans forward only past the
+/// entries sharing the bucket. That makes `server_for` O(1) expected —
+/// one shift, one array read, a short neighbor scan — while returning
+/// exactly what the binary search in [`successor`] returns.
+#[derive(Clone, Debug)]
+pub(crate) struct FlatLookup {
+    /// `64 - log2(buckets)`: `key >> shift` is the key's bucket.
+    shift: u32,
+    /// `starts[b]` = first table index with position ≥ `b << shift`.
+    starts: Vec<u32>,
+}
+
+impl FlatLookup {
+    pub(crate) fn build(table: &[(u64, ServerId)]) -> FlatLookup {
+        assert!(
+            table.len() < u32::MAX as usize / 2,
+            "lookup table too large for a flat index"
+        );
+        // At least 2 buckets, so shift ≤ 63 and `b << shift` is sound
+        // for every bucket index.
+        let buckets = (table.len().max(1) * 2).next_power_of_two();
+        let shift = 64 - buckets.trailing_zeros();
+        let mut starts = Vec::with_capacity(buckets);
+        let mut idx: u32 = 0;
+        for b in 0..buckets as u64 {
+            let floor = b << shift;
+            while (idx as usize) < table.len() && table[idx as usize].0 < floor {
+                idx += 1;
+            }
+            starts.push(idx);
+        }
+        FlatLookup { shift, starts }
+    }
+
+    /// The first node at or after `key`, wrapping to the smallest
+    /// position — bit-identical to [`successor`] on the same table.
+    pub(crate) fn successor(&self, table: &[(u64, ServerId)], key: u64) -> ServerId {
+        debug_assert!(!table.is_empty());
+        let mut j = self.starts[(key >> self.shift) as usize] as usize;
+        while j < table.len() && table[j].0 < key {
+            j += 1;
+        }
+        table.get(j).unwrap_or(&table[0]).1
+    }
+}
+
 impl PlacementStrategy for ProteusPlacement {
     fn server_for(&self, key_hash: u64, active: usize) -> ServerId {
-        successor(self.lookup_table(active), key_hash)
+        // The assert inside lookup_table also validates `active` here.
+        let table = self.lookup_table(active);
+        self.flats[active - 1].successor(table, key_hash)
     }
 
     fn max_servers(&self) -> usize {
@@ -479,5 +550,61 @@ mod tests {
     fn debug_is_nonempty() {
         let p = ProteusPlacement::generate(3);
         assert!(format!("{p:?}").contains("ProteusPlacement"));
+    }
+
+    #[test]
+    fn flat_lookup_matches_binary_search_at_every_boundary() {
+        // The adversarial keys are the vnode positions themselves and
+        // their ±1 neighbors (where the successor changes), plus the
+        // ring's own edges (0, MAX — the wrap cases) and bucket floors.
+        for total in [1usize, 2, 3, 5, 10, 17, 64] {
+            let p = ProteusPlacement::generate(total);
+            for n in 1..=total {
+                let table = p.lookup_table(n);
+                let flat = &p.flats[n - 1];
+                let mut keys = vec![0u64, 1, u64::MAX - 1, u64::MAX];
+                for &(pos, _) in table {
+                    keys.extend([pos.wrapping_sub(1), pos, pos.wrapping_add(1)]);
+                }
+                for b in 0..flat.starts.len() as u64 {
+                    keys.push(b << flat.shift);
+                }
+                for key in keys {
+                    assert_eq!(
+                        flat.successor(table, key),
+                        successor(table, key),
+                        "N={total} n={n} key={key:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_lookup_matches_binary_search_on_random_keys() {
+        let p = ProteusPlacement::generate(32);
+        for n in 1..=32usize {
+            let table = p.lookup_table(n);
+            let flat = &p.flats[n - 1];
+            for k in 0..20_000u64 {
+                let key = crate::hash::splitmix64(k.wrapping_mul(n as u64 + 1));
+                assert_eq!(
+                    flat.successor(table, key),
+                    successor(table, key),
+                    "n={n} key={key:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn server_for_bsearch_is_the_same_routing_function() {
+        let p = ProteusPlacement::generate(16);
+        for k in 0..10_000u64 {
+            let key = crate::hash::splitmix64(k ^ 0xF1A7);
+            for n in [1usize, 2, 7, 16] {
+                assert_eq!(p.server_for(key, n), p.server_for_bsearch(key, n));
+            }
+        }
     }
 }

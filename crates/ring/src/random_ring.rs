@@ -4,7 +4,7 @@
 use std::fmt;
 
 use crate::hash::splitmix64;
-use crate::placement::successor;
+use crate::placement::FlatLookup;
 use crate::server::ServerId;
 use crate::strategy::PlacementStrategy;
 
@@ -37,6 +37,9 @@ pub struct RandomRing {
     vnodes_per_server: usize,
     seed: u64,
     tables: Vec<Vec<(u64, ServerId)>>,
+    /// `flats[n-1]` = flat successor index over `tables[n-1]` (O(1)
+    /// expected lookups, same as `ProteusPlacement`).
+    flats: Vec<FlatLookup>,
 }
 
 impl RandomRing {
@@ -53,7 +56,7 @@ impl RandomRing {
             vnodes_per_server > 0,
             "need at least one virtual node per server"
         );
-        let tables = (1..=servers)
+        let tables: Vec<Vec<(u64, ServerId)>> = (1..=servers)
             .map(|n| {
                 let mut table: Vec<(u64, ServerId)> = (0..n)
                     .flat_map(|j| {
@@ -67,11 +70,13 @@ impl RandomRing {
                 table
             })
             .collect();
+        let flats = tables.iter().map(|t| FlatLookup::build(t)).collect();
         RandomRing {
             servers,
             vnodes_per_server,
             seed,
             tables,
+            flats,
         }
     }
 
@@ -113,7 +118,7 @@ impl PlacementStrategy for RandomRing {
             active >= 1 && active <= self.servers,
             "invalid active count {active}"
         );
-        successor(&self.tables[active - 1], key_hash)
+        self.flats[active - 1].successor(&self.tables[active - 1], key_hash)
     }
 
     fn max_servers(&self) -> usize {
@@ -217,5 +222,31 @@ mod tests {
     #[should_panic(expected = "at least one virtual node")]
     fn zero_vnodes_rejected() {
         let _ = RandomRing::new(3, 0, 0);
+    }
+
+    #[test]
+    fn flat_lookup_matches_binary_search() {
+        let ring = RandomRing::new(12, 32, 7);
+        for n in 1..=12usize {
+            let table = &ring.tables[n - 1];
+            for k in 0..10_000u64 {
+                let key = splitmix64(k ^ 0xBEEF);
+                assert_eq!(
+                    ring.flats[n - 1].successor(table, key),
+                    crate::placement::successor(table, key),
+                    "n={n} key={key:#x}"
+                );
+            }
+            // Boundary keys where the successor flips.
+            for &(pos, _) in table.iter() {
+                for key in [pos.wrapping_sub(1), pos, pos.wrapping_add(1)] {
+                    assert_eq!(
+                        ring.flats[n - 1].successor(table, key),
+                        crate::placement::successor(table, key),
+                        "n={n} key={key:#x}"
+                    );
+                }
+            }
+        }
     }
 }

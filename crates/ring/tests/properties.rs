@@ -157,6 +157,31 @@ proptest! {
         let y = Ratio::new(a.max(c), b);
         prop_assert!(x.to_ring_position() <= y.to_ring_position());
     }
+
+    /// The O(1) flat successor index routes every `(n, key_hash)` pair
+    /// exactly like the binary search it replaces — including hashes
+    /// drawn adversarially near the vnode positions, where the
+    /// successor flips.
+    #[test]
+    fn flat_lookup_agrees_with_binary_search(
+        total in 1usize..24,
+        keys in prop::collection::vec(any::<u64>(), 1..80),
+        jitter in prop::collection::vec(-2i64..=2, 1..20),
+    ) {
+        let p = ProteusPlacement::generate(total);
+        for n in 1..=total {
+            for &k in &keys {
+                prop_assert_eq!(p.server_for(k, n), p.server_for_bsearch(k, n));
+            }
+            // Perturbed vnode positions: boundaries of the successor
+            // relation, where an off-by-one in the flat index would
+            // first show.
+            for (&(pos, _), &j) in p.lookup_table(n).iter().zip(jitter.iter().cycle()) {
+                let k = pos.wrapping_add_signed(j);
+                prop_assert_eq!(p.server_for(k, n), p.server_for_bsearch(k, n));
+            }
+        }
+    }
 }
 
 /// Deterministic cross-check of the worked example in the paper's

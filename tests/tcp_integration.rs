@@ -23,7 +23,7 @@ fn protocol_round_trip_with_binary_values() {
     let client = CacheClient::connect(addrs[0]).unwrap();
     let value: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
     client.set(b"binary", &value).unwrap();
-    assert_eq!(client.get(b"binary").unwrap(), Some(value));
+    assert_eq!(client.get(b"binary").unwrap().as_deref(), Some(&value[..]));
     for s in servers {
         s.stop();
     }
@@ -241,8 +241,8 @@ fn stress_concurrent_clients_with_snapshot_loop() {
                         // Read-your-write: the per-key shard lock makes
                         // this exact, snapshots notwithstanding.
                         assert_eq!(
-                            client.get(key.as_bytes()).unwrap(),
-                            Some(value.into_bytes()),
+                            client.get(key.as_bytes()).unwrap().as_deref(),
+                            Some(value.as_bytes()),
                             "lost update on {key}"
                         );
                     }
@@ -272,8 +272,8 @@ fn stress_concurrent_clients_with_snapshot_loop() {
             let expected = format!("{t}:{i}:{}", rounds - 1);
             if i % 2 == 0 {
                 assert_eq!(
-                    client.get(key.as_bytes()).unwrap(),
-                    Some(expected.into_bytes()),
+                    client.get(key.as_bytes()).unwrap().as_deref(),
+                    Some(expected.as_bytes()),
                     "wrong final value for {key}"
                 );
                 assert!(digest.contains(key.as_bytes()), "digest lost {key}");
