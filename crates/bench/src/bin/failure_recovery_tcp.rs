@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use proteus_cache::CacheConfig;
 use proteus_net::{CacheServer, ClientConfig, ClusterClient, ClusterFetch, FaultMode, FaultProxy};
+use proteus_obs::LatencyHistogram;
 use proteus_ring::ProteusPlacement;
 use proteus_store::{ShardedStore, StoreConfig};
 
@@ -37,31 +38,34 @@ struct Phase {
     database: u64,
     degraded: u64,
     errors: u64,
-    max_us: u128,
-    total_us: u128,
+    latency: LatencyHistogram,
 }
 
 impl Phase {
     fn record(
         &mut self,
         outcome: &Result<(proteus_net::SharedBytes, ClusterFetch), proteus_net::NetError>,
-        us: u128,
+        elapsed: Duration,
     ) {
         self.requests += 1;
-        self.total_us += us;
-        self.max_us = self.max_us.max(us);
+        self.latency.record(elapsed);
         match outcome {
             Ok((_, ClusterFetch::Hit)) => self.hits += 1,
             Ok((_, ClusterFetch::Migrated)) => self.migrated += 1,
-            Ok((_, ClusterFetch::Database)) => self.database += 1,
+            Ok((_, ClusterFetch::Database)) | Ok((_, ClusterFetch::FalsePositive)) => {
+                self.database += 1;
+            }
             Ok((_, ClusterFetch::Degraded)) => self.degraded += 1,
             Err(_) => self.errors += 1,
         }
     }
 
     fn print(&self, name: &str) {
+        let snap = self.latency.snapshot();
+        let ms = |d: Duration| d.as_secs_f64() * 1000.0;
+        let p = snap.percentiles().unwrap_or_default();
         println!(
-            "{:<12} {:>9} {:>8} {:>9} {:>9} {:>9} {:>7} {:>10.1} {:>10.1}",
+            "{:<12} {:>9} {:>8} {:>9} {:>9} {:>9} {:>7} {:>8.2} {:>8.2} {:>8.2} {:>9.2}",
             name,
             self.requests,
             self.hits,
@@ -69,8 +73,10 @@ impl Phase {
             self.database,
             self.degraded,
             self.errors,
-            self.total_us as f64 / self.requests.max(1) as f64 / 1000.0,
-            self.max_us as f64 / 1000.0,
+            ms(p.p50),
+            ms(p.p99),
+            ms(p.p999),
+            ms(snap.max().unwrap_or_default()),
         );
     }
 }
@@ -79,7 +85,7 @@ fn sweep(cluster: &ClusterClient, keys: &[Vec<u8>], db: &Mutex<ShardedStore>, ph
     for k in keys {
         let start = Instant::now();
         let outcome = cluster.fetch(k, db);
-        phase.record(&outcome, start.elapsed().as_micros());
+        phase.record(&outcome, start.elapsed());
     }
 }
 
@@ -112,7 +118,7 @@ fn main() {
     }
 
     println!(
-        "{:<12} {:>9} {:>8} {:>9} {:>9} {:>9} {:>7} {:>10} {:>10}",
+        "{:<12} {:>9} {:>8} {:>9} {:>9} {:>9} {:>7} {:>8} {:>8} {:>8} {:>9}",
         "phase",
         "requests",
         "hits",
@@ -120,7 +126,9 @@ fn main() {
         "database",
         "degraded",
         "errors",
-        "mean ms",
+        "p50 ms",
+        "p99 ms",
+        "p999 ms",
         "worst ms"
     );
 

@@ -1,0 +1,178 @@
+//! Overhead gate for the telemetry record path.
+//!
+//! The observability layer's contract is that recording a latency into
+//! a [`LatencyHistogram`] is safe to leave on in production: **zero
+//! heap allocations** and a handful of relaxed atomics per record.
+//! Throughput numbers can't prove the first claim and hand-waving
+//! can't prove the second, so this binary measures both with the
+//! counting global allocator registered:
+//!
+//! 1. exact allocations across millions of `record` calls — must be
+//!    zero, single-threaded and multi-threaded;
+//! 2. mean nanoseconds per record against a budget loose enough for
+//!    any CI runner but tight enough to catch an accidental lock or
+//!    allocation sneaking into the path.
+//!
+//! The same gate covers the per-op-class counter path
+//! ([`OpLatencies::record`]) and [`Counter::inc`], since those sit on
+//! the server's per-command hot path too. Snapshots are *allowed* to
+//! allocate (they build an owned bucket vector); the gate measures
+//! them separately just to print the cost.
+//!
+//! `--smoke` is the CI entry point: shorter runs, hard assertions,
+//! non-zero exit on regression.
+//!
+//! Run with: `cargo run --release -p proteus-bench --bin obs_overhead -- --smoke`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proteus_bench::alloc_track::{is_counting, measure, CountingAlloc};
+use proteus_obs::{Counter, LatencyHistogram, OpClass, OpLatencies};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Generous per-record budget: the path is ~5 relaxed atomic RMWs and
+/// should sit well under 100 ns on anything modern, but CI runners
+/// are shared and noisy. A lock or allocation pushes the mean past
+/// this immediately; honest jitter does not.
+const NS_PER_RECORD_BUDGET: f64 = 1_000.0;
+
+fn bench_single(hist: &LatencyHistogram, ops: u64) -> (Duration, u64) {
+    let (elapsed, allocs) = measure(|| {
+        let started = Instant::now();
+        for i in 0..ops {
+            // Spread across buckets so the sweep isn't one cache line.
+            hist.record_nanos(100 + (i % 100_000));
+        }
+        started.elapsed()
+    });
+    (elapsed, allocs.allocations)
+}
+
+/// Contended measurement with thread setup excluded: workers are
+/// spawned *before* the measured window and park on a barrier; the
+/// allocation and timing snapshots bracket only the record loops
+/// (spawn/join allocate thread stacks and `JoinHandle`s, which would
+/// otherwise drown the zero-allocs assertion).
+fn bench_threaded(
+    hist: &Arc<LatencyHistogram>,
+    threads: usize,
+    ops_per_thread: u64,
+) -> (Duration, u64) {
+    let start = Arc::new(std::sync::Barrier::new(threads + 1));
+    let done = Arc::new(std::sync::Barrier::new(threads + 1));
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let hist = Arc::clone(hist);
+            let start = Arc::clone(&start);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                start.wait();
+                for i in 0..ops_per_thread {
+                    hist.record_nanos(100 + ((i + t as u64 * 7919) % 100_000));
+                }
+                done.wait();
+            })
+        })
+        .collect();
+    start.wait();
+    let (elapsed, allocs) = measure(|| {
+        let started = Instant::now();
+        done.wait();
+        started.elapsed()
+    });
+    for w in workers {
+        w.join().expect("recorder thread panicked");
+    }
+    (elapsed, allocs.allocations)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    assert!(
+        is_counting(),
+        "counting allocator not registered — the gate would pass vacuously"
+    );
+    let ops: u64 = if smoke { 2_000_000 } else { 20_000_000 };
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
+    println!(
+        "telemetry record-path overhead ({ops} ops{}):",
+        if smoke { ", smoke mode" } else { "" }
+    );
+
+    // --- histogram, single-threaded -------------------------------
+    let hist = LatencyHistogram::new();
+    // Warm-up: the first record on a stripe touches every page of its
+    // bucket array; thread-stripe assignment also happens once.
+    hist.record_nanos(1);
+    let (elapsed, allocs) = bench_single(&hist, ops);
+    let ns = elapsed.as_secs_f64() * 1e9 / ops as f64;
+    println!("  histogram 1 thread : {ns:>7.1} ns/record, {allocs} allocs");
+    assert_eq!(allocs, 0, "histogram record path allocated");
+    assert!(
+        ns < NS_PER_RECORD_BUDGET,
+        "record path too slow: {ns:.1} ns > {NS_PER_RECORD_BUDGET} ns budget"
+    );
+
+    // --- histogram, contended -------------------------------------
+    let hist = Arc::new(LatencyHistogram::new());
+    let (elapsed, allocs) = bench_threaded(&hist, threads, ops / threads as u64);
+    let ns = elapsed.as_secs_f64() * 1e9 / ops as f64;
+    println!("  histogram {threads} threads: {ns:>7.1} ns/record (wall/ops), {allocs} allocs");
+    assert_eq!(allocs, 0, "contended record path allocated");
+
+    // --- per-op-class registry path -------------------------------
+    let ops_reg = OpLatencies::default();
+    ops_reg.record(OpClass::Get, Duration::from_nanos(1));
+    let (elapsed, allocs) = measure(|| {
+        let started = Instant::now();
+        for i in 0..ops {
+            let class = if i % 10 == 0 {
+                OpClass::Set
+            } else {
+                OpClass::Get
+            };
+            ops_reg.record(class, Duration::from_nanos(100 + (i % 100_000)));
+        }
+        started.elapsed()
+    });
+    let ns = elapsed.as_secs_f64() * 1e9 / ops as f64;
+    println!(
+        "  op-class registry  : {ns:>7.1} ns/record, {} allocs",
+        allocs.allocations
+    );
+    assert_eq!(allocs.allocations, 0, "op-class record path allocated");
+    assert!(
+        ns < NS_PER_RECORD_BUDGET,
+        "op-class record too slow: {ns:.1} ns > {NS_PER_RECORD_BUDGET} ns budget"
+    );
+
+    // --- plain counter --------------------------------------------
+    let counter = Counter::new();
+    let (elapsed, allocs) = measure(|| {
+        let started = Instant::now();
+        for _ in 0..ops {
+            counter.inc();
+        }
+        started.elapsed()
+    });
+    let ns = elapsed.as_secs_f64() * 1e9 / ops as f64;
+    println!(
+        "  counter inc        : {ns:>7.1} ns/inc,    {} allocs",
+        allocs.allocations
+    );
+    assert_eq!(allocs.allocations, 0, "counter inc allocated");
+
+    // --- snapshot cost (allowed to allocate; informational) -------
+    let (snap, allocs) = measure(|| hist.snapshot());
+    println!(
+        "  snapshot           : {} allocs, {} bytes (count {})",
+        allocs.allocations,
+        allocs.bytes,
+        snap.count()
+    );
+
+    println!("overhead gate passed: 0 allocs/record, mean under budget");
+}

@@ -1,8 +1,9 @@
 //! Throughput scaling of the cache engine under concurrent clients:
 //! the old single-mutex engine vs the lock-striped sharded engine,
 //! swept over 1/2/4/8 client threads, reporting ops/sec and sampled
-//! p99 latency — plus the same sweep with a concurrent digest-snapshot
-//! loop (the paper's `get SET_BLOOM_FILTER` under load).
+//! p50/p99/p999 latency from a shared lock-free histogram — plus the
+//! same sweep with a concurrent digest-snapshot loop (the paper's
+//! `get SET_BLOOM_FILTER` under load).
 //!
 //! Run with: `cargo run --release --bin throughput_scaling`
 //!
@@ -61,22 +62,30 @@ fn sweep<C: ConcurrentCache>(cache: &Arc<C>, ops_per_thread: u64, snapshot_loop:
 }
 
 fn print_section(title: &str, single: &[Row], sharded: &[Row]) {
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
     println!("\n{title}");
     println!(
-        "threads | single-mutex ops/s   p99  alloc/op | sharded ops/s        p99  alloc/op | speedup"
+        "threads | single-mutex ops/s    p50    p99   p999 alloc/op | \
+         sharded ops/s         p50    p99   p999 alloc/op | speedup"
     );
     println!(
-        "--------+------------------------------------+------------------------------------+--------"
+        "--------+--------------------------------------------------+\
+         --------------------------------------------------+--------"
     );
     for (a, b) in single.iter().zip(sharded) {
         println!(
-            "{:>7} | {:>12.0} {:>9.1}us {:>8.3} | {:>12.0} {:>9.1}us {:>8.3} | {:>6.2}x",
+            "{:>7} | {:>12.0} {:>8.1} {:>6.1} {:>6.1} {:>8.3} | \
+             {:>12.0} {:>8.1} {:>6.1} {:>6.1} {:>8.3} | {:>6.2}x",
             a.threads,
             a.report.ops_per_sec(),
-            a.report.p99.as_secs_f64() * 1e6,
+            us(a.report.p50),
+            us(a.report.p99),
+            us(a.report.p999),
             a.allocs_per_op,
             b.report.ops_per_sec(),
-            b.report.p99.as_secs_f64() * 1e6,
+            us(b.report.p50),
+            us(b.report.p99),
+            us(b.report.p999),
             b.allocs_per_op,
             b.report.ops_per_sec() / a.report.ops_per_sec(),
         );
@@ -120,10 +129,14 @@ fn main() {
             vec![
                 a.threads as f64,
                 a.report.ops_per_sec(),
+                a.report.p50.as_secs_f64() * 1e6,
                 a.report.p99.as_secs_f64() * 1e6,
+                a.report.p999.as_secs_f64() * 1e6,
                 a.allocs_per_op,
                 b.report.ops_per_sec(),
+                b.report.p50.as_secs_f64() * 1e6,
                 b.report.p99.as_secs_f64() * 1e6,
+                b.report.p999.as_secs_f64() * 1e6,
                 b.allocs_per_op,
                 c.report.ops_per_sec(),
                 d.report.ops_per_sec(),
@@ -134,10 +147,14 @@ fn main() {
         &[
             "threads",
             "single_ops_per_sec",
+            "single_p50_us",
             "single_p99_us",
+            "single_p999_us",
             "single_allocs_per_op",
             "sharded_ops_per_sec",
+            "sharded_p50_us",
             "sharded_p99_us",
+            "sharded_p999_us",
             "sharded_allocs_per_op",
             "single_snap_ops_per_sec",
             "sharded_snap_ops_per_sec",

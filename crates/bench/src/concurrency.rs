@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use proteus_cache::{CacheConfig, CacheEngine, ShardedEngine, SharedBytes};
+use proteus_obs::LatencyHistogram;
 use proteus_sim::SimTime;
 
 /// A cache engine that can be driven from many threads at once.
@@ -140,14 +141,23 @@ impl MixedWorkload {
 }
 
 /// What one [`run_mixed`] measured.
+///
+/// The percentiles come from one [`LatencyHistogram`] shared by every
+/// worker thread — the telemetry crate's lock-free multi-producer
+/// path, not a per-thread `Vec` merged and sorted afterwards — so the
+/// bench measures with the same instrument the live server exports.
 #[derive(Debug, Clone, Copy)]
 pub struct RunReport {
     /// Total operations completed across all threads.
     pub ops: u64,
     /// Wall-clock of the slowest thread.
     pub elapsed: Duration,
+    /// Median single-operation latency (sampled).
+    pub p50: Duration,
     /// 99th-percentile single-operation latency (sampled).
     pub p99: Duration,
+    /// 99.9th-percentile single-operation latency (sampled).
+    pub p999: Duration,
     /// Digest snapshots completed by the snapshot loop (0 when the
     /// loop is disabled).
     pub snapshots: u64,
@@ -181,12 +191,14 @@ pub fn prepopulate<C: ConcurrentCache>(cache: &C, key_space: u64, value_len: usi
 }
 
 /// Drives `cache` with `workload` and measures throughput and sampled
-/// p99 latency. All threads start together behind a barrier; every
-/// 32nd operation is timed individually for the percentile.
+/// latency percentiles. All threads start together behind a barrier;
+/// every 32nd operation is timed individually and recorded into one
+/// shared lock-free [`LatencyHistogram`].
 pub fn run_mixed<C: ConcurrentCache>(cache: &Arc<C>, workload: MixedWorkload) -> RunReport {
     assert!(workload.threads > 0, "need at least one thread");
     let barrier = Arc::new(Barrier::new(workload.threads + 1));
     let stop_snapshots = Arc::new(AtomicBool::new(false));
+    let latency = Arc::new(LatencyHistogram::new());
 
     let snapshot_thread = workload.snapshot_loop.then(|| {
         let cache = Arc::clone(cache);
@@ -205,9 +217,9 @@ pub fn run_mixed<C: ConcurrentCache>(cache: &Arc<C>, workload: MixedWorkload) ->
         .map(|t| {
             let cache = Arc::clone(cache);
             let barrier = Arc::clone(&barrier);
+            let latency = Arc::clone(&latency);
             std::thread::spawn(move || {
                 let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ (t as u64 + 1);
-                let mut samples = Vec::with_capacity((workload.ops_per_thread / 32 + 1) as usize);
                 barrier.wait();
                 let started = Instant::now();
                 for op in 0..workload.ops_per_thread {
@@ -222,34 +234,29 @@ pub fn run_mixed<C: ConcurrentCache>(cache: &Arc<C>, workload: MixedWorkload) ->
                         std::hint::black_box(cache.get(&key));
                     }
                     if let Some(s) = op_start {
-                        samples.push(s.elapsed());
+                        latency.record(s.elapsed());
                     }
                 }
-                (started.elapsed(), samples)
+                started.elapsed()
             })
         })
         .collect();
 
     barrier.wait();
     let mut elapsed = Duration::ZERO;
-    let mut samples = Vec::new();
     for w in workers {
-        let (thread_elapsed, thread_samples) = w.join().expect("worker panicked");
-        elapsed = elapsed.max(thread_elapsed);
-        samples.extend(thread_samples);
+        elapsed = elapsed.max(w.join().expect("worker panicked"));
     }
     stop_snapshots.store(true, Ordering::Relaxed);
     let snapshots = snapshot_thread.map_or(0, |t| t.join().expect("snapshot thread panicked"));
 
-    samples.sort_unstable();
-    let p99 = samples
-        .get((samples.len().saturating_sub(1)) * 99 / 100)
-        .copied()
-        .unwrap_or_default();
+    let p = latency.snapshot().percentiles().unwrap_or_default();
     RunReport {
         ops: workload.ops_per_thread * workload.threads as u64,
         elapsed,
-        p99,
+        p50: p.p50,
+        p99: p.p99,
+        p999: p.p999,
         snapshots,
     }
 }

@@ -232,6 +232,29 @@ impl ShardedEngine {
     }
 
     /// Cumulative statistics, read lock-free from atomics.
+    ///
+    /// # Consistency contract
+    ///
+    /// Each counter is loaded with a separate relaxed read, and an
+    /// operation's counter movement is folded in *after* its shard
+    /// lock is released — so a snapshot taken mid-traffic is **not** a
+    /// point-in-time cut. Two guarantees do hold, and telemetry relies
+    /// on both:
+    ///
+    /// 1. **Per-counter monotonicity.** Counters only ever have
+    ///    non-negative deltas added, so for any single field,
+    ///    successive snapshots never decrease (no operation is counted
+    ///    twice or retroactively uncounted).
+    /// 2. **Eventual exactness.** Once the engine quiesces, every
+    ///    completed operation is reflected exactly once.
+    ///
+    /// Cross-counter invariants (e.g. `hits + misses == gets issued`)
+    /// hold only at quiescence: mid-traffic, a `get` may appear in
+    /// neither counter for a moment, and unrelated counters in one
+    /// snapshot may be from slightly different instants. Consumers
+    /// (the server's `stats` command, the metrics registry) expose
+    /// these values as independent monotone counters, which is exactly
+    /// what scrape-based collectors expect.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         self.stats.load()
@@ -380,6 +403,50 @@ mod tests {
         assert_eq!(s.sets, threads * per_thread);
         assert_eq!(s.hits, threads * per_thread);
         assert_eq!(c.len() as u64, threads * per_thread);
+    }
+
+    /// The documented consistency contract of [`ShardedEngine::stats`]:
+    /// snapshots taken while writers hammer the engine may lag, but no
+    /// counter ever moves backwards between successive reads.
+    #[test]
+    fn stats_snapshots_are_monotone_under_concurrent_load() {
+        let c = Arc::new(engine(1 << 22, 8));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let key = ((t << 32) | (i % 4096)).to_le_bytes();
+                        c.put(&key, vec![0; 16], T0);
+                        let _ = c.get(&key, T0);
+                        let _ = c.get(&((t << 32) | ((i + 1) % 8192)).to_le_bytes(), T0);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        let mut prev = c.stats();
+        for _ in 0..2000 {
+            let next = c.stats();
+            for (field, a, b) in [
+                ("hits", prev.hits, next.hits),
+                ("misses", prev.misses, next.misses),
+                ("sets", prev.sets, next.sets),
+                ("deletes", prev.deletes, next.deletes),
+                ("evictions", prev.evictions, next.evictions),
+                ("expired", prev.expired, next.expired),
+            ] {
+                assert!(a <= b, "{field} went backwards: {a} -> {b}");
+            }
+            prev = next;
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
     }
 
     #[test]

@@ -11,17 +11,24 @@
 //! ```text
 //! $ printf 'set greeting 0 0 5\r\nhello\r\nget greeting\r\nquit\r\n' | nc 127.0.0.1 11211
 //! ```
+//!
+//! With `--metrics-addr`, a second listener serves the telemetry
+//! registry over HTTP: `GET /metrics` returns Prometheus text
+//! exposition, `GET /metrics.json` the same registry as JSON. The
+//! identical data is also available in-band via `stats proteus`.
 
 use std::process::ExitCode;
 
 use proteus_cache::CacheConfig;
 use proteus_net::CacheServer;
+use proteus_obs::MetricsServer;
 use proteus_sim::SimDuration;
 
 struct Options {
     bind: String,
     capacity_mb: u64,
     hot_ttl_secs: u64,
+    metrics_addr: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -29,6 +36,7 @@ fn parse_args() -> Result<Options, String> {
         bind: "127.0.0.1:11211".to_string(),
         capacity_mb: 64,
         hot_ttl_secs: 60,
+        metrics_addr: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -48,9 +56,11 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--hot-ttl-secs must be a number".to_string())?;
             }
+            "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")?),
             "--help" | "-h" => {
                 return Err("usage: proteus-cache-server [--bind ADDR] \
-                            [--capacity-mb N] [--hot-ttl-secs N]"
+                            [--capacity-mb N] [--hot-ttl-secs N] \
+                            [--metrics-addr ADDR]"
                     .to_string());
             }
             other => return Err(format!("unknown flag {other}")),
@@ -85,6 +95,24 @@ fn main() -> ExitCode {
         opts.capacity_mb,
         opts.hot_ttl_secs
     );
+    // Kept alive for the life of the process; dropping it would stop
+    // the scrape listener.
+    let _metrics = match &opts.metrics_addr {
+        Some(addr) => match MetricsServer::spawn(addr.as_str(), server.metric_source()) {
+            Ok(m) => {
+                println!(
+                    "metrics on http://{}/metrics (Prometheus) and /metrics.json",
+                    m.local_addr()
+                );
+                Some(m)
+            }
+            Err(e) => {
+                eprintln!("failed to bind metrics listener {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     println!("press Ctrl-C to stop");
     // Serve until killed.
     loop {

@@ -128,7 +128,9 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
                     Ok((_, ClusterFetch::Migrated)) => {
                         counters.migrated.fetch_add(1, Ordering::Relaxed)
                     }
-                    Ok((_, ClusterFetch::Database)) | Ok((_, ClusterFetch::Degraded)) => {
+                    Ok((_, ClusterFetch::Database))
+                    | Ok((_, ClusterFetch::Degraded))
+                    | Ok((_, ClusterFetch::FalsePositive)) => {
                         counters.database.fetch_add(1, Ordering::Relaxed)
                     }
                     Err(_) => break,

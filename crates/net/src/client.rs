@@ -4,11 +4,13 @@
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use proteus_bloom::{BloomFilter, DigestSnapshot};
 use proteus_cache::SharedBytes;
+use proteus_obs::{EventTracer, TraceKind};
 
 use crate::error::NetError;
 use crate::protocol::{
@@ -156,9 +158,15 @@ impl Breaker {
         }
     }
 
-    fn record_success(&self) {
+    /// Records one success; returns `true` when this closed a
+    /// previously open (or half-open) breaker — the recovery edge worth
+    /// tracing.
+    fn record_success(&self) -> bool {
         self.consecutive.store(0, Ordering::Relaxed);
-        *self.state.lock() = BreakerState::Closed;
+        let mut state = self.state.lock();
+        let reopened = !matches!(*state, BreakerState::Closed);
+        *state = BreakerState::Closed;
+        reopened
     }
 
     /// Records one transport failure; returns `true` when this failure
@@ -243,6 +251,10 @@ pub struct CacheClient {
     config: ClientConfig,
     breaker: Breaker,
     stats: AtomicClientStats,
+    /// Optional transition tracer: breaker state changes for this
+    /// server are recorded as lifecycle events (open / probe / close).
+    /// Touched only on state *transitions*, never per operation.
+    tracer: Mutex<Option<(Arc<EventTracer>, u32)>>,
     /// xorshift state for backoff jitter (quality is irrelevant; only
     /// decorrelation between concurrent retriers matters).
     jitter: AtomicU64,
@@ -295,7 +307,23 @@ impl CacheClient {
             config,
             breaker: Breaker::new(),
             stats: AtomicClientStats::default(),
+            tracer: Mutex::new(None),
             jitter: AtomicU64::new(seed),
+        }
+    }
+
+    /// Attaches a transition tracer: from now on, circuit-breaker state
+    /// changes are recorded as [`TraceKind::BreakerOpen`] /
+    /// [`TraceKind::BreakerProbe`] / [`TraceKind::BreakerClose`] events
+    /// tagged with `server` (the cluster's index for this client).
+    pub fn attach_tracer(&self, tracer: Arc<EventTracer>, server: u32) {
+        *self.tracer.lock() = Some((tracer, server));
+    }
+
+    /// Records a breaker lifecycle event if a tracer is attached.
+    fn trace_breaker(&self, make: impl FnOnce(u32) -> TraceKind) {
+        if let Some((tracer, server)) = self.tracer.lock().as_ref() {
+            tracer.record(make(*server));
         }
     }
 
@@ -393,16 +421,20 @@ impl CacheClient {
             };
             if admission == Admission::Probe {
                 self.stats.probes.fetch_add(1, Ordering::Relaxed);
+                self.trace_breaker(|server| TraceKind::BreakerProbe { server });
             }
             match attempt() {
                 Ok(value) => {
-                    self.breaker.record_success();
+                    if self.breaker.record_success() {
+                        self.trace_breaker(|server| TraceKind::BreakerClose { server });
+                    }
                     return Ok(value);
                 }
                 Err(e) if matches!(e, NetError::Io(_)) => {
                     self.poison_pool();
                     if self.breaker.record_failure(&self.config) {
                         self.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                        self.trace_breaker(|server| TraceKind::BreakerOpen { server });
                         // The breaker just opened: stop burning retries,
                         // callers get the underlying error this once and
                         // fast CircuitOpen failures afterwards.
@@ -533,13 +565,16 @@ impl CacheClient {
     ) -> Result<Vec<Option<SharedBytes>>, NetError> {
         match self.recv_get_many_once(pending) {
             Ok(values) => {
-                self.breaker.record_success();
+                if self.breaker.record_success() {
+                    self.trace_breaker(|server| TraceKind::BreakerClose { server });
+                }
                 Ok(values)
             }
             Err(e) if matches!(e, NetError::Io(_)) => {
                 self.poison_pool();
                 if self.breaker.record_failure(&self.config) {
                     self.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                    self.trace_breaker(|server| TraceKind::BreakerOpen { server });
                 }
                 Err(e)
             }
@@ -730,6 +765,20 @@ impl CacheClient {
     /// Returns transport errors or a [`NetError::ServerError`].
     pub fn stats(&self) -> Result<Vec<(String, String)>, NetError> {
         match self.round_trip(&Command::Stats)? {
+            Response::Stats(pairs) => Ok(pairs),
+            other => Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Retrieves the server's full telemetry registry (`stats proteus`):
+    /// engine counters, connection gauges, and per-command latency
+    /// percentiles, flattened to `(name, value)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a [`NetError::ServerError`].
+    pub fn stats_proteus(&self) -> Result<Vec<(String, String)>, NetError> {
+        match self.round_trip(&Command::StatsProteus)? {
             Response::Stats(pairs) => Ok(pairs),
             other => Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
         }

@@ -3,10 +3,13 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use proteus_bloom::BloomFilter;
 use proteus_cache::SharedBytes;
+use proteus_obs::{EventTracer, FetchClassKind, FetchLatencies, TraceKind};
 use proteus_ring::{hash::KeyHasher, PlacementStrategy, ServerId};
 use proteus_store::ShardedStore;
 
@@ -48,6 +51,25 @@ pub enum ClusterFetch {
     /// a miss, never as an outage. Counted separately so callers and
     /// benches can see failure-induced database load.
     Degraded,
+    /// Fetched from the backing store after the old server's digest
+    /// claimed the key but the old server missed: a Bloom-filter false
+    /// positive (or a racing eviction on the departing server). The
+    /// request pays one wasted cache round trip on top of the DB
+    /// fetch, which is exactly the cost the paper's digest sizing
+    /// trades against — so it gets its own class.
+    FalsePositive,
+}
+
+/// Maps the wire-level fetch classification onto the telemetry
+/// registry's [`FetchClassKind`].
+fn class_kind(class: ClusterFetch) -> FetchClassKind {
+    match class {
+        ClusterFetch::Hit => FetchClassKind::NewHit,
+        ClusterFetch::Migrated => FetchClassKind::Migrated,
+        ClusterFetch::Database => FetchClassKind::Database,
+        ClusterFetch::Degraded => FetchClassKind::Degraded,
+        ClusterFetch::FalsePositive => FetchClassKind::FalsePositive,
+    }
 }
 
 /// Cumulative cluster-level fault counters (see
@@ -106,6 +128,8 @@ pub struct ClusterClient {
     digests: Vec<Option<BloomFilter>>,
     in_transition: bool,
     stats: AtomicClusterStats,
+    fetches: FetchLatencies,
+    tracer: Arc<EventTracer>,
 }
 
 impl ClusterClient {
@@ -153,6 +177,12 @@ impl ClusterClient {
             .iter()
             .map(|&a| CacheClient::connect_with(a, config))
             .collect::<Result<Vec<_>, _>>()?;
+        let tracer = Arc::new(EventTracer::default());
+        for (i, client) in clients.iter().enumerate() {
+            // One shared ring: breaker transitions interleave with the
+            // cluster's own transition/migration events in seq order.
+            client.attach_tracer(Arc::clone(&tracer), i as u32);
+        }
         let n = clients.len();
         Ok(ClusterClient {
             clients,
@@ -163,6 +193,8 @@ impl ClusterClient {
             digests: vec![None; n],
             in_transition: false,
             stats: AtomicClusterStats::default(),
+            fetches: FetchLatencies::default(),
+            tracer,
         })
     }
 
@@ -203,6 +235,25 @@ impl ClusterClient {
         }
     }
 
+    /// Per-fetch-class counters and latency histograms: every
+    /// [`fetch`](Self::fetch) records its end-to-end latency under its
+    /// [`ClusterFetch`] class; batched hits from
+    /// [`fetch_many`](Self::fetch_many) are counted but not timed
+    /// (their latency is per-batch, not per-key).
+    #[must_use]
+    pub fn fetch_stats(&self) -> &FetchLatencies {
+        &self.fetches
+    }
+
+    /// The transition/breaker event ring shared by this client and
+    /// every per-server [`CacheClient`]. Inspect after a transition to
+    /// see the ordered begin → digest broadcast → per-key migration →
+    /// drain lifecycle.
+    #[must_use]
+    pub fn tracer(&self) -> &Arc<EventTracer> {
+        &self.tracer
+    }
+
     /// Begins a provisioning transition to `new_active` servers: pulls
     /// a fresh digest snapshot from every server active under the old
     /// mapping (the broadcast), then switches the mapping. Call
@@ -241,11 +292,25 @@ impl ClusterClient {
         if self.in_transition {
             return Err(NetError::TransitionInProgress);
         }
+        self.tracer.record(TraceKind::TransitionBegin {
+            from: self.active as u32,
+            to: new_active as u32,
+        });
         let mut digests = vec![None; self.clients.len()];
         for (i, client) in self.clients.iter().enumerate().take(self.active) {
             match client.snapshot_digest() {
-                Ok(digest) => digests[i] = digest,
+                Ok(digest) => {
+                    self.tracer.record(TraceKind::DigestBroadcast {
+                        server: i as u32,
+                        ok: true,
+                    });
+                    digests[i] = digest;
+                }
                 Err(e) if e.is_transport() => {
+                    self.tracer.record(TraceKind::DigestBroadcast {
+                        server: i as u32,
+                        ok: false,
+                    });
                     self.stats.missing_digests.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(e) => return Err(e),
@@ -259,8 +324,21 @@ impl ClusterClient {
     }
 
     /// Ends the transition window: digests are dropped and the old
-    /// mapping is retired.
+    /// mapping is retired. On a scale-down this is the point the
+    /// departing servers can power off, so the tracer records a
+    /// [`TraceKind::PowerOff`] per departing server after the drain.
     pub fn end_transition(&mut self) {
+        if self.in_transition {
+            self.tracer.record(TraceKind::TransitionDrain {
+                from: self.previous_active as u32,
+                to: self.active as u32,
+            });
+            for server in self.active..self.previous_active {
+                self.tracer.record(TraceKind::PowerOff {
+                    server: server as u32,
+                });
+            }
+        }
         self.digests.iter_mut().for_each(|d| *d = None);
         self.previous_active = self.active;
         self.in_transition = false;
@@ -321,6 +399,20 @@ impl ClusterClient {
         key: &[u8],
         db: &D,
     ) -> Result<(SharedBytes, ClusterFetch), NetError> {
+        let begin = Instant::now();
+        let result = self.fetch_uninstrumented(key, db);
+        if let Ok((_, class)) = &result {
+            self.fetches.record(class_kind(*class), begin.elapsed());
+        }
+        result
+    }
+
+    /// The decision tree proper, without the latency bookkeeping.
+    fn fetch_uninstrumented<D: DbFallback + ?Sized>(
+        &self,
+        key: &[u8],
+        db: &D,
+    ) -> Result<(SharedBytes, ClusterFetch), NetError> {
         let hash = self.hasher.hash_bytes(key);
         let new_server = self.strategy.server_for(hash, self.active).index();
         match self.clients[new_server].get(key) {
@@ -330,6 +422,9 @@ impl ClusterClient {
                 // The key's cache server is down: serve from the
                 // authoritative store. No point attempting a migration
                 // either — there is nowhere to install it.
+                self.tracer.record(TraceKind::Degraded {
+                    server: new_server as u32,
+                });
                 return self.db_fetch(key, db, new_server, ClusterFetch::Degraded);
             }
             Err(e) => return Err(e),
@@ -346,15 +441,33 @@ impl ClusterClient {
                                 // socket is the one re-`set` at the new
                                 // server — a refcount bump, not a copy.
                                 self.install(new_server, key, SharedBytes::clone(&value))?;
+                                self.tracer.record(TraceKind::KeyMigrated {
+                                    from: old as u32,
+                                    to: new_server as u32,
+                                });
                                 return Ok((value, ClusterFetch::Migrated));
                             }
-                            Ok(None) => {}
+                            Ok(None) => {
+                                // The digest vouched for the key but
+                                // the old server missed: a Bloom false
+                                // positive (or the departing server
+                                // evicted it). The wasted round trip
+                                // is classified, not hidden.
+                                return self.db_fetch(
+                                    key,
+                                    db,
+                                    new_server,
+                                    ClusterFetch::FalsePositive,
+                                );
+                            }
                             Err(e) if e.is_transport() => {
                                 // The departing server died early; its
                                 // hot keys fall through to the database.
                                 self.stats
                                     .skipped_migrations
                                     .fetch_add(1, Ordering::Relaxed);
+                                self.tracer
+                                    .record(TraceKind::MigrationSkipped { server: old as u32 });
                                 return self.db_fetch(key, db, new_server, ClusterFetch::Degraded);
                             }
                             Err(e) => return Err(e),
@@ -420,6 +533,11 @@ impl ClusterClient {
                 Ok(values) => {
                     for (pos, value) in positions.into_iter().zip(values) {
                         if let Some(data) = value {
+                            // Batched hits are counted but not timed:
+                            // the round trip was shared by the whole
+                            // group, so a per-key latency would be
+                            // fiction.
+                            self.fetches.count_only(FetchClassKind::NewHit);
                             out[pos] = Some((data, ClusterFetch::Hit));
                         }
                     }

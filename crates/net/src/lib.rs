@@ -65,7 +65,7 @@ pub use protocol::{
     write_response, write_response_unflushed, Command, RawCommand, Response, ResponseWriter,
     ValueItem, WireBuf, DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
 };
-pub use server::CacheServer;
+pub use server::{CacheServer, ServerMetrics};
 
 /// Re-export of the shared value-buffer type the wire layer hands out
 /// (see [`proteus_cache::SharedBytes`]).

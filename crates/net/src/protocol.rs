@@ -12,6 +12,7 @@
 //! incr <key> <delta>
 //! decr <key> <delta>
 //! stats
+//! stats proteus      (full telemetry registry as STAT pairs)
 //! flush_all
 //! version
 //! quit
@@ -152,6 +153,10 @@ pub enum Command {
     },
     /// `stats`
     Stats,
+    /// `stats proteus`: the full telemetry registry (per-command
+    /// latency percentiles, connection gauges, fetch-class counters)
+    /// as `STAT` pairs.
+    StatsProteus,
     /// `flush_all`: clear the cache.
     FlushAll,
     /// `version`
@@ -300,6 +305,8 @@ pub enum RawCommand<'a> {
     },
     /// `stats`
     Stats,
+    /// `stats proteus`: the full telemetry registry.
+    StatsProteus,
     /// `flush_all`
     FlushAll,
     /// `version`
@@ -364,6 +371,7 @@ impl RawCommand<'_> {
                 delta,
             },
             RawCommand::Stats => Command::Stats,
+            RawCommand::StatsProteus => Command::StatsProteus,
             RawCommand::FlushAll => Command::FlushAll,
             RawCommand::Version => Command::Version,
             RawCommand::Quit => Command::Quit,
@@ -504,7 +512,13 @@ pub fn read_raw_command<'a, R: BufRead>(
                 Ok(RawCommand::Decr { key, delta })
             }
         }
-        "stats" => Ok(RawCommand::Stats),
+        // `stats proteus` selects the full telemetry registry; any
+        // other (or absent) argument keeps the historical behaviour of
+        // plain `stats` ignoring trailing tokens.
+        "stats" => match parts.next() {
+            Some("proteus") => Ok(RawCommand::StatsProteus),
+            _ => Ok(RawCommand::Stats),
+        },
         "flush_all" => Ok(RawCommand::FlushAll),
         "version" => Ok(RawCommand::Version),
         "quit" => Ok(RawCommand::Quit),
@@ -615,6 +629,7 @@ pub fn write_command<W: Write>(writer: &mut W, cmd: &Command) -> Result<(), NetE
             write!(writer, " {delta}\r\n")?;
         }
         Command::Stats => writer.write_all(b"stats\r\n")?,
+        Command::StatsProteus => writer.write_all(b"stats proteus\r\n")?,
         Command::FlushAll => writer.write_all(b"flush_all\r\n")?,
         Command::Version => writer.write_all(b"version\r\n")?,
         Command::Quit => writer.write_all(b"quit\r\n")?,
@@ -1049,10 +1064,28 @@ mod tests {
             },
             Command::Delete { key: b"k".to_vec() },
             Command::Stats,
+            Command::StatsProteus,
             Command::Quit,
         ] {
             assert_eq!(roundtrip_command(cmd.clone()), cmd);
         }
+    }
+
+    #[test]
+    fn stats_argument_selects_registry_or_is_ignored() {
+        assert_eq!(
+            read_command(&mut &b"stats proteus\r\n"[..]).unwrap(),
+            Command::StatsProteus
+        );
+        // Unknown arguments keep the historical plain-stats behaviour.
+        assert_eq!(
+            read_command(&mut &b"stats items\r\n"[..]).unwrap(),
+            Command::Stats
+        );
+        assert_eq!(
+            read_command(&mut &b"stats\r\n"[..]).unwrap(),
+            Command::Stats
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use proteus_bloom::DigestSnapshot;
 use proteus_cache::{CacheConfig, ShardedEngine, SharedBytes};
+use proteus_obs::{to_stat_pairs, Counter, Gauge, Metric, MetricSource, OpClass, OpLatencies};
 use proteus_sim::{SimDuration, SimTime};
 
 use crate::error::NetError;
@@ -29,6 +30,37 @@ const IDLE_READ_TIMEOUT: Duration = Duration::from_millis(100);
 /// shed file descriptors instead of spinning.
 const ACCEPT_EXHAUSTED_BACKOFF: Duration = Duration::from_millis(50);
 
+/// Live telemetry the server keeps alongside the engine: one latency
+/// histogram per wire-command class plus connection gauges. Recording
+/// is lock-free and allocation-free (see `proteus-obs`), so it stays on
+/// under full load.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    ops: OpLatencies,
+    curr_connections: Gauge,
+    total_connections: Counter,
+}
+
+impl ServerMetrics {
+    /// Per-command-class latency histograms.
+    #[must_use]
+    pub fn ops(&self) -> &OpLatencies {
+        &self.ops
+    }
+
+    /// Connections currently attached.
+    #[must_use]
+    pub fn curr_connections(&self) -> i64 {
+        self.curr_connections.get()
+    }
+
+    /// Connections ever accepted.
+    #[must_use]
+    pub fn total_connections(&self) -> u64 {
+        self.total_connections.get()
+    }
+}
+
 struct Shared {
     engine: ShardedEngine,
     /// The digest snapshot taken by the last `get SET_BLOOM_FILTER`.
@@ -36,6 +68,7 @@ struct Shared {
     snapshot: Mutex<Option<SharedBytes>>,
     started: Instant,
     shutdown: AtomicBool,
+    metrics: ServerMetrics,
     /// Live connection sockets, so `stop()` can interrupt blocked
     /// reads instead of waiting out their timeout. Each connection
     /// registers a clone on accept and removes itself on exit.
@@ -109,6 +142,7 @@ impl CacheServer {
             snapshot: Mutex::new(None),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
+            metrics: ServerMetrics::default(),
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
         });
@@ -164,6 +198,23 @@ impl CacheServer {
         f(&self.shared.engine)
     }
 
+    /// The server's live telemetry (per-command latency histograms and
+    /// connection gauges).
+    #[must_use]
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// A pull-based registry source for this server, suitable for
+    /// [`proteus_obs::MetricsServer::spawn`]. Each call materialises
+    /// the full registry: engine counters, connection gauges, and
+    /// per-command latency histograms.
+    #[must_use]
+    pub fn metric_source(&self) -> MetricSource {
+        let shared = Arc::clone(&self.shared);
+        Arc::new(move || registry(&shared))
+    }
+
     /// Stops accepting connections, quiesces every connection thread
     /// (idle ones are woken by a socket shutdown and the idle read
     /// timeout), and joins them all. In-flight connections finish
@@ -198,11 +249,35 @@ impl Drop for CacheServer {
     }
 }
 
+/// Classifies a parsed command for per-class latency recording. The
+/// reserved digest keys are traffic of their own class even though they
+/// arrive as plain `get`s.
+fn op_class_of(cmd: &RawCommand<'_>) -> OpClass {
+    match cmd {
+        RawCommand::Get { key } if *key == DIGEST_SNAPSHOT_KEY || *key == DIGEST_KEY => {
+            OpClass::Digest
+        }
+        RawCommand::Get { .. } => OpClass::Get,
+        RawCommand::MultiGet { .. } => OpClass::MultiGet,
+        RawCommand::Set { .. } => OpClass::Set,
+        RawCommand::Add { .. } => OpClass::Add,
+        RawCommand::Replace { .. } => OpClass::Replace,
+        RawCommand::Delete { .. } => OpClass::Delete,
+        RawCommand::Touch { .. } => OpClass::Touch,
+        RawCommand::Incr { .. } => OpClass::Incr,
+        RawCommand::Decr { .. } => OpClass::Decr,
+        RawCommand::Stats | RawCommand::StatsProteus => OpClass::Stats,
+        RawCommand::FlushAll | RawCommand::Version | RawCommand::Quit => OpClass::Other,
+    }
+}
+
 fn serve_connection(stream: TcpStream, shared: &Shared) {
     let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
     if let Ok(clone) = stream.try_clone() {
         shared.conns.lock().insert(conn_id, clone);
     }
+    shared.metrics.total_connections.inc();
+    shared.metrics.curr_connections.inc();
     // Idle read timeout: a parked reader wakes every IDLE_READ_TIMEOUT
     // to re-check the shutdown flag, so `stop()` quiesces instead of
     // waiting for the peer to hang up.
@@ -235,7 +310,15 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                 Err(_) => break,
             }
             let served = match read_raw_command(&mut reader, &mut buf) {
-                Ok(command) => serve_command(command, shared, &mut writer),
+                Ok(command) => {
+                    // Time the serve (engine + response assembly), not
+                    // the idle wait for the command's first byte.
+                    let class = op_class_of(&command);
+                    let begin = Instant::now();
+                    let served = serve_command(command, shared, &mut writer);
+                    shared.metrics.ops.record(class, begin.elapsed());
+                    served
+                }
                 Err(NetError::Io(_)) => break, // disconnect
                 Err(e) => {
                     let _ = writer.write(&Response::Error(e.to_string()));
@@ -262,7 +345,40 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
         }
         let _ = writer.get_ref().get_ref().shutdown(Shutdown::Both);
     }
+    shared.metrics.curr_connections.dec();
     shared.conns.lock().remove(&conn_id);
+}
+
+/// Materialises the full telemetry registry: engine counters,
+/// item/connection gauges, and one latency histogram per command
+/// class. This is what `stats proteus` flattens to `STAT` pairs and
+/// what the `--metrics-addr` endpoint renders as Prometheus text/JSON.
+fn registry(shared: &Shared) -> Vec<Metric> {
+    let stats = shared.engine.stats();
+    let m = &shared.metrics;
+    let mut out = vec![
+        Metric::gauge(
+            "proteus_uptime_seconds",
+            shared.started.elapsed().as_secs() as i64,
+        ),
+        Metric::gauge("proteus_curr_items", shared.engine.len() as i64),
+        Metric::gauge("proteus_bytes", shared.engine.bytes_used() as i64),
+        Metric::gauge("proteus_curr_connections", m.curr_connections.get()),
+        Metric::counter("proteus_total_connections", m.total_connections.get()),
+        Metric::counter("proteus_get_hits_total", stats.hits),
+        Metric::counter("proteus_get_misses_total", stats.misses),
+        Metric::counter("proteus_sets_total", stats.sets),
+        Metric::counter("proteus_deletes_total", stats.deletes),
+        Metric::counter("proteus_evictions_total", stats.evictions),
+        Metric::counter("proteus_expirations_total", stats.expired),
+    ];
+    for (class, snap) in m.ops.snapshot_all() {
+        out.push(
+            Metric::histogram("proteus_command_latency_seconds", snap)
+                .with_label("op", class.name()),
+        );
+    }
+    out
 }
 
 /// Executes one parsed command and queues its response (no flush).
@@ -419,9 +535,22 @@ fn execute(command: RawCommand<'_>, shared: &Shared) -> Response {
         }
         RawCommand::Stats => {
             let stats = shared.engine.stats();
-            Response::Stats(vec![
+            let m = &shared.metrics;
+            let mut pairs = vec![
+                (
+                    "uptime".into(),
+                    shared.started.elapsed().as_secs().to_string(),
+                ),
                 ("curr_items".into(), shared.engine.len().to_string()),
                 ("bytes".into(), shared.engine.bytes_used().to_string()),
+                (
+                    "curr_connections".into(),
+                    m.curr_connections.get().to_string(),
+                ),
+                (
+                    "total_connections".into(),
+                    m.total_connections.get().to_string(),
+                ),
                 ("get_hits".into(), stats.hits.to_string()),
                 ("get_misses".into(), stats.misses.to_string()),
                 ("cmd_set".into(), stats.sets.to_string()),
@@ -435,7 +564,21 @@ fn execute(command: RawCommand<'_>, shared: &Shared) -> Response {
                         .digest_estimate()
                         .map_or_else(|| "saturated".into(), |e| format!("{e:.0}")),
                 ),
-            ])
+            ];
+            // Headline percentiles for the two hot classes; the full
+            // per-class breakdown lives behind `stats proteus`.
+            for class in [OpClass::Get, OpClass::Set] {
+                if let Some(p) = m.ops.snapshot(class).percentiles() {
+                    let name = class.name();
+                    pairs.push((format!("{name}_p50_us"), p.p50.as_micros().to_string()));
+                    pairs.push((format!("{name}_p99_us"), p.p99.as_micros().to_string()));
+                    pairs.push((format!("{name}_p999_us"), p.p999.as_micros().to_string()));
+                }
+            }
+            Response::Stats(pairs)
+        }
+        RawCommand::StatsProteus => {
+            Response::Stats(to_stat_pairs(&registry(shared)).into_iter().collect())
         }
         RawCommand::Get { .. } | RawCommand::MultiGet { .. } | RawCommand::Quit => {
             unreachable!("handled by serve_command")

@@ -162,7 +162,12 @@ mod reference {
                     Ok(Command::Decr { key, delta })
                 }
             }
-            "stats" => Ok(Command::Stats),
+            // `stats proteus` postdates the parser rewrite; it is
+            // mirrored here so the oracle tracks the live grammar.
+            "stats" => match parts.next() {
+                Some("proteus") => Ok(Command::StatsProteus),
+                _ => Ok(Command::Stats),
+            },
             "flush_all" => Ok(Command::FlushAll),
             "version" => Ok(Command::Version),
             "quit" => Ok(Command::Quit),
@@ -269,6 +274,7 @@ fn command_strategy() -> impl Strategy<Value = Command> {
         (key_strategy(), any::<u64>()).prop_map(|(key, delta)| Command::Incr { key, delta }),
         (key_strategy(), any::<u64>()).prop_map(|(key, delta)| Command::Decr { key, delta }),
         Just(Command::Stats),
+        Just(Command::StatsProteus),
         Just(Command::FlushAll),
         Just(Command::Version),
         Just(Command::Quit),

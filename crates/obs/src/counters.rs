@@ -1,0 +1,383 @@
+//! Typed counters, gauges, and per-class latency families.
+//!
+//! These are the building blocks of the telemetry registry: a
+//! [`Counter`] is a monotone relaxed `AtomicU64`, a [`Gauge`] an
+//! `AtomicI64` that may move both ways, and the two class enums
+//! ([`OpClass`], [`FetchClassKind`]) index fixed arrays of
+//! [`LatencyHistogram`]s so the record path stays allocation-free.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+
+/// A monotonically increasing event counter (relaxed atomics).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value that can move both ways (e.g. open
+/// connections).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Wire-operation classes the server distinguishes when recording
+/// per-command latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Single-key `get`.
+    Get,
+    /// Multi-key `get` (one wire round-trip, many keys).
+    MultiGet,
+    /// `set`.
+    Set,
+    /// `add`.
+    Add,
+    /// `replace`.
+    Replace,
+    /// `delete`.
+    Delete,
+    /// `touch`.
+    Touch,
+    /// `incr`.
+    Incr,
+    /// `decr`.
+    Decr,
+    /// `stats` (either form).
+    Stats,
+    /// Digest traffic on the reserved `SET_BLOOM_FILTER` /
+    /// `BLOOM_FILTER` keys.
+    Digest,
+    /// Anything else (`version`, `quit`, future verbs).
+    Other,
+}
+
+impl OpClass {
+    /// Every class, in display order.
+    pub const ALL: [OpClass; 12] = [
+        OpClass::Get,
+        OpClass::MultiGet,
+        OpClass::Set,
+        OpClass::Add,
+        OpClass::Replace,
+        OpClass::Delete,
+        OpClass::Touch,
+        OpClass::Incr,
+        OpClass::Decr,
+        OpClass::Stats,
+        OpClass::Digest,
+        OpClass::Other,
+    ];
+
+    /// Stable snake_case name used in metric labels and STAT keys.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Get => "get",
+            OpClass::MultiGet => "multi_get",
+            OpClass::Set => "set",
+            OpClass::Add => "add",
+            OpClass::Replace => "replace",
+            OpClass::Delete => "delete",
+            OpClass::Touch => "touch",
+            OpClass::Incr => "incr",
+            OpClass::Decr => "decr",
+            OpClass::Stats => "stats",
+            OpClass::Digest => "digest",
+            OpClass::Other => "other",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A fixed family of per-[`OpClass`] latency histograms.
+///
+/// `record` is as cheap as a bare histogram record: one array index
+/// plus the atomic bumps — no map lookup, no allocation.
+#[derive(Debug)]
+pub struct OpLatencies {
+    hists: [LatencyHistogram; OpClass::ALL.len()],
+}
+
+impl OpLatencies {
+    /// Creates one histogram per op class.
+    #[must_use]
+    pub fn new() -> Self {
+        OpLatencies {
+            hists: std::array::from_fn(|_| LatencyHistogram::new()),
+        }
+    }
+
+    /// Records one latency sample for `class`.
+    #[inline]
+    pub fn record(&self, class: OpClass, d: Duration) {
+        self.hists[class.index()].record(d);
+    }
+
+    /// The live histogram for `class`.
+    #[must_use]
+    pub fn histogram(&self, class: OpClass) -> &LatencyHistogram {
+        &self.hists[class.index()]
+    }
+
+    /// Snapshots one class.
+    #[must_use]
+    pub fn snapshot(&self, class: OpClass) -> HistogramSnapshot {
+        self.hists[class.index()].snapshot()
+    }
+
+    /// Snapshots every class in [`OpClass::ALL`] order.
+    #[must_use]
+    pub fn snapshot_all(&self) -> Vec<(OpClass, HistogramSnapshot)> {
+        OpClass::ALL
+            .iter()
+            .map(|&c| (c, self.snapshot(c)))
+            .collect()
+    }
+
+    /// Merges every class into one combined snapshot.
+    #[must_use]
+    pub fn snapshot_merged(&self) -> HistogramSnapshot {
+        let mut acc = HistogramSnapshot::empty();
+        for h in &self.hists {
+            acc.merge(&h.snapshot());
+        }
+        acc
+    }
+}
+
+impl Default for OpLatencies {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// How a cluster fetch was ultimately satisfied, as observed by the
+/// client. Mirrors `ClusterFetch` in proteus-net plus the
+/// false-positive refinement from the simulator's `FetchClass`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FetchClassKind {
+    /// Served by the key's current owner.
+    NewHit,
+    /// Found on the old owner mid-transition and migrated.
+    Migrated,
+    /// Fell through to the database (true miss).
+    Database,
+    /// A cache server was unreachable; served from the database.
+    Degraded,
+    /// The digest claimed the old server had the key but it did not
+    /// (Bloom-filter false positive); served from the database.
+    FalsePositive,
+}
+
+impl FetchClassKind {
+    /// Every class, in display order.
+    pub const ALL: [FetchClassKind; 5] = [
+        FetchClassKind::NewHit,
+        FetchClassKind::Migrated,
+        FetchClassKind::Database,
+        FetchClassKind::Degraded,
+        FetchClassKind::FalsePositive,
+    ];
+
+    /// Stable snake_case name used in metric labels and STAT keys.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FetchClassKind::NewHit => "new_hit",
+            FetchClassKind::Migrated => "migrated",
+            FetchClassKind::Database => "database",
+            FetchClassKind::Degraded => "degraded",
+            FetchClassKind::FalsePositive => "false_positive",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-[`FetchClassKind`] counters and latency histograms for the
+/// client side of the cluster.
+#[derive(Debug)]
+pub struct FetchLatencies {
+    counts: [Counter; FetchClassKind::ALL.len()],
+    hists: [LatencyHistogram; FetchClassKind::ALL.len()],
+}
+
+impl FetchLatencies {
+    /// Creates one counter + histogram per fetch class.
+    #[must_use]
+    pub fn new() -> Self {
+        FetchLatencies {
+            counts: std::array::from_fn(|_| Counter::new()),
+            hists: std::array::from_fn(|_| LatencyHistogram::new()),
+        }
+    }
+
+    /// Records one classified fetch with its end-to-end latency.
+    #[inline]
+    pub fn record(&self, class: FetchClassKind, d: Duration) {
+        self.counts[class.index()].inc();
+        self.hists[class.index()].record(d);
+    }
+
+    /// Counts one classified fetch without a latency sample (used for
+    /// batched multi-key phases where per-key timing is meaningless).
+    #[inline]
+    pub fn count_only(&self, class: FetchClassKind) {
+        self.counts[class.index()].inc();
+    }
+
+    /// Total fetches counted for `class`.
+    #[must_use]
+    pub fn count(&self, class: FetchClassKind) -> u64 {
+        self.counts[class.index()].get()
+    }
+
+    /// Snapshots the latency histogram for `class`.
+    #[must_use]
+    pub fn snapshot(&self, class: FetchClassKind) -> HistogramSnapshot {
+        self.hists[class.index()].snapshot()
+    }
+
+    /// Snapshots every class in [`FetchClassKind::ALL`] order.
+    #[must_use]
+    pub fn snapshot_all(&self) -> Vec<(FetchClassKind, u64, HistogramSnapshot)> {
+        FetchClassKind::ALL
+            .iter()
+            .map(|&c| (c, self.count(c), self.snapshot(c)))
+            .collect()
+    }
+}
+
+impl Default for FetchLatencies {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn op_class_indices_are_dense_and_names_unique() {
+        let mut names = std::collections::HashSet::new();
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(names.insert(c.name()), "duplicate name {}", c.name());
+        }
+    }
+
+    #[test]
+    fn fetch_class_indices_are_dense_and_names_unique() {
+        let mut names = std::collections::HashSet::new();
+        for (i, c) in FetchClassKind::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(names.insert(c.name()), "duplicate name {}", c.name());
+        }
+    }
+
+    #[test]
+    fn op_latencies_route_to_the_right_class() {
+        let ops = OpLatencies::new();
+        ops.record(OpClass::Get, Duration::from_micros(10));
+        ops.record(OpClass::Get, Duration::from_micros(20));
+        ops.record(OpClass::Set, Duration::from_micros(30));
+        assert_eq!(ops.snapshot(OpClass::Get).count(), 2);
+        assert_eq!(ops.snapshot(OpClass::Set).count(), 1);
+        assert_eq!(ops.snapshot(OpClass::Delete).count(), 0);
+        assert_eq!(ops.snapshot_merged().count(), 3);
+    }
+
+    #[test]
+    fn fetch_latencies_count_and_time() {
+        let f = FetchLatencies::new();
+        f.record(FetchClassKind::NewHit, Duration::from_micros(5));
+        f.count_only(FetchClassKind::NewHit);
+        f.record(FetchClassKind::Degraded, Duration::from_millis(2));
+        assert_eq!(f.count(FetchClassKind::NewHit), 2);
+        assert_eq!(f.snapshot(FetchClassKind::NewHit).count(), 1);
+        assert_eq!(f.count(FetchClassKind::Degraded), 1);
+        assert_eq!(f.count(FetchClassKind::Database), 0);
+    }
+}

@@ -1,0 +1,467 @@
+//! Metric exposition: a flat registry snapshot plus renderers for
+//! Prometheus text format, JSON, and memcached-style `STAT` pairs,
+//! and a minimal HTTP server that serves them.
+//!
+//! The registry is pull-based: producers keep their own atomics and
+//! histograms, and a collector closure materialises a `Vec<Metric>` on
+//! demand. That keeps the hot paths ignorant of exposition formats.
+
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::histogram::HistogramSnapshot;
+
+/// The value carried by one [`Metric`].
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// A monotone event count.
+    Counter(u64),
+    /// An instantaneous level.
+    Gauge(i64),
+    /// A full latency distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named, optionally labelled, metric sample.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Metric name (`snake_case`, no spaces).
+    pub name: String,
+    /// Label pairs, e.g. `[("op", "get")]`.
+    pub labels: Vec<(String, String)>,
+    /// The sample.
+    pub value: MetricValue,
+}
+
+impl Metric {
+    /// A counter sample without labels.
+    #[must_use]
+    pub fn counter(name: impl Into<String>, v: u64) -> Self {
+        Metric {
+            name: name.into(),
+            labels: Vec::new(),
+            value: MetricValue::Counter(v),
+        }
+    }
+
+    /// A gauge sample without labels.
+    #[must_use]
+    pub fn gauge(name: impl Into<String>, v: i64) -> Self {
+        Metric {
+            name: name.into(),
+            labels: Vec::new(),
+            value: MetricValue::Gauge(v),
+        }
+    }
+
+    /// A histogram sample without labels.
+    #[must_use]
+    pub fn histogram(name: impl Into<String>, snap: HistogramSnapshot) -> Self {
+        Metric {
+            name: name.into(),
+            labels: Vec::new(),
+            value: MetricValue::Histogram(snap),
+        }
+    }
+
+    /// Adds a label pair (builder style).
+    #[must_use]
+    pub fn with_label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.push((key.into(), value.into()));
+        self
+    }
+
+    fn label_suffix(&self) -> String {
+        if self.labels.is_empty() {
+            return String::new();
+        }
+        let inner: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}_{v}"))
+            .collect();
+        format!("_{}", inner.join("_"))
+    }
+
+    fn prometheus_labels(&self, extra: Option<(&str, &str)>) -> String {
+        let mut pairs: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
+        if let Some((k, v)) = extra {
+            pairs.push(format!("{k}=\"{v}\""));
+        }
+        if pairs.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", pairs.join(","))
+        }
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The quantiles every histogram metric is expanded into:
+/// `(quantile, prometheus label value, stat-pair key stem)`.
+const QUANTILES: [(f64, &str, &str); 4] = [
+    (0.50, "0.5", "p50"),
+    (0.90, "0.9", "p90"),
+    (0.99, "0.99", "p99"),
+    (0.999, "0.999", "p999"),
+];
+
+/// Renders metrics in Prometheus text exposition format. Histograms
+/// are rendered summary-style: `<name>{quantile="..."}` gauges in
+/// seconds plus `<name>_count` and `<name>_sum`.
+#[must_use]
+pub fn to_prometheus(metrics: &[Metric]) -> String {
+    let mut out = String::new();
+    for m in metrics {
+        match &m.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {} counter\n", m.name));
+                out.push_str(&format!("{}{} {v}\n", m.name, m.prometheus_labels(None)));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {} gauge\n", m.name));
+                out.push_str(&format!("{}{} {v}\n", m.name, m.prometheus_labels(None)));
+            }
+            MetricValue::Histogram(snap) => {
+                out.push_str(&format!("# TYPE {} summary\n", m.name));
+                for (q, qname, _) in QUANTILES {
+                    let v = snap.quantile(q).unwrap_or_default().as_secs_f64();
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        m.name,
+                        m.prometheus_labels(Some(("quantile", qname)))
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    m.name,
+                    m.prometheus_labels(None),
+                    snap.sum_nanos() as f64 / 1e9
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    m.name,
+                    m.prometheus_labels(None),
+                    snap.count()
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders metrics as a JSON array. Histograms become objects with
+/// `count`, `sum_ns`, `min_ns`/`max_ns`/`mean_ns` and a `quantiles_ns`
+/// object.
+#[must_use]
+pub fn to_json(metrics: &[Metric]) -> String {
+    let mut items = Vec::with_capacity(metrics.len());
+    for m in metrics {
+        let labels: Vec<String> = m
+            .labels
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+            .collect();
+        let labels = format!("{{{}}}", labels.join(","));
+        let body = match &m.value {
+            MetricValue::Counter(v) => format!("\"type\":\"counter\",\"value\":{v}"),
+            MetricValue::Gauge(v) => format!("\"type\":\"gauge\",\"value\":{v}"),
+            MetricValue::Histogram(snap) => {
+                let quantiles: Vec<String> = QUANTILES
+                    .iter()
+                    .map(|(q, qname, _)| {
+                        format!(
+                            "\"{qname}\":{}",
+                            snap.quantile(*q).unwrap_or_default().as_nanos()
+                        )
+                    })
+                    .collect();
+                format!(
+                    "\"type\":\"histogram\",\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{},\"quantiles_ns\":{{{}}}",
+                    snap.count(),
+                    snap.sum_nanos(),
+                    snap.min().unwrap_or_default().as_nanos(),
+                    snap.max().unwrap_or_default().as_nanos(),
+                    snap.mean().unwrap_or_default().as_nanos(),
+                    quantiles.join(",")
+                )
+            }
+        };
+        items.push(format!(
+            "{{\"name\":\"{}\",\"labels\":{labels},{body}}}",
+            escape_json(&m.name)
+        ));
+    }
+    format!("[{}]", items.join(","))
+}
+
+/// Flattens metrics into memcached-style `(key, value)` STAT pairs.
+/// Labels are folded into the key (`latency_op_get_p99_us`), histogram
+/// quantiles are reported in integer microseconds, and empty
+/// histograms are skipped.
+#[must_use]
+pub fn to_stat_pairs(metrics: &[Metric]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for m in metrics {
+        let key = format!("{}{}", m.name, m.label_suffix());
+        match &m.value {
+            MetricValue::Counter(v) => out.push((key, v.to_string())),
+            MetricValue::Gauge(v) => out.push((key, v.to_string())),
+            MetricValue::Histogram(snap) => {
+                out.push((format!("{key}_count"), snap.count().to_string()));
+                if snap.is_empty() {
+                    continue;
+                }
+                for (q, _, qkey) in QUANTILES {
+                    let micros = snap.quantile(q).unwrap_or_default().as_micros();
+                    out.push((format!("{key}_{qkey}_us"), micros.to_string()));
+                }
+                out.push((
+                    format!("{key}_mean_us"),
+                    snap.mean().unwrap_or_default().as_micros().to_string(),
+                ));
+                out.push((
+                    format!("{key}_max_us"),
+                    snap.max().unwrap_or_default().as_micros().to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A closure that materialises the current registry.
+pub type MetricSource = Arc<dyn Fn() -> Vec<Metric> + Send + Sync>;
+
+/// A minimal HTTP/1.1 server exposing `/metrics` (Prometheus text)
+/// and `/metrics.json` (JSON array).
+///
+/// One accept thread handles requests serially — metrics scrapes are
+/// rare and cheap, so no pooling is warranted. The server stops when
+/// dropped or on [`MetricsServer::stop`].
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving metrics
+    /// produced by `source`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket bind error.
+    pub fn spawn(addr: &str, source: MetricSource) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("proteus-metrics".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Serve errors (client hangup etc.) only
+                            // affect that one scrape.
+                            let _ = serve_scrape(stream, &source);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            })
+            .expect("spawn metrics thread");
+        Ok(MetricsServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Reads one HTTP request head and writes the matching exposition.
+fn serve_scrape(mut stream: TcpStream, source: &MetricSource) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // Read until the blank line ending the request head (or EOF).
+    while !head.ends_with(b"\r\n\r\n") && head.len() < 8192 {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(e),
+        }
+    }
+    let request = String::from_utf8_lossy(&head);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+
+    let (status, content_type, body) = match path {
+        "/metrics" | "/" => {
+            let body = to_prometheus(&source());
+            ("200 OK", "text/plain; version=0.0.4", body)
+        }
+        "/metrics.json" => {
+            let body = to_json(&source());
+            ("200 OK", "application/json", body)
+        }
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::LatencyHistogram;
+
+    fn sample_metrics() -> Vec<Metric> {
+        let h = LatencyHistogram::new();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        vec![
+            Metric::counter("proteus_requests_total", 42).with_label("op", "get"),
+            Metric::gauge("proteus_connections", 3),
+            Metric::histogram("proteus_latency_seconds", h.snapshot()).with_label("op", "get"),
+        ]
+    }
+
+    #[test]
+    fn prometheus_text_has_types_labels_and_quantiles() {
+        let text = to_prometheus(&sample_metrics());
+        assert!(text.contains("# TYPE proteus_requests_total counter"));
+        assert!(text.contains("proteus_requests_total{op=\"get\"} 42"));
+        assert!(text.contains("# TYPE proteus_connections gauge"));
+        assert!(text.contains("proteus_connections 3"));
+        assert!(text.contains("proteus_latency_seconds{op=\"get\",quantile=\"0.99\"}"));
+        assert!(text.contains("proteus_latency_seconds_count{op=\"get\"} 100"));
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let json = to_json(&sample_metrics());
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"name\":\"proteus_requests_total\""));
+        assert!(json.contains("\"labels\":{\"op\":\"get\"}"));
+        assert!(json.contains("\"type\":\"histogram\""));
+        assert!(json.contains("\"quantiles_ns\""));
+    }
+
+    #[test]
+    fn stat_pairs_flatten_labels_and_quantiles() {
+        let pairs = to_stat_pairs(&sample_metrics());
+        let get = |k: &str| {
+            pairs
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(get("proteus_requests_total_op_get").unwrap(), "42");
+        assert_eq!(get("proteus_connections").unwrap(), "3");
+        assert_eq!(get("proteus_latency_seconds_op_get_count").unwrap(), "100");
+        let p99: u64 = get("proteus_latency_seconds_op_get_p99_us")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((90_000..=110_000).contains(&p99), "p99_us={p99}");
+    }
+
+    #[test]
+    fn empty_histograms_expose_only_count_zero() {
+        let pairs = to_stat_pairs(&[Metric::histogram("empty_hist", HistogramSnapshot::empty())]);
+        assert_eq!(pairs, vec![("empty_hist_count".into(), "0".into())]);
+    }
+
+    #[test]
+    fn metrics_server_serves_both_formats() {
+        let source: MetricSource = Arc::new(sample_metrics);
+        let mut server = MetricsServer::spawn("127.0.0.1:0", source).unwrap();
+        let addr = server.local_addr();
+
+        let fetch = |path: &str| -> String {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
+
+        let text = fetch("/metrics");
+        assert!(text.starts_with("HTTP/1.1 200 OK"));
+        assert!(text.contains("proteus_requests_total{op=\"get\"} 42"));
+
+        let json = fetch("/metrics.json");
+        assert!(json.starts_with("HTTP/1.1 200 OK"));
+        assert!(json.contains("application/json"));
+        assert!(json.contains("\"type\":\"counter\""));
+
+        let missing = fetch("/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        server.stop();
+    }
+}

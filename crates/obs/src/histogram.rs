@@ -1,0 +1,513 @@
+//! Lock-free striped log-linear latency histogram.
+//!
+//! The record path is wait-free per stripe: a thread-sticky stripe is
+//! picked once per thread, then every [`LatencyHistogram::record`] is a
+//! handful of relaxed atomic RMW operations — no locks, no allocation,
+//! no fences beyond the atomics themselves. Readers pay instead:
+//! [`LatencyHistogram::snapshot`] sums all stripes into an owned
+//! [`HistogramSnapshot`] which supports quantile queries and merging.
+//!
+//! The bucket scheme is the same log-linear layout as the offline
+//! simulator's `proteus_sim::Histogram`: values below 64 ns are exact,
+//! larger values land in logarithmic octaves split into 64 sub-buckets,
+//! bounding relative quantile error to about 1/64 (~1.6%).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Number of sub-buckets per octave; bounds relative quantile error to
+/// about `1/SUB` (~1.6%).
+const SUB_BITS: u32 = 6;
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Total bucket count for the full `u64` nanosecond range.
+const MAX_BUCKETS: usize = ((64 - SUB_BITS as usize + 1) << SUB_BITS as usize) + SUB as usize;
+
+/// Default stripe count (power of two). Eight stripes keep the hottest
+/// bucket words off each other's cache lines for typical server thread
+/// counts without bloating snapshot cost.
+const DEFAULT_STRIPES: usize = 8;
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as u64; // >= SUB_BITS
+        let k = msb - (SUB_BITS as u64 - 1); // octave shift >= 1
+        ((k << SUB_BITS) + (v >> k)) as usize
+    }
+}
+
+fn bucket_value(idx: usize) -> u64 {
+    let idx = idx as u64;
+    let k = idx >> SUB_BITS;
+    let low = idx & (SUB - 1);
+    if k == 0 {
+        low
+    } else {
+        // Midpoint of the bucket [low << k, (low + 1) << k).
+        (low << k) + (1 << (k - 1))
+    }
+}
+
+/// One stripe of atomic buckets. Stripes are written by disjoint sets
+/// of threads (thread-sticky assignment), so cross-thread cache-line
+/// bouncing only happens when more threads than stripes record at once.
+#[derive(Debug)]
+struct Stripe {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Stripe {
+    fn new() -> Self {
+        Stripe {
+            buckets: (0..MAX_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Process-wide round-robin assignment of threads to stripes.
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's stripe ticket, assigned on first record.
+    /// `usize::MAX` means "not yet assigned".
+    static STRIPE_TICKET: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Returns this thread's sticky stripe ticket, assigning one
+/// round-robin on first use. Allocation-free (const-initialised TLS).
+fn stripe_ticket() -> usize {
+    STRIPE_TICKET.with(|c| {
+        let t = c.get();
+        if t != usize::MAX {
+            t
+        } else {
+            let t = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed);
+            c.set(t);
+            t
+        }
+    })
+}
+
+/// A concurrent latency histogram with a lock-free, allocation-free
+/// record path and bounded relative error (~1.6%).
+///
+/// Writers record into a thread-sticky stripe; readers call
+/// [`snapshot`](LatencyHistogram::snapshot) to merge all stripes into
+/// an owned [`HistogramSnapshot`] for quantile queries.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use proteus_obs::LatencyHistogram;
+///
+/// let h = LatencyHistogram::new();
+/// for ms in 1..=100 {
+///     h.record(Duration::from_millis(ms));
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count(), 100);
+/// let p50 = snap.quantile(0.5).unwrap();
+/// assert!((p50.as_secs_f64() - 0.050).abs() / 0.050 < 0.05);
+/// ```
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    stripes: Box<[Stripe]>,
+    /// `stripes.len() - 1`; stripe count is a power of two.
+    mask: usize,
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram with the default stripe count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_stripes(DEFAULT_STRIPES)
+    }
+
+    /// Creates a histogram with at least `stripes` stripes (rounded up
+    /// to a power of two, minimum 1).
+    #[must_use]
+    pub fn with_stripes(stripes: usize) -> Self {
+        let n = stripes.max(1).next_power_of_two();
+        LatencyHistogram {
+            stripes: (0..n).map(|_| Stripe::new()).collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Number of stripes backing this histogram.
+    #[must_use]
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Records one duration sample. Lock-free and allocation-free:
+    /// five relaxed atomic operations on this thread's stripe.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_nanos(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one sample expressed in nanoseconds.
+    #[inline]
+    pub fn record_nanos(&self, v: u64) {
+        let stripe = &self.stripes[stripe_ticket() & self.mask];
+        stripe.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        stripe.count.fetch_add(1, Ordering::Relaxed);
+        stripe.sum_nanos.fetch_add(v, Ordering::Relaxed);
+        stripe.min.fetch_min(v, Ordering::Relaxed);
+        stripe.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Merges every stripe into an owned snapshot.
+    ///
+    /// Concurrent recorders keep running while the snapshot is taken,
+    /// so the result is a consistent-enough point-in-time view: each
+    /// stripe is read bucket-by-bucket with relaxed loads, and a sample
+    /// racing the scan may or may not be included. Counters in the
+    /// snapshot never exceed what has been recorded when the snapshot
+    /// returns, and successive snapshots are monotonically
+    /// non-decreasing per bucket.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; MAX_BUCKETS];
+        let mut count = 0u64;
+        let mut sum_nanos = 0u128;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for stripe in self.stripes.iter() {
+            // Bucket totals are authoritative: `count`/`sum` are
+            // derived from the same relaxed adds and may lag the
+            // buckets mid-record, so recompute count from buckets.
+            let mut stripe_count = 0u64;
+            for (acc, bucket) in buckets.iter_mut().zip(stripe.buckets.iter()) {
+                let c = bucket.load(Ordering::Relaxed);
+                *acc += c;
+                stripe_count += c;
+            }
+            count += stripe_count;
+            sum_nanos += u128::from(stripe.sum_nanos.load(Ordering::Relaxed));
+            min = min.min(stripe.min.load(Ordering::Relaxed));
+            max = max.max(stripe.max.load(Ordering::Relaxed));
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum_nanos,
+            min,
+            max,
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Latency percentiles extracted from a [`HistogramSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// 99.9th percentile.
+    pub p999: Duration,
+}
+
+/// An owned, mergeable point-in-time view of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_nanos: u128,
+    min: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (useful as a merge accumulator).
+    #[must_use]
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; MAX_BUCKETS],
+            count: 0,
+            sum_nanos: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The smallest recorded sample, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_nanos(self.min))
+    }
+
+    /// The largest recorded sample, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_nanos(self.max))
+    }
+
+    /// The exact mean of all recorded samples, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<Duration> {
+        (self.count > 0)
+            .then(|| Duration::from_nanos((self.sum_nanos / u128::from(self.count)) as u64))
+    }
+
+    /// Sum of all recorded samples in nanoseconds.
+    #[must_use]
+    pub fn sum_nanos(&self) -> u128 {
+        self.sum_nanos
+    }
+
+    /// The `q`-quantile (e.g. `0.999` for the 99.9th percentile), with
+    /// ≤ ~1.6% relative error, or `None` if the snapshot is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
+        if self.count == 0 {
+            return None;
+        }
+        if q >= 1.0 {
+            return Some(Duration::from_nanos(self.max));
+        }
+        let rank = (q * self.count as f64).floor() as u64 + 1;
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let v = bucket_value(idx).clamp(self.min, self.max);
+                return Some(Duration::from_nanos(v));
+            }
+        }
+        Some(Duration::from_nanos(self.max))
+    }
+
+    /// The standard report quartet (p50/p90/p99/p999), or `None` if
+    /// the snapshot is empty.
+    #[must_use]
+    pub fn percentiles(&self) -> Option<Percentiles> {
+        (self.count > 0).then(|| Percentiles {
+            p50: self.quantile(0.50).unwrap_or_default(),
+            p90: self.quantile(0.90).unwrap_or_default(),
+            p99: self.quantile(0.99).unwrap_or_default(),
+            p999: self.quantile(0.999).unwrap_or_default(),
+        })
+    }
+
+    /// Merges another snapshot's samples into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_nanos += other.sum_nanos;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Per-bucket sample counts (log-linear layout; mostly useful for
+    /// exact comparison in tests).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// Worst-case relative quantile error of the bucket scheme (`1/64`).
+#[must_use]
+pub fn relative_error_bound() -> f64 {
+    1.0 / SUB as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_roundtrip_error_is_bounded() {
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            for probe in [v, v + v / 3, v * 2 - 1] {
+                let rebuilt = bucket_value(bucket_index(probe));
+                let err = (rebuilt as f64 - probe as f64).abs() / probe as f64;
+                assert!(
+                    err <= 1.0 / SUB as f64 + 1e-12,
+                    "v={probe} rebuilt={rebuilt}"
+                );
+            }
+            v *= 2;
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB {
+            assert_eq!(bucket_value(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_stats() {
+        let snap = LatencyHistogram::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.quantile(0.5), None);
+        assert_eq!(snap.mean(), None);
+        assert_eq!(snap.percentiles(), None);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let h = LatencyHistogram::new();
+        for ms in 1..=1000u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        let snap = h.snapshot();
+        for (q, expect_ms) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0), (0.999, 999.0)] {
+            let got = snap.quantile(q).unwrap().as_secs_f64() * 1e3;
+            let err = (got - expect_ms).abs() / expect_ms;
+            assert!(err < 0.03, "q={q} got={got} want~{expect_ms}");
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(LatencyHistogram::with_stripes(4));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record_nanos(1 + (i ^ t) % 1_000_000);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 80_000);
+        assert_eq!(snap.buckets().iter().sum::<u64>(), 80_000);
+    }
+
+    #[test]
+    fn snapshots_are_monotone_under_load() {
+        let h = Arc::new(LatencyHistogram::new());
+        let writer = {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..200_000u64 {
+                    h.record_nanos(i % 10_000);
+                }
+            })
+        };
+        let mut last = 0u64;
+        for _ in 0..50 {
+            let c = h.snapshot().count();
+            assert!(c >= last, "snapshot count went backwards: {c} < {last}");
+            last = c;
+        }
+        writer.join().unwrap();
+        assert_eq!(h.snapshot().count(), 200_000);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(Duration::from_millis(1));
+        b.record(Duration::from_millis(100));
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.min().unwrap(), Duration::from_millis(1));
+        assert_eq!(snap.max().unwrap(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn extreme_quantiles_hit_min_max() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_millis(3));
+        h.record(Duration::from_millis(7));
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(1.0).unwrap(), Duration::from_millis(7));
+        assert_eq!(snap.max().unwrap(), Duration::from_millis(7));
+        assert_eq!(snap.min().unwrap(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_millis(10));
+        h.record(Duration::from_millis(30));
+        assert_eq!(h.snapshot().mean().unwrap(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn stripe_count_rounds_to_power_of_two() {
+        assert_eq!(LatencyHistogram::with_stripes(0).stripes(), 1);
+        assert_eq!(LatencyHistogram::with_stripes(3).stripes(), 4);
+        assert_eq!(LatencyHistogram::with_stripes(8).stripes(), 8);
+    }
+
+    #[test]
+    fn heavy_tail_p999_detects_spike() {
+        let h = LatencyHistogram::new();
+        for _ in 0..9980 {
+            h.record(Duration::from_millis(2));
+        }
+        for _ in 0..20 {
+            h.record(Duration::from_secs(2));
+        }
+        let snap = h.snapshot();
+        assert!(snap.quantile(0.5).unwrap() < Duration::from_millis(3));
+        assert!(snap.quantile(0.999).unwrap() > Duration::from_millis(1900));
+    }
+}

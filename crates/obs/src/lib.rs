@@ -1,0 +1,42 @@
+//! Live telemetry for the Proteus cluster.
+//!
+//! The paper's whole evaluation (Section VI) rests on per-class
+//! latency and hit-ratio measurements taken *during* provisioning
+//! transitions. This crate is the measurement substrate that makes
+//! those observations cheap enough to leave on in production:
+//!
+//! - [`LatencyHistogram`] — a striped log-linear histogram whose
+//!   record path is lock-free and allocation-free (a handful of
+//!   relaxed atomics), with mergeable [`HistogramSnapshot`]s and
+//!   p50/p90/p99/p999 extraction at ~1.6% relative error.
+//! - [`Counter`] / [`Gauge`] and the typed class enums [`OpClass`]
+//!   (wire commands) and [`FetchClassKind`] (how a cluster fetch was
+//!   satisfied: NewHit / Migrated / Database / Degraded /
+//!   FalsePositive) with their fixed histogram families
+//!   [`OpLatencies`] and [`FetchLatencies`].
+//! - [`EventTracer`] — a bounded ring buffer of transition lifecycle
+//!   events ([`TraceKind`]: begin, digest broadcast, per-key
+//!   migration, drain, power-off, breaker transitions) stamped with a
+//!   global sequence number and monotonic timestamps.
+//! - [`Metric`] exposition: Prometheus text ([`to_prometheus`]), JSON
+//!   ([`to_json`]), memcached `STAT` pairs ([`to_stat_pairs`]), and a
+//!   minimal scrape endpoint ([`MetricsServer`]).
+//!
+//! The producers (server, cluster client, benches) own their atomics;
+//! exposition is pull-based via closures, so the hot paths never see a
+//! format string.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod export;
+mod histogram;
+mod tracer;
+
+pub use counters::{Counter, FetchClassKind, FetchLatencies, Gauge, OpClass, OpLatencies};
+pub use export::{
+    to_json, to_prometheus, to_stat_pairs, Metric, MetricSource, MetricValue, MetricsServer,
+};
+pub use histogram::{relative_error_bound, HistogramSnapshot, LatencyHistogram, Percentiles};
+pub use tracer::{EventTracer, TraceEvent, TraceKind};

@@ -1,0 +1,299 @@
+//! Bounded ring-buffer tracer for transition lifecycle events.
+//!
+//! Provisioning transitions are rare (minutes apart in the paper's
+//! traces) but their internal ordering matters: a correct run is
+//! begin → digest broadcast → per-key migrations → drain. The tracer
+//! captures that ordering with a global sequence number and a
+//! monotonic timestamp relative to tracer creation, in a fixed-size
+//! ring that drops the oldest events when full — tracing can stay on
+//! forever without growing.
+//!
+//! Unlike the latency histograms, event recording takes a short mutex:
+//! events are orders of magnitude rarer than cache operations, so a
+//! ring behind a lock is simpler and still far off any hot path.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Default ring capacity: enough for several full transitions of a
+/// large cluster.
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// What happened. Server indices match the provisioning ring's
+/// server numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A provisioning transition from `from` active servers to `to`
+    /// was accepted.
+    TransitionBegin {
+        /// Active servers before the transition.
+        from: u32,
+        /// Active servers after the transition.
+        to: u32,
+    },
+    /// The old owner's digest was pushed to (or pulled for) `server`.
+    DigestBroadcast {
+        /// Server whose digest was exchanged.
+        server: u32,
+        /// Whether the exchange succeeded.
+        ok: bool,
+    },
+    /// A key was found on its old owner and re-set on its new owner.
+    KeyMigrated {
+        /// Old owner.
+        from: u32,
+        /// New owner.
+        to: u32,
+    },
+    /// A migration probe was skipped because the old owner is
+    /// considered dead.
+    MigrationSkipped {
+        /// The unreachable old owner.
+        server: u32,
+    },
+    /// A fetch fell back to the database because `server` was
+    /// unreachable.
+    Degraded {
+        /// The unreachable server.
+        server: u32,
+    },
+    /// The transition window closed: old-owner digests dropped,
+    /// remaining misses go straight to the database.
+    TransitionDrain {
+        /// Active servers before the transition.
+        from: u32,
+        /// Active servers after the transition.
+        to: u32,
+    },
+    /// A server was (logically) powered off after its drain.
+    PowerOff {
+        /// The retired server.
+        server: u32,
+    },
+    /// The circuit breaker for `server` opened (fast-fail engaged).
+    BreakerOpen {
+        /// Server the breaker guards.
+        server: u32,
+    },
+    /// The breaker let a half-open probe through.
+    BreakerProbe {
+        /// Server the breaker guards.
+        server: u32,
+    },
+    /// The breaker closed again after a successful probe.
+    BreakerClose {
+        /// Server the breaker guards.
+        server: u32,
+    },
+}
+
+impl TraceKind {
+    /// Stable snake_case name for display and filtering.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::TransitionBegin { .. } => "transition_begin",
+            TraceKind::DigestBroadcast { .. } => "digest_broadcast",
+            TraceKind::KeyMigrated { .. } => "key_migrated",
+            TraceKind::MigrationSkipped { .. } => "migration_skipped",
+            TraceKind::Degraded { .. } => "degraded",
+            TraceKind::TransitionDrain { .. } => "transition_drain",
+            TraceKind::PowerOff { .. } => "power_off",
+            TraceKind::BreakerOpen { .. } => "breaker_open",
+            TraceKind::BreakerProbe { .. } => "breaker_probe",
+            TraceKind::BreakerClose { .. } => "breaker_close",
+        }
+    }
+}
+
+/// One recorded event: a globally ordered sequence number, a monotonic
+/// offset from tracer creation, and the event payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global record order (0-based, never reused; gaps never occur
+    /// even when the ring drops old events).
+    pub seq: u64,
+    /// Monotonic time since the tracer was created.
+    pub at: Duration,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// A bounded, concurrency-safe event ring.
+#[derive(Debug)]
+pub struct EventTracer {
+    start: Instant,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+}
+
+impl EventTracer {
+    /// Creates a tracer with the default capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates a tracer holding at most `capacity` events (minimum 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventTracer {
+            start: Instant::now(),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// Records one event, stamping it with the next sequence number
+    /// and the monotonic offset from tracer creation. Drops the oldest
+    /// event if the ring is full.
+    pub fn record(&self, kind: TraceKind) {
+        let event = TraceEvent {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            at: self.start.elapsed(),
+            kind,
+        };
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// All retained events, oldest first. Sequence numbers within the
+    /// result are strictly increasing.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let ring = self.ring.lock();
+        let mut v: Vec<TraceEvent> = ring.iter().copied().collect();
+        // Writers stamp seq before taking the ring lock, so two racing
+        // records can land slightly out of order; present them sorted.
+        v.sort_by_key(|e| e.seq);
+        v
+    }
+
+    /// Number of events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Whether no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever recorded (including dropped ones).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Discards all retained events (sequence numbers keep counting).
+    pub fn clear(&self) {
+        self.ring.lock().clear();
+    }
+}
+
+impl Default for EventTracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn events_come_back_in_order_with_monotone_stamps() {
+        let t = EventTracer::new();
+        t.record(TraceKind::TransitionBegin { from: 8, to: 6 });
+        t.record(TraceKind::DigestBroadcast {
+            server: 7,
+            ok: true,
+        });
+        t.record(TraceKind::KeyMigrated { from: 7, to: 3 });
+        t.record(TraceKind::TransitionDrain { from: 8, to: 6 });
+        let events = t.events();
+        assert_eq!(events.len(), 4);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        for pair in events.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        assert_eq!(events[0].kind.name(), "transition_begin");
+        assert_eq!(events[3].kind.name(), "transition_drain");
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let t = EventTracer::with_capacity(3);
+        for s in 0..5u32 {
+            t.record(TraceKind::PowerOff { server: s });
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(events[0].seq, 2, "oldest two must have been evicted");
+        assert_eq!(events[2].kind, TraceKind::PowerOff { server: 4 });
+    }
+
+    #[test]
+    fn concurrent_records_keep_unique_seq() {
+        let t = Arc::new(EventTracer::new());
+        let threads: Vec<_> = (0..4)
+            .map(|s| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        t.record(TraceKind::Degraded { server: s });
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 400);
+        let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 400, "sequence numbers must be unique");
+    }
+
+    #[test]
+    fn clear_keeps_counting() {
+        let t = EventTracer::new();
+        t.record(TraceKind::BreakerOpen { server: 1 });
+        t.clear();
+        assert!(t.is_empty());
+        t.record(TraceKind::BreakerClose { server: 1 });
+        assert_eq!(t.events()[0].seq, 1);
+    }
+}

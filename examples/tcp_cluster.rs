@@ -56,7 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match cluster.fetch(key, &db)?.1 {
             ClusterFetch::Hit => hits += 1,
             ClusterFetch::Migrated => migrated += 1,
-            ClusterFetch::Database | ClusterFetch::Degraded => database += 1,
+            ClusterFetch::Database | ClusterFetch::Degraded | ClusterFetch::FalsePositive => {
+                database += 1;
+            }
         }
     }
     println!("first pass: {hits} hits, {migrated} migrated over TCP, {database} database");

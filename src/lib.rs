@@ -13,6 +13,7 @@
 //! | [`workload`] | `proteus-workload` | Zipf + diurnal + session trace synthesis |
 //! | [`core`] | `proteus-core` | **Algorithm 2** routing, smooth transitions, provisioning, power, the DES cluster |
 //! | [`net`] | `proteus-net` | Real TCP cache servers and the cluster client |
+//! | [`obs`] | `proteus-obs` | Lock-free latency histograms, transition event tracing, metric exposition |
 //! | [`sim`] | `proteus-sim` | The discrete-event simulation substrate |
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@ pub use proteus_bloom as bloom;
 pub use proteus_cache as cache;
 pub use proteus_core as core;
 pub use proteus_net as net;
+pub use proteus_obs as obs;
 pub use proteus_ring as ring;
 pub use proteus_sim as sim;
 pub use proteus_store as store;

@@ -1,0 +1,259 @@
+//! Acceptance tests for the live telemetry layer: the `stats proteus`
+//! registry over real TCP must reconcile with what the client itself
+//! observed, a provisioning transition must leave an ordered lifecycle
+//! trace in the event ring, and the HTTP scrape endpoint must serve
+//! the same registry in both exposition formats.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+
+use parking_lot::Mutex;
+use proteus::cache::CacheConfig;
+use proteus::net::{CacheClient, CacheServer, ClusterClient, ClusterFetch};
+use proteus::obs::{FetchClassKind, MetricsServer, TraceKind};
+use proteus::ring::ProteusPlacement;
+use proteus::store::{ShardedStore, StoreConfig};
+
+fn stat_map(pairs: Vec<(String, String)>) -> HashMap<String, String> {
+    pairs.into_iter().collect()
+}
+
+fn stat_u64(stats: &HashMap<String, String>, key: &str) -> u64 {
+    stats
+        .get(key)
+        .unwrap_or_else(|| panic!("registry missing {key}: {stats:?}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("{key} not numeric"))
+}
+
+/// `stats proteus` over the wire reports exactly the operations this
+/// client performed: command counts, hit/miss splits, connection
+/// gauges, and per-command latency percentiles.
+#[test]
+fn stats_proteus_reconciles_with_client_observations() {
+    let server = CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(8 << 20)).unwrap();
+    let client = CacheClient::connect(server.addr()).unwrap();
+
+    let mut client_hits = 0u64;
+    let mut client_misses = 0u64;
+    for i in 0..100u32 {
+        client.set(format!("key:{i}").as_bytes(), b"value").unwrap();
+    }
+    for i in 0..100u32 {
+        if client.get(format!("key:{i}").as_bytes()).unwrap().is_some() {
+            client_hits += 1;
+        }
+    }
+    for i in 0..20u32 {
+        if client
+            .get(format!("absent:{i}").as_bytes())
+            .unwrap()
+            .is_none()
+        {
+            client_misses += 1;
+        }
+    }
+
+    let stats = stat_map(client.stats_proteus().unwrap());
+
+    // Engine counters reconcile with the client's own observations.
+    assert_eq!(stat_u64(&stats, "proteus_get_hits_total"), client_hits);
+    assert_eq!(stat_u64(&stats, "proteus_get_misses_total"), client_misses);
+    assert_eq!(stat_u64(&stats, "proteus_sets_total"), 100);
+    assert_eq!(stat_u64(&stats, "proteus_curr_items"), 100);
+    assert!(stat_u64(&stats, "proteus_bytes") > 0);
+
+    // Connection gauges: this client's pooled connection is live.
+    assert!(stat_u64(&stats, "proteus_curr_connections") >= 1);
+    assert!(stat_u64(&stats, "proteus_total_connections") >= 1);
+
+    // Per-command latency histograms: every command this client sent
+    // was timed, and the percentile fields are present and sane.
+    let gets = "proteus_command_latency_seconds_op_get";
+    let sets = "proteus_command_latency_seconds_op_set";
+    assert_eq!(
+        stat_u64(&stats, &format!("{gets}_count")),
+        client_hits + client_misses
+    );
+    assert_eq!(stat_u64(&stats, &format!("{sets}_count")), 100);
+    for field in ["p50_us", "p99_us", "p999_us", "mean_us", "max_us"] {
+        let v = stat_u64(&stats, &format!("{gets}_{field}"));
+        assert!(v < 10_000_000, "absurd {field} for gets: {v}");
+    }
+    let p50 = stat_u64(&stats, &format!("{gets}_p50_us"));
+    let p99 = stat_u64(&stats, &format!("{gets}_p99_us"));
+    assert!(p50 <= p99, "p50 {p50} must not exceed p99 {p99}");
+
+    // The plain memcached `stats` got the satellite fields too.
+    let basic = stat_map(client.stats().unwrap());
+    assert_eq!(stat_u64(&basic, "curr_items"), 100);
+    assert_eq!(stat_u64(&basic, "get_hits"), client_hits);
+    assert_eq!(
+        stat_u64(&basic, "total_connections"),
+        stat_u64(&stats, "proteus_total_connections")
+    );
+    assert!(basic.contains_key("uptime"));
+    assert!(basic.contains_key("bytes"));
+    assert!(basic.contains_key("get_p99_us"));
+
+    server.stop();
+}
+
+/// A scale-down transition leaves an ordered lifecycle trace:
+/// begin → digest broadcast per old-active server → per-key
+/// migrations → drain → power-off of the departing server. The
+/// client-side fetch-class counters reconcile with the trace.
+#[test]
+fn transition_emits_ordered_lifecycle_trace() {
+    let servers: Vec<CacheServer> = (0..4)
+        .map(|_| CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(8 << 20)).unwrap())
+        .collect();
+    let addrs: Vec<_> = servers.iter().map(CacheServer::addr).collect();
+    let mut cluster =
+        ClusterClient::connect(&addrs, Box::new(ProteusPlacement::generate(4))).unwrap();
+    let db = Mutex::new(ShardedStore::new(StoreConfig {
+        object_size: 64,
+        ..StoreConfig::default()
+    }));
+
+    let keys: Vec<Vec<u8>> = (0..100u32)
+        .map(|i| format!("page:{i}").into_bytes())
+        .collect();
+    for k in &keys {
+        let (_, how) = cluster.fetch(k, &db).unwrap();
+        assert_eq!(how, ClusterFetch::Database, "cold key must come from db");
+    }
+    assert!(
+        cluster.tracer().is_empty(),
+        "no events before the transition"
+    );
+
+    cluster.begin_transition(3).unwrap();
+    let mut migrated = 0u64;
+    for k in &keys {
+        let (_, how) = cluster.fetch(k, &db).unwrap();
+        if how == ClusterFetch::Migrated {
+            migrated += 1;
+        }
+    }
+    cluster.end_transition();
+
+    let events = cluster.tracer().events();
+    let kinds: Vec<&'static str> = events.iter().map(|e| e.kind.name()).collect();
+
+    // Phase order: begin, then 4 digest broadcasts, then migrations,
+    // then drain, then the departing server powers off.
+    assert!(
+        matches!(
+            events[0].kind,
+            TraceKind::TransitionBegin { from: 4, to: 3 }
+        ),
+        "first event must open the transition: {kinds:?}"
+    );
+    for i in 0..4 {
+        match events[1 + i].kind {
+            TraceKind::DigestBroadcast { server, ok } => {
+                assert_eq!(server as usize, i, "broadcast order follows server order");
+                assert!(ok, "all servers are healthy");
+            }
+            other => panic!(
+                "event {} should be a digest broadcast, got {other:?}",
+                1 + i
+            ),
+        }
+    }
+    let migrations: Vec<usize> = events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e.kind, TraceKind::KeyMigrated { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(migrations.len() as u64, migrated, "one event per migration");
+    assert!(migrated > 0, "a 4→3 scale-down must migrate some keys");
+    let drain = events
+        .iter()
+        .position(|e| matches!(e.kind, TraceKind::TransitionDrain { from: 4, to: 3 }))
+        .expect("drain event present");
+    assert!(
+        migrations.iter().all(|&m| m > 4 && m < drain),
+        "migrations happen inside the window: {kinds:?}"
+    );
+    assert!(
+        matches!(events[drain + 1].kind, TraceKind::PowerOff { server: 3 }),
+        "departing server powers off after the drain: {kinds:?}"
+    );
+    assert_eq!(events.len(), drain + 2, "no stray events: {kinds:?}");
+
+    // Timestamps are monotone along the trace.
+    assert!(events
+        .windows(2)
+        .all(|w| w[0].at <= w[1].at && w[0].seq < w[1].seq));
+
+    // Client-side fetch-class counters tell the same story.
+    let fetches = cluster.fetch_stats();
+    assert_eq!(fetches.count(FetchClassKind::Database), keys.len() as u64);
+    assert_eq!(fetches.count(FetchClassKind::Migrated), migrated);
+    assert_eq!(
+        fetches.count(FetchClassKind::NewHit),
+        keys.len() as u64 - migrated
+    );
+    assert_eq!(fetches.count(FetchClassKind::Degraded), 0);
+    let (_, hit_count, hit_snap) = fetches
+        .snapshot_all()
+        .into_iter()
+        .find(|(kind, _, _)| *kind == FetchClassKind::NewHit)
+        .expect("new-hit class present");
+    assert_eq!(hit_count, keys.len() as u64 - migrated);
+    assert_eq!(hit_snap.count(), hit_count, "every single fetch was timed");
+
+    for s in servers {
+        s.stop();
+    }
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+    write!(
+        conn,
+        "GET {path} HTTP/1.1\r\nHost: proteus\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").expect("header terminator");
+    (head.to_string(), body.to_string())
+}
+
+/// The HTTP scrape endpoint serves the same registry as `stats
+/// proteus`, in Prometheus text exposition and in JSON.
+#[test]
+fn metrics_endpoint_serves_prometheus_and_json() {
+    let server = CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(8 << 20)).unwrap();
+    let mut metrics = MetricsServer::spawn("127.0.0.1:0", server.metric_source()).unwrap();
+    let client = CacheClient::connect(server.addr()).unwrap();
+    for i in 0..50u32 {
+        client.set(format!("key:{i}").as_bytes(), b"value").unwrap();
+        client.get(format!("key:{i}").as_bytes()).unwrap();
+    }
+
+    let (head, body) = http_get(metrics.local_addr(), "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("text/plain"), "{head}");
+    assert!(body.contains("# TYPE proteus_command_latency_seconds summary"));
+    assert!(body.contains("proteus_command_latency_seconds{op=\"get\",quantile=\"0.99\"}"));
+    assert!(body.contains("proteus_get_hits_total 50"));
+    assert!(body.contains("proteus_sets_total 50"));
+    assert!(body.contains("proteus_curr_items 50"));
+
+    let (head, json) = http_get(metrics.local_addr(), "/metrics.json");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("application/json"), "{head}");
+    assert!(json.contains("\"proteus_get_hits_total\""));
+    assert!(json.contains("\"quantiles_ns\""));
+
+    let (head, _) = http_get(metrics.local_addr(), "/nope");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    metrics.stop();
+    server.stop();
+}
