@@ -1,0 +1,363 @@
+//! Connection scaling of the TCP data plane: the thread-per-connection
+//! engine vs the epoll reactor, swept over a growing population of
+//! *idle* connections while a fixed pool of active clients runs a
+//! verified 90/10 get/set mix.
+//!
+//! The column that matters is `threads`: the threaded engine spends
+//! one OS thread per attached socket, so 512 parked memcached clients
+//! cost 512 stacks and 512 schedulable entities before a single byte
+//! of work arrives. The reactor multiplexes every connection onto a
+//! fixed set of event loops, so the same 512 sockets cost a handful of
+//! threads — while the active mix keeps its throughput and tail
+//! latency.
+//!
+//! Run with: `cargo run --release -p proteus-bench --bin connection_scaling`
+//!
+//! `--smoke` is the CI gate: the reactor must carry >= 512 concurrent
+//! connections on <= 8 data-plane threads with every active operation
+//! verified and the parked sockets still answering afterwards.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use proteus_bench::write_csv;
+use proteus_cache::CacheConfig;
+use proteus_net::{CacheServer, EngineKind, ServerConfig};
+use proteus_obs::LatencyHistogram;
+
+const ACTIVE_WORKERS: usize = 8;
+const KEYS_PER_WORKER: u64 = 64;
+const VALUE_LEN: usize = 32;
+/// Ceiling asserted by the smoke gate: event loops plus the acceptor.
+const SMOKE_THREAD_BUDGET: usize = 8;
+const SMOKE_IDLE_CONNS: usize = 512;
+
+/// OS threads currently in this process (server and bench share it),
+/// or 0 where `/proc` is unavailable.
+fn os_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find_map(|line| line.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn protocol_error(what: &str, got: &str) -> std::io::Error {
+    std::io::Error::other(format!("expected {what}, got {got:?}"))
+}
+
+/// One `version` round trip — proves the server has accepted and is
+/// servicing this socket.
+fn touch(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(b"version\r\n")?;
+    let mut buf = [0u8; 256];
+    let mut n = 0;
+    while !buf[..n].contains(&b'\n') {
+        let r = stream.read(&mut buf[n..])?;
+        if r == 0 {
+            return Err(protocol_error("version line", "EOF"));
+        }
+        n += r;
+    }
+    if buf.starts_with(b"VERSION") {
+        Ok(())
+    } else {
+        Err(protocol_error(
+            "VERSION",
+            &String::from_utf8_lossy(&buf[..n]),
+        ))
+    }
+}
+
+/// Opens `n` connections, round-trips each once so the server has
+/// genuinely registered it, then leaves them parked.
+fn open_idle(addr: SocketAddr, n: usize) -> std::io::Result<Vec<TcpStream>> {
+    (0..n)
+        .map(|_| {
+            let mut stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+            touch(&mut stream)?;
+            Ok(stream)
+        })
+        .collect()
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(protocol_error("a reply line", "EOF"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+fn expect_line(reader: &mut BufReader<TcpStream>, want: &str) -> std::io::Result<()> {
+    let line = read_line(reader)?;
+    if line == want {
+        Ok(())
+    } else {
+        Err(protocol_error(want, &line))
+    }
+}
+
+fn set(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    key: &str,
+    value: &[u8],
+) -> std::io::Result<()> {
+    write!(stream, "set {key} 0 0 {}\r\n", value.len())?;
+    stream.write_all(value)?;
+    stream.write_all(b"\r\n")?;
+    expect_line(reader, "STORED")
+}
+
+fn get_verified(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    key: &str,
+    want: &[u8],
+) -> std::io::Result<()> {
+    write!(stream, "get {key}\r\n")?;
+    let header = read_line(reader)?;
+    if !header.starts_with("VALUE ") {
+        return Err(protocol_error("VALUE header", &header));
+    }
+    let data = read_line(reader)?;
+    if data.as_bytes() != want {
+        return Err(protocol_error("the stored value", &data));
+    }
+    expect_line(reader, "END")
+}
+
+/// One active client: a private key set, prepopulated, then `ops`
+/// verified operations (90% gets checked byte-for-byte, 10% sets),
+/// each recorded into the shared histogram.
+fn worker(
+    addr: SocketAddr,
+    w: usize,
+    ops: u64,
+    start: &Barrier,
+    hist: &LatencyHistogram,
+) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let value = vec![b'a' + (w % 26) as u8; VALUE_LEN];
+    for k in 0..KEYS_PER_WORKER {
+        set(&mut stream, &mut reader, &format!("k{w}:{k}"), &value)?;
+    }
+    start.wait();
+    for j in 0..ops {
+        let key = format!("k{w}:{}", j % KEYS_PER_WORKER);
+        let begin = Instant::now();
+        if j % 10 == 0 {
+            set(&mut stream, &mut reader, &key, &value)?;
+        } else {
+            get_verified(&mut stream, &mut reader, &key, &value)?;
+        }
+        hist.record(begin.elapsed());
+    }
+    Ok(())
+}
+
+/// Runs the active mix and returns the measured wall time (from the
+/// synchronized start to the last worker finishing).
+fn run_active(
+    addr: SocketAddr,
+    workers: usize,
+    ops: u64,
+    hist: &Arc<LatencyHistogram>,
+) -> Duration {
+    let start = Arc::new(Barrier::new(workers + 1));
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let hist = Arc::clone(hist);
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || worker(addr, w, ops, &start, &hist))
+        })
+        .collect();
+    start.wait();
+    let begin = Instant::now();
+    for handle in handles {
+        handle
+            .join()
+            .expect("active worker panicked")
+            .expect("active operation failed verification");
+    }
+    begin.elapsed()
+}
+
+struct Row {
+    label: &'static str,
+    resolved: EngineKind,
+    idle: usize,
+    /// OS threads the server added for the acceptor, its event loops
+    /// or per-connection handlers, and the parked sockets.
+    server_threads: usize,
+    ops_per_sec: f64,
+    p50: Duration,
+    p99: Duration,
+}
+
+fn measure(engine: EngineKind, label: &'static str, idle: usize, ops: u64) -> Row {
+    let before = os_threads();
+    let server = CacheServer::spawn_with(
+        "127.0.0.1:0",
+        CacheConfig::with_capacity(64 << 20),
+        ServerConfig { engine },
+    )
+    .expect("spawn cache server");
+    let resolved = server.engine_kind();
+    let mut parked = open_idle(server.addr(), idle).expect("open idle connections");
+    let server_threads = os_threads().saturating_sub(before);
+
+    let hist = Arc::new(LatencyHistogram::new());
+    let elapsed = run_active(server.addr(), ACTIVE_WORKERS, ops, &hist);
+
+    // The parked sockets must have survived the active phase: sample
+    // across the population and round-trip each.
+    for stream in parked.iter_mut().step_by((idle / 8).max(1)) {
+        touch(stream).expect("idle connection went dead under load");
+    }
+    drop(parked);
+    server.stop();
+
+    let pct = hist
+        .snapshot()
+        .percentiles()
+        .expect("active phase recorded no samples");
+    Row {
+        label,
+        resolved,
+        idle,
+        server_threads,
+        ops_per_sec: (ACTIVE_WORKERS as u64 * ops) as f64 / elapsed.as_secs_f64(),
+        p50: pct.p50,
+        p99: pct.p99,
+    }
+}
+
+fn print_rows(rows: &[Row]) {
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    println!("\nengine   | idle conns | threads |        ops/s |   p50 us |   p99 us");
+    println!("---------+------------+---------+--------------+----------+---------");
+    for r in rows {
+        println!(
+            "{:<8} | {:>10} | {:>7} | {:>12.0} | {:>8.1} | {:>8.1}",
+            r.label,
+            r.idle,
+            r.server_threads,
+            r.ops_per_sec,
+            us(r.p50),
+            us(r.p99),
+        );
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ops: u64 = if smoke { 2_000 } else { 10_000 };
+    let on_linux = cfg!(target_os = "linux");
+    println!(
+        "connection scaling ({ACTIVE_WORKERS} active workers, {ops} ops each{})",
+        if smoke { ", smoke mode" } else { "" }
+    );
+    if os_threads() == 0 {
+        println!("note: /proc/self/status unavailable — thread column reads 0");
+    }
+
+    // The reactor's loop count is pinned so the thread column is
+    // hardware-independent: 4 loops + 1 acceptor on any machine.
+    let reactor = EngineKind::Reactor { loops: 4 };
+    let rows: Vec<Row> = if smoke {
+        vec![
+            measure(EngineKind::Threaded, "threaded", 128, ops),
+            measure(reactor, "reactor", SMOKE_IDLE_CONNS, ops),
+        ]
+    } else {
+        [0usize, 128, 512]
+            .iter()
+            .flat_map(|&idle| {
+                [
+                    measure(EngineKind::Threaded, "threaded", idle, ops),
+                    measure(reactor, "reactor", idle, ops),
+                ]
+            })
+            .collect()
+    };
+    print_rows(&rows);
+
+    let csv = rows.iter().map(|r| {
+        vec![
+            r.label.to_string(),
+            r.idle.to_string(),
+            r.server_threads.to_string(),
+            format!("{:.0}", r.ops_per_sec),
+            format!("{:.1}", r.p50.as_secs_f64() * 1e6),
+            format!("{:.1}", r.p99.as_secs_f64() * 1e6),
+        ]
+    });
+    if let Ok(path) = write_csv(
+        "connection_scaling",
+        &[
+            "engine",
+            "idle_conns",
+            "server_threads",
+            "ops_per_sec",
+            "p50_us",
+            "p99_us",
+        ],
+        csv,
+    ) {
+        println!("csv: {}", path.display());
+    }
+
+    if smoke {
+        let threaded = &rows[0];
+        let reactor_row = &rows[1];
+        // Correctness already held: every worker verified every reply
+        // byte-for-byte and every sampled parked socket answered.
+        if on_linux {
+            assert!(
+                matches!(reactor_row.resolved, EngineKind::Reactor { .. }),
+                "reactor request fell back to {:?} on Linux",
+                reactor_row.resolved
+            );
+            assert!(
+                reactor_row.server_threads > 0 && reactor_row.server_threads <= SMOKE_THREAD_BUDGET,
+                "reactor used {} threads for {} connections (budget {SMOKE_THREAD_BUDGET})",
+                reactor_row.server_threads,
+                reactor_row.idle
+            );
+            assert!(
+                threaded.server_threads > threaded.idle,
+                "threaded engine should spend a thread per connection, \
+                 saw {} for {} idle conns",
+                threaded.server_threads,
+                threaded.idle
+            );
+            println!(
+                "\nsmoke: reactor served {} idle + {ACTIVE_WORKERS} active connections \
+                 on {} threads (threaded engine: {} threads for {} idle)",
+                reactor_row.idle,
+                reactor_row.server_threads,
+                threaded.server_threads,
+                threaded.idle
+            );
+        } else {
+            println!("\nsmoke: non-Linux target — thread budget reported, not enforced");
+        }
+        println!("smoke check passed");
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! proteus-cache-server [--bind ADDR] [--capacity-mb N] [--hot-ttl-secs N]
+//!                      [--engine threaded|reactor] [--loops N]
 //! ```
 //!
 //! Speaks the memcached-flavoured text protocol on `ADDR`
@@ -20,7 +21,7 @@
 use std::process::ExitCode;
 
 use proteus_cache::CacheConfig;
-use proteus_net::CacheServer;
+use proteus_net::{CacheServer, EngineKind, ServerConfig};
 use proteus_obs::MetricsServer;
 use proteus_sim::SimDuration;
 
@@ -29,6 +30,8 @@ struct Options {
     capacity_mb: u64,
     hot_ttl_secs: u64,
     metrics_addr: Option<String>,
+    engine: Option<String>,
+    loops: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -37,6 +40,8 @@ fn parse_args() -> Result<Options, String> {
         capacity_mb: 64,
         hot_ttl_secs: 60,
         metrics_addr: None,
+        engine: None,
+        loops: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -57,10 +62,23 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| "--hot-ttl-secs must be a number".to_string())?;
             }
             "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")?),
+            "--engine" => {
+                let engine = value("--engine")?;
+                if engine != "threaded" && engine != "reactor" {
+                    return Err("--engine must be `threaded` or `reactor`".to_string());
+                }
+                opts.engine = Some(engine);
+            }
+            "--loops" => {
+                opts.loops = value("--loops")?
+                    .parse()
+                    .map_err(|_| "--loops must be a number".to_string())?;
+            }
             "--help" | "-h" => {
                 return Err("usage: proteus-cache-server [--bind ADDR] \
                             [--capacity-mb N] [--hot-ttl-secs N] \
-                            [--metrics-addr ADDR]"
+                            [--metrics-addr ADDR] \
+                            [--engine threaded|reactor] [--loops N]"
                     .to_string());
             }
             other => return Err(format!("unknown flag {other}")),
@@ -82,15 +100,29 @@ fn main() -> ExitCode {
     };
     let config = CacheConfig::with_capacity(opts.capacity_mb << 20)
         .hot_ttl(SimDuration::from_secs(opts.hot_ttl_secs));
-    let server = match CacheServer::spawn(&*opts.bind, config) {
+    // Default: the platform's preferred data plane (the reactor on
+    // Linux, threaded elsewhere); `--engine` forces one explicitly.
+    let engine = match opts.engine.as_deref() {
+        Some("threaded") => EngineKind::Threaded,
+        Some(_) => EngineKind::Reactor { loops: opts.loops },
+        None => match EngineKind::default() {
+            EngineKind::Reactor { .. } => EngineKind::Reactor { loops: opts.loops },
+            threaded => threaded,
+        },
+    };
+    let server = match CacheServer::spawn_with(&*opts.bind, config, ServerConfig { engine }) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("failed to bind {}: {e}", opts.bind);
             return ExitCode::FAILURE;
         }
     };
+    let plane = match server.engine_kind() {
+        EngineKind::Threaded => "thread-per-connection".to_string(),
+        EngineKind::Reactor { loops } => format!("epoll reactor, {loops} event loops"),
+    };
     println!(
-        "proteus-cache-server listening on {} ({} MB, hot TTL {} s)",
+        "proteus-cache-server listening on {} ({} MB, hot TTL {} s, {plane})",
         server.addr(),
         opts.capacity_mb,
         opts.hot_ttl_secs

@@ -1,7 +1,7 @@
 //! Blocking cache client with connection pooling, bounded retries, and
 //! a per-server circuit breaker.
 
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -14,7 +14,8 @@ use proteus_obs::{EventTracer, TraceKind};
 
 use crate::error::NetError;
 use crate::protocol::{
-    read_response, write_command, Command, Response, ValueItem, DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
+    read_response, write_command, write_command_unflushed, Command, Response, ValueItem,
+    DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
 };
 
 /// Tunables for one [`CacheClient`]'s fault-tolerance machinery.
@@ -632,6 +633,53 @@ impl CacheClient {
         }
     }
 
+    /// Stores several `(key, value)` pairs in one pipelined exchange:
+    /// every `set` is written before any reply is read, so a batch of
+    /// N installs pays one round trip instead of N. The values are
+    /// shared buffers written to the wire without copying — this is
+    /// the bulk companion to [`set_shared`](Self::set_shared), used by
+    /// `ClusterClient::fetch_many` to re-`set` a batch of migrated
+    /// keys onto their new server.
+    ///
+    /// The whole batch retries under the failover policy on transport
+    /// failures (`set` is idempotent, so a replay is harmless).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or the first [`NetError::ServerError`]
+    /// in the batch.
+    pub fn set_many(&self, pairs: &[(&[u8], SharedBytes)]) -> Result<(), NetError> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        self.with_failover(|| {
+            let stream = self.checkout()?;
+            let mut writer = BufWriter::new(stream.try_clone()?);
+            for (key, value) in pairs {
+                write_command_unflushed(
+                    &mut writer,
+                    &Command::Set {
+                        key: key.to_vec(),
+                        flags: 0,
+                        exptime: 0,
+                        data: SharedBytes::clone(value),
+                    },
+                )?;
+            }
+            writer.flush()?;
+            let mut reader = BufReader::new(stream);
+            for _ in pairs {
+                match read_response(&mut reader)? {
+                    Response::Stored => {}
+                    Response::Error(msg) => return Err(NetError::ServerError(msg)),
+                    other => return Err(NetError::Protocol(format!("unexpected reply {other:?}"))),
+                }
+            }
+            self.checkin(reader.into_inner());
+            Ok(())
+        })
+    }
+
     /// Stores `value` only if `key` is absent (`add`); returns whether
     /// it was stored.
     ///
@@ -932,6 +980,34 @@ mod tests {
                 assert_eq!(value.as_deref(), Some(expect.as_bytes()), "key {key:?}");
             }
         }
+        server.stop();
+    }
+
+    #[test]
+    fn set_many_installs_every_pair_in_one_exchange() {
+        let server =
+            CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(1 << 20)).unwrap();
+        let client = CacheClient::connect(server.addr()).unwrap();
+        let pairs: Vec<(Vec<u8>, SharedBytes)> = (0..20u32)
+            .map(|i| {
+                (
+                    format!("k{i}").into_bytes(),
+                    SharedBytes::from(format!("v{i}").as_bytes()),
+                )
+            })
+            .collect();
+        let refs: Vec<(&[u8], SharedBytes)> = pairs
+            .iter()
+            .map(|(k, v)| (k.as_slice(), SharedBytes::clone(v)))
+            .collect();
+        client.set_many(&refs).unwrap();
+        for (k, v) in &pairs {
+            assert_eq!(client.get(k).unwrap().as_deref(), Some(&v[..]));
+        }
+        // The empty batch is a no-op, not a protocol exchange.
+        client.set_many(&[]).unwrap();
+        // The pipelined batch used one pooled connection throughout.
+        assert_eq!(client.fault_stats().connects, 1);
         server.stop();
     }
 

@@ -256,7 +256,9 @@ impl ClusterClient {
 
     /// Begins a provisioning transition to `new_active` servers: pulls
     /// a fresh digest snapshot from every server active under the old
-    /// mapping (the broadcast), then switches the mapping. Call
+    /// mapping (the broadcast, issued to all servers **in parallel**,
+    /// so the wall time is one server's round trips, not the sum),
+    /// then switches the mapping. Call
     /// [`end_transition`](Self::end_transition) after the hot-TTL
     /// window elapses and the departing servers have powered off.
     ///
@@ -297,8 +299,25 @@ impl ClusterClient {
             to: new_active as u32,
         });
         let mut digests = vec![None; self.clients.len()];
-        for (i, client) in self.clients.iter().enumerate().take(self.active) {
-            match client.snapshot_digest() {
+        // Broadcast in parallel: every server snapshots and uploads its
+        // digest concurrently (scoped threads borrowing the clients),
+        // so the wall time of the broadcast is the *slowest* server's
+        // round trips, not the sum over servers — at paper scale the
+        // difference between a transition that starts in milliseconds
+        // and one that takes seconds. Results are joined in server
+        // order, so the trace stream stays deterministic.
+        let results: Vec<Result<Option<BloomFilter>, NetError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self.clients[..self.active]
+                .iter()
+                .map(|client| scope.spawn(move || client.snapshot_digest()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("digest broadcast thread panicked"))
+                .collect()
+        });
+        for (i, result) in results.into_iter().enumerate() {
+            match result {
                 Ok(digest) => {
                     self.tracer.record(TraceKind::DigestBroadcast {
                         server: i as u32,
@@ -376,6 +395,25 @@ impl ClusterClient {
         let value: SharedBytes = db.fetch(key)?.into();
         self.install(new_server, key, SharedBytes::clone(&value))?;
         Ok((value, class))
+    }
+
+    /// [`db_fetch`](Self::db_fetch) with the end-to-end latency
+    /// recorded under the resulting class — the batch path's
+    /// equivalent of [`fetch`](Self::fetch)'s instrumentation for keys
+    /// that fall back to genuinely per-key database work.
+    fn timed_db_fetch<D: DbFallback + ?Sized>(
+        &self,
+        key: &[u8],
+        db: &D,
+        new_server: usize,
+        class: ClusterFetch,
+    ) -> Result<(SharedBytes, ClusterFetch), NetError> {
+        let begin = Instant::now();
+        let result = self.db_fetch(key, db, new_server, class);
+        if let Ok((_, class)) = &result {
+            self.fetches.record(class_kind(*class), begin.elapsed());
+        }
+        result
     }
 
     /// Algorithm 2 against live servers: new server first; during a
@@ -481,10 +519,15 @@ impl ClusterClient {
 
     /// Batched Algorithm 2: fetches many keys with one pipelined
     /// multi-key get per involved server instead of one round trip per
-    /// key. Keys are grouped by their new-mapping server, all requests
-    /// are written before any response is awaited, and only the keys
-    /// that miss fall back to the single-key [`fetch`](Self::fetch)
-    /// path (migration digest check, then the backing store).
+    /// key. Keys are grouped by their new-mapping server and all
+    /// requests are written before any response is awaited. The misses
+    /// stay batched too: during a transition, old-server digest probes
+    /// are pipelined per old server and the migration re-`set`s are
+    /// batched per new server ([`CacheClient::set_many`]), so a batch
+    /// that migrates M keys from one departing server pays two round
+    /// trips, not 2·M. Only genuinely per-key work — database fetches
+    /// and keys whose new-mapping server failed the batch — runs key
+    /// by key.
     ///
     /// Per-server failures are isolated: one dead server degrades only
     /// its own key group (those keys take the single-key path, which
@@ -516,12 +559,15 @@ impl ClusterClient {
         // response, overlapping the per-server round trips. A server
         // that fails the send just leaves its group unresolved for the
         // per-key phase.
+        let mut failed: std::collections::HashSet<usize> = std::collections::HashSet::new();
         let mut pending = Vec::with_capacity(groups.len());
         for (server, positions) in groups {
             let group_keys: Vec<&[u8]> = positions.iter().map(|&p| keys[p]).collect();
             match self.clients[server].send_get_many(&group_keys) {
                 Ok(sent) => pending.push((server, positions, sent)),
-                Err(e) if e.is_transport() => {}
+                Err(e) if e.is_transport() => {
+                    failed.insert(server);
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -542,15 +588,133 @@ impl ClusterClient {
                         }
                     }
                 }
-                Err(e) if e.is_transport() => {}
+                Err(e) if e.is_transport() => {
+                    failed.insert(server);
+                }
                 Err(e) => return Err(e),
             }
         }
-        // Phase 3: misses and failed groups take the full single-key
-        // decision tree (which itself degrades on transport failures).
-        for (pos, slot) in out.iter_mut().enumerate() {
-            if slot.is_none() {
-                *slot = Some(self.fetch(keys[pos], db)?);
+        // Phase 3: the remaining keys take the migration/database tail
+        // of the decision tree — batched. Migration candidates (genuine
+        // misses whose old-mapping digest vouches for the key) are
+        // grouped by old server; keys whose new-mapping server already
+        // failed keep the per-key path (the tripped breaker fails fast,
+        // preserving the degraded semantics); everything else is an
+        // ordinary database miss.
+        let mut probe_groups: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for pos in 0..keys.len() {
+            if out[pos].is_some() {
+                continue;
+            }
+            let key = keys[pos];
+            let hash = self.hasher.hash_bytes(key);
+            let new_server = self.strategy.server_for(hash, self.active).index();
+            if failed.contains(&new_server) {
+                out[pos] = Some(self.fetch(key, db)?);
+                continue;
+            }
+            if self.in_transition {
+                let old = self.strategy.server_for(hash, self.previous_active).index();
+                if old != new_server {
+                    if let Some(digest) = &self.digests[old] {
+                        if digest.contains(key) {
+                            probe_groups.entry(old).or_default().push(pos);
+                            continue;
+                        }
+                    }
+                }
+            }
+            out[pos] = Some(self.timed_db_fetch(key, db, new_server, ClusterFetch::Database)?);
+        }
+        // Probe each old server with one pipelined multi-get (all
+        // requests written before any response is read), instead of one
+        // round trip per migrating key.
+        let mut probes_pending = Vec::with_capacity(probe_groups.len());
+        let mut probes_failed: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (old, positions) in probe_groups {
+            let group_keys: Vec<&[u8]> = positions.iter().map(|&p| keys[p]).collect();
+            match self.clients[old].send_get_many(&group_keys) {
+                Ok(sent) => probes_pending.push((old, positions, sent)),
+                Err(e) if e.is_transport() => probes_failed.push((old, positions)),
+                Err(e) => return Err(e),
+            }
+        }
+        // Migration hits are re-`set` in per-new-server batches below;
+        // digest false positives pay their classified database fetch.
+        let mut installs: std::collections::HashMap<usize, Vec<(usize, usize, SharedBytes)>> =
+            std::collections::HashMap::new();
+        for (old, positions, sent) in probes_pending {
+            match self.clients[old].recv_get_many(sent) {
+                Ok(values) => {
+                    for (pos, value) in positions.into_iter().zip(values) {
+                        let key = keys[pos];
+                        let new_server = self.server_for(key).index();
+                        match value {
+                            Some(data) => {
+                                installs
+                                    .entry(new_server)
+                                    .or_default()
+                                    .push((pos, old, data));
+                            }
+                            None => {
+                                out[pos] = Some(self.timed_db_fetch(
+                                    key,
+                                    db,
+                                    new_server,
+                                    ClusterFetch::FalsePositive,
+                                )?);
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.is_transport() => probes_failed.push((old, positions)),
+                Err(e) => return Err(e),
+            }
+        }
+        // An unreachable old server skips its whole group's migration:
+        // each key is recorded exactly as the single-key path would
+        // (skip counter, trace event, degraded database fetch).
+        for (old, positions) in probes_failed {
+            for pos in positions {
+                self.stats
+                    .skipped_migrations
+                    .fetch_add(1, Ordering::Relaxed);
+                self.tracer
+                    .record(TraceKind::MigrationSkipped { server: old as u32 });
+                let key = keys[pos];
+                let new_server = self.server_for(key).index();
+                out[pos] =
+                    Some(self.timed_db_fetch(key, db, new_server, ClusterFetch::Degraded)?);
+            }
+        }
+        // Batched installs: one pipelined `set` batch per new server.
+        // The shared buffers read off the old servers' sockets go to
+        // the wire without copying, and a batch whose target server
+        // fails is dropped whole (best effort, like `install`).
+        for (new_server, batch) in installs {
+            let pairs: Vec<(&[u8], SharedBytes)> = batch
+                .iter()
+                .map(|(pos, _, data)| (keys[*pos], SharedBytes::clone(data)))
+                .collect();
+            match self.clients[new_server].set_many(&pairs) {
+                Ok(()) => {}
+                Err(e) if e.is_transport() => {
+                    self.stats
+                        .dropped_installs
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                }
+                Err(e) => return Err(e),
+            }
+            for (pos, old, data) in batch {
+                self.tracer.record(TraceKind::KeyMigrated {
+                    from: old as u32,
+                    to: new_server as u32,
+                });
+                // Counted, not timed: the probe round trip and the
+                // install were both shared by the group.
+                self.fetches.count_only(FetchClassKind::Migrated);
+                out[pos] = Some((data, ClusterFetch::Migrated));
             }
         }
         Ok(out
@@ -713,10 +877,59 @@ mod tests {
         let db_before = db.lock().total_fetches();
         client.begin_transition(3).unwrap();
         let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let mut migrated = 0;
         for (_, how) in client.fetch_many(&refs, &db).unwrap() {
             assert_ne!(how, ClusterFetch::Database);
+            if how == ClusterFetch::Migrated {
+                migrated += 1;
+            }
         }
         assert_eq!(db.lock().total_fetches(), db_before);
+        assert!(migrated > 0, "the scale-down must move some keys");
+        // The batched re-`set`s landed: the same batch is now all hits
+        // at the new mapping, with zero dropped installs.
+        for (_, how) in client.fetch_many(&refs, &db).unwrap() {
+            assert_eq!(how, ClusterFetch::Hit);
+        }
+        assert_eq!(client.fault_stats().dropped_installs, 0);
+        client.end_transition();
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn fetch_many_skips_migration_when_old_server_dies() {
+        let (mut servers, mut client, db) = cluster(4);
+        let keys: Vec<Vec<u8>> = (0..80u32)
+            .map(|i| format!("page:{i}").into_bytes())
+            .collect();
+        for k in &keys {
+            client.fetch(k, &db).unwrap();
+        }
+        // The digest broadcast succeeds, then the departing server dies
+        // before its keys migrate: the batched probe to it fails, and
+        // every candidate key must degrade to the database exactly as
+        // the single-key path would.
+        client.begin_transition(3).unwrap();
+        servers.remove(3).stop();
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let results = client.fetch_many(&refs, &db).unwrap();
+        let mut degraded = 0;
+        for (value, how) in &results {
+            assert!(!value.is_empty());
+            match how {
+                ClusterFetch::Hit => {}
+                ClusterFetch::Degraded => degraded += 1,
+                other => panic!("unexpected class {other:?}"),
+            }
+        }
+        assert!(degraded > 0, "some keys lived on the departed server");
+        let stats = client.fault_stats();
+        assert_eq!(
+            stats.skipped_migrations, degraded as u64,
+            "every degraded key must be a skipped migration"
+        );
         client.end_transition();
         for s in servers {
             s.stop();

@@ -5,10 +5,15 @@
 //! to end on live TCP sockets, mirroring the paper's implementation
 //! section:
 //!
-//! - [`CacheServer`] — a thread-per-connection cache server wrapping a
-//!   lock-striped [`proteus_cache::ShardedEngine`] (no global engine
-//!   mutex), speaking a memcached-flavoured text protocol (`get` /
-//!   multi-key `get k1 k2 ...` / `set` / `delete` / `stats` / `quit`).
+//! - [`CacheServer`] — a cache server wrapping a lock-striped
+//!   [`proteus_cache::ShardedEngine`] (no global engine mutex),
+//!   speaking a memcached-flavoured text protocol (`get` / multi-key
+//!   `get k1 k2 ...` / `set` / `delete` / `stats` / `quit`). Two data
+//!   planes, selected by [`ServerConfig`]: a non-blocking **epoll
+//!   reactor** (the Linux default — a handful of event-loop threads
+//!   absorb thousands of mostly-idle web-tier connections) and the
+//!   portable thread-per-connection plane, kept as the correctness
+//!   oracle the reactor is property-tested against.
 //!   Like the paper's modified memcached, the reserved keys
 //!   `SET_BLOOM_FILTER` and `BLOOM_FILTER` snapshot and retrieve the
 //!   server's digest **through the ordinary data protocol**, so any
@@ -46,14 +51,21 @@
 //! # Ok::<(), proteus_net::NetError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one FFI module below can opt back in:
+// the epoll/eventfd bindings in `poll` are the only unsafe code in the
+// crate, and they carry `#[allow(unsafe_code)]` at each use site.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod client;
 mod cluster_client;
 mod error;
 mod fault;
+#[cfg(target_os = "linux")]
+mod poll;
 mod protocol;
+#[cfg(target_os = "linux")]
+mod reactor;
 mod server;
 
 pub use client::{CacheClient, ClientConfig, ClientStats, PendingGets};
@@ -61,11 +73,11 @@ pub use cluster_client::{ClusterClient, ClusterFetch, ClusterStats, DbFallback};
 pub use error::NetError;
 pub use fault::{FaultMode, FaultProxy};
 pub use protocol::{
-    read_command, read_raw_command, read_response, read_response_buffered, write_command,
-    write_response, write_response_unflushed, Command, RawCommand, Response, ResponseWriter,
-    ValueItem, WireBuf, DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
+    parse_raw_command, read_command, read_raw_command, read_response, read_response_buffered,
+    write_command, write_command_unflushed, write_response, write_response_unflushed, Command,
+    RawCommand, Response, ResponseWriter, ValueItem, WireBuf, DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
 };
-pub use server::{CacheServer, ServerMetrics};
+pub use server::{CacheServer, EngineKind, ServerConfig, ServerMetrics};
 
 /// Re-export of the shared value-buffer type the wire layer hands out
 /// (see [`proteus_cache::SharedBytes`]).

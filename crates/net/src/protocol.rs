@@ -526,6 +526,37 @@ pub fn read_raw_command<'a, R: BufRead>(
     }
 }
 
+/// Attempts to parse one command from a byte slice without consuming
+/// it — the resumable entry point the epoll reactor uses on its
+/// per-connection input buffers.
+///
+/// Returns `Ok(Some((command, used)))` when `input` starts with a
+/// complete command (`used` is how many bytes it spans), `Ok(None)`
+/// when `input` is a prefix of a valid command and more bytes are
+/// needed, and `Err` on malformed input.
+///
+/// This is a thin wrapper over [`read_raw_command`] driven by the
+/// slice itself, so it accepts and rejects exactly the same byte
+/// streams as the threaded server's parser — the equivalence holds by
+/// construction, not by a parallel implementation.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] on malformed input. (`NetError::Io`
+/// cannot escape: the only I/O error a slice produces is
+/// `UnexpectedEof`, which maps to `Ok(None)`.)
+pub fn parse_raw_command<'a>(
+    input: &[u8],
+    buf: &'a mut WireBuf,
+) -> Result<Option<(RawCommand<'a>, usize)>, NetError> {
+    let mut reader: &[u8] = input;
+    match read_raw_command(&mut reader, buf) {
+        Ok(cmd) => Ok(Some((cmd, input.len() - reader.len()))),
+        Err(NetError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
 /// Reads a `<bytes>`-long data block plus its CRLF terminator into
 /// `scratch`, then promotes it to a shared buffer — the socket→pool
 /// copy happens here, the pool→Arc copy is the `SharedBytes::from`.
@@ -552,12 +583,27 @@ fn parse_field<T: std::str::FromStr>(field: Option<&str>, name: &str) -> Result<
         .map_err(|_| NetError::Protocol(format!("malformed {name}")))
 }
 
-/// Writes one command.
+/// Writes one command and flushes the stream.
 ///
 /// # Errors
 ///
 /// Propagates socket write failures.
 pub fn write_command<W: Write>(writer: &mut W, cmd: &Command) -> Result<(), NetError> {
+    write_command_unflushed(writer, cmd)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Writes one command without flushing — the building block for
+/// pipelined batches ([`CacheClient::set_many`] queues a whole batch
+/// and flushes once). Byte output is identical to [`write_command`].
+///
+/// [`CacheClient::set_many`]: crate::CacheClient::set_many
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_command_unflushed<W: Write>(writer: &mut W, cmd: &Command) -> Result<(), NetError> {
     match cmd {
         Command::Get { key } => {
             writer.write_all(b"get ")?;
@@ -634,7 +680,6 @@ pub fn write_command<W: Write>(writer: &mut W, cmd: &Command) -> Result<(), NetE
         Command::Version => writer.write_all(b"version\r\n")?,
         Command::Quit => writer.write_all(b"quit\r\n")?,
     }
-    writer.flush()?;
     Ok(())
 }
 
@@ -722,6 +767,12 @@ impl<W: Write> ResponseWriter<W> {
     /// The wrapped writer (e.g. to reach the underlying socket).
     pub fn get_ref(&self) -> &W {
         &self.writer
+    }
+
+    /// Mutable access to the wrapped writer — the reactor uses this to
+    /// drain its per-connection output buffer to the socket.
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.writer
     }
 
     /// Queues one response (no flush).
@@ -1321,6 +1372,76 @@ mod tests {
             read_response(&mut &bytes[..]),
             Err(NetError::Io(_))
         ));
+    }
+
+    #[test]
+    fn resumable_parse_matches_streaming_parse_at_every_split() {
+        // For every prefix of a pipelined stream, parse_raw_command
+        // must either yield exactly the commands read_raw_command sees
+        // or report Incomplete — never an error, never a different
+        // command.
+        let stream = b"get hot\r\nset k 1 0 3\r\nabc\r\nget a b\r\nincr k 2\r\nquit\r\n";
+        let mut expected = Vec::new();
+        {
+            let mut reader = &stream[..];
+            let mut buf = WireBuf::new();
+            while let Ok(cmd) = read_raw_command(&mut reader, &mut buf) {
+                expected.push(cmd.into_owned());
+            }
+        }
+        for split in 0..=stream.len() {
+            let mut got = Vec::new();
+            let mut pos = 0;
+            let mut buf = WireBuf::new();
+            for end in [split, stream.len()] {
+                while let Some((cmd, used)) =
+                    parse_raw_command(&stream[pos..end], &mut buf).unwrap()
+                {
+                    got.push(cmd.into_owned());
+                    pos += used;
+                }
+            }
+            assert_eq!(got, expected, "split at byte {split}");
+        }
+    }
+
+    #[test]
+    fn resumable_parse_surfaces_protocol_errors() {
+        let mut buf = WireBuf::new();
+        assert!(matches!(
+            parse_raw_command(b"frob k\r\n", &mut buf),
+            Err(NetError::Protocol(_))
+        ));
+        // A prefix with no newline is incomplete, not an error...
+        assert!(parse_raw_command(b"get parti", &mut buf).unwrap().is_none());
+        // ...until it blows the line-length cap.
+        let long = vec![b'a'; (1 << 20) + 2];
+        assert!(matches!(
+            parse_raw_command(&long, &mut buf),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn unflushed_command_writer_is_byte_identical() {
+        let cmds = [
+            Command::Set {
+                key: b"k".to_vec(),
+                flags: 7,
+                exptime: 60,
+                data: b"hello".to_vec().into(),
+            },
+            Command::Get {
+                key: b"page:1".to_vec(),
+            },
+        ];
+        let mut flushed = Vec::new();
+        let mut unflushed = Vec::new();
+        for cmd in &cmds {
+            write_command(&mut flushed, cmd).unwrap();
+            write_command_unflushed(&mut unflushed, cmd).unwrap();
+        }
+        assert_eq!(flushed, unflushed);
     }
 
     #[test]

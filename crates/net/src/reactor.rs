@@ -1,0 +1,571 @@
+//! The epoll reactor data plane (Linux only).
+//!
+//! Thread-per-connection (the [`EngineKind::Threaded`] plane) burns
+//! one OS thread per attached web-tier client; the paper's testbed
+//! already has every front-end holding a persistent connection to
+//! every cache server, so fan-in grows with cluster size and the
+//! thread count becomes the scalability ceiling long before the
+//! zero-copy engine saturates. This module replaces that plane with a
+//! small, fixed set of event-loop threads:
+//!
+//! - An **accept thread** owns the listener and round-robins new
+//!   sockets across loops via a mutex-protected mailbox, waking the
+//!   target loop through an [`EventFd`] doorbell.
+//! - Each **event loop** owns one epoll instance and the connections
+//!   routed to it; a connection never migrates, so all per-connection
+//!   state is single-threaded and lock-free.
+//! - Each **connection** is a state machine: *reading* bytes into a
+//!   growable input buffer, *executing* every complete command it
+//!   holds (through the same [`serve_command`] the threaded plane
+//!   uses), and *writing* the queued responses, resuming partial
+//!   writes when the socket backs up.
+//!
+//! The hot path reuses the zero-copy machinery from the threaded
+//! plane: commands are parsed in place by
+//! [`parse_raw_command`](crate::protocol::parse_raw_command) (borrowed
+//! keys, one long-lived [`WireBuf`] per connection) and responses are
+//! assembled by [`ResponseWriter`] into a reused output buffer, so a
+//! warmed connection serves gets without allocating.
+//!
+//! [`EngineKind::Threaded`]: crate::EngineKind::Threaded
+
+use std::collections::HashMap;
+use std::io::{IoSlice, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use proteus_obs::{Counter, Gauge};
+
+use crate::error::NetError;
+use crate::poll::{Epoll, EventFd, Events, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::protocol::{parse_raw_command, Response, ResponseWriter, WireBuf};
+use crate::server::{accept_retry_delay, op_class_of, serve_command, Shared};
+
+/// Token reserved for the loop's eventfd doorbell; connection tokens
+/// count up from zero and never collide with it.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// How long a loop sleeps in `epoll_wait` with nothing ready. Bounds
+/// shutdown latency the same way the threaded plane's idle read
+/// timeout does (the doorbell usually wakes loops sooner).
+const WAIT_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Socket read granularity: how much spare space each `read` call is
+/// offered in the connection's input buffer.
+const READ_CHUNK: usize = 64 << 10;
+
+/// Output high-water mark: above this many pending response bytes a
+/// connection stops reading and parsing until the peer drains its
+/// socket — bounding per-connection memory against a client that
+/// pipelines requests without reading responses.
+const OUT_HIGH_WATER: usize = 1 << 20;
+
+/// Reactor telemetry: per-loop connection gauges plus accept and
+/// read-`EAGAIN` counters, surfaced through the server's registry
+/// (`stats proteus` and the metrics endpoint).
+#[derive(Debug)]
+pub(crate) struct ReactorStats {
+    per_loop_connections: Vec<Gauge>,
+    accepted: Counter,
+    read_eagain: Counter,
+    wakeups: Counter,
+}
+
+impl ReactorStats {
+    /// Fresh counters for a reactor with `loops` event loops.
+    pub(crate) fn new(loops: usize) -> Self {
+        ReactorStats {
+            per_loop_connections: (0..loops).map(|_| Gauge::new()).collect(),
+            accepted: Counter::new(),
+            read_eagain: Counter::new(),
+            wakeups: Counter::new(),
+        }
+    }
+
+    /// Connections currently owned by each loop, in loop order.
+    pub(crate) fn loop_connections(&self) -> Vec<i64> {
+        self.per_loop_connections.iter().map(Gauge::get).collect()
+    }
+
+    /// Sockets accepted and routed to a loop.
+    pub(crate) fn accepted(&self) -> u64 {
+        self.accepted.get()
+    }
+
+    /// Socket reads that returned `EAGAIN` (the level-triggered loop's
+    /// "drained the socket" signal).
+    pub(crate) fn read_eagain(&self) -> u64 {
+        self.read_eagain.get()
+    }
+
+    /// Doorbell wake-ups delivered to event loops.
+    pub(crate) fn wakeups(&self) -> u64 {
+        self.wakeups.get()
+    }
+}
+
+/// A cross-thread handoff slot: the accept thread pushes sockets, the
+/// owning loop drains them when its doorbell rings.
+struct Mailbox {
+    queue: Mutex<Vec<TcpStream>>,
+    wake: EventFd,
+}
+
+/// The running reactor: the accept thread plus its event loops.
+/// Dropping it after [`stop`](Reactor::stop) is a no-op; the server
+/// owns shutdown ordering.
+pub(crate) struct Reactor {
+    accept_thread: Option<JoinHandle<()>>,
+    loops: Vec<LoopHandle>,
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("loops", &self.loops.len())
+            .finish_non_exhaustive()
+    }
+}
+
+struct LoopHandle {
+    thread: Option<JoinHandle<()>>,
+    mailbox: Arc<Mailbox>,
+}
+
+impl Reactor {
+    /// Starts `loops` event-loop threads and the accept thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an epoll instance, eventfd, or thread
+    /// cannot be created.
+    pub(crate) fn spawn(
+        listener: TcpListener,
+        shared: Arc<Shared>,
+        loops: usize,
+    ) -> Result<Reactor, NetError> {
+        let stats = shared
+            .reactor_stats
+            .clone()
+            .expect("reactor spawned with reactor stats");
+        let mut handles = Vec::with_capacity(loops.max(1));
+        for index in 0..loops.max(1) {
+            let mailbox = Arc::new(Mailbox {
+                queue: Mutex::new(Vec::new()),
+                wake: EventFd::new()?,
+            });
+            let epoll = Epoll::new()?;
+            epoll.add(mailbox.wake.fd(), WAKE_TOKEN, EPOLLIN)?;
+            let mut worker = Worker {
+                epoll,
+                mailbox: Arc::clone(&mailbox),
+                shared: Arc::clone(&shared),
+                stats: Arc::clone(&stats),
+                index,
+                conns: HashMap::new(),
+                next_token: 0,
+            };
+            let thread = std::thread::Builder::new()
+                .name(format!("proteus-loop-{index}"))
+                .spawn(move || worker.run())?;
+            handles.push(LoopHandle {
+                thread: Some(thread),
+                mailbox,
+            });
+        }
+        let mailboxes: Vec<Arc<Mailbox>> = handles.iter().map(|h| Arc::clone(&h.mailbox)).collect();
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("proteus-accept".into())
+            .spawn(move || {
+                let mut next = 0usize;
+                for stream in listener.incoming() {
+                    if accept_shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            let mailbox = &mailboxes[next % mailboxes.len()];
+                            next = next.wrapping_add(1);
+                            stats.accepted.inc();
+                            mailbox.queue.lock().push(stream);
+                            mailbox.wake.notify();
+                        }
+                        // Same policy as the threaded plane: no accept
+                        // error kills the listener; exhaustion backs
+                        // off, aborts retry immediately.
+                        Err(e) => {
+                            if let Some(delay) = accept_retry_delay(&e) {
+                                std::thread::sleep(delay);
+                            }
+                        }
+                    }
+                }
+            })?;
+        Ok(Reactor {
+            accept_thread: Some(accept_thread),
+            loops: handles,
+        })
+    }
+
+    /// Joins the accept thread and every event loop. The caller
+    /// (`CacheServer::stop`) has already set the shutdown flag and
+    /// poked the listener with a dummy connection; this rings every
+    /// loop's doorbell so none waits out its epoll timeout.
+    pub(crate) fn stop(&mut self) {
+        for handle in &self.loops {
+            handle.mailbox.wake.notify();
+        }
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        for handle in &mut self.loops {
+            if let Some(thread) = handle.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+/// A growable response buffer with a drain cursor: [`ResponseWriter`]
+/// appends (vectored writes land in one pass), the event loop drains
+/// `buf[pos..]` to the socket and resumes partial writes where they
+/// stopped.
+#[derive(Debug, Default)]
+struct OutBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl OutBuf {
+    fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+impl Write for OutBuf {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+        let mut n = 0;
+        for b in bufs {
+            self.buf.extend_from_slice(b);
+            n += b.len();
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One connection's state machine. The phases of the
+/// ReadingCommand → Executing → WritingResponse cycle are encoded in
+/// the buffers: unparsed input waits in `rbuf[rpos..]`, queued output
+/// waits in the writer's [`OutBuf`], and the `eof`/`closing` flags
+/// steer the endgame (serve everything already buffered, flush, then
+/// close — exactly the threaded plane's semantics).
+struct Conn {
+    stream: TcpStream,
+    /// Raw bytes off the socket; `rpos` is the parse cursor.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Per-connection parse scratch: keys borrow this in place, so a
+    /// warmed connection parses without allocating.
+    wire: WireBuf,
+    /// Response assembly over the connection's output buffer.
+    writer: ResponseWriter<OutBuf>,
+    /// The epoll interest bits currently registered.
+    interest: u32,
+    /// Peer finished sending (clean EOF or RDHUP).
+    eof: bool,
+    /// Close once the output buffer drains (quit, protocol error, or
+    /// input exhausted after EOF).
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wire: WireBuf::new(),
+            writer: ResponseWriter::new(OutBuf::default()),
+            interest: EPOLLIN | EPOLLRDHUP,
+            eof: false,
+            closing: false,
+        }
+    }
+
+    fn out_pending(&self) -> usize {
+        self.writer.get_ref().pending()
+    }
+
+    /// Drops the parsed prefix of the input buffer so it never grows
+    /// past one command plus whatever arrived pipelined behind it.
+    fn compact(&mut self) {
+        if self.rpos == 0 {
+            return;
+        }
+        if self.rpos == self.rbuf.len() {
+            self.rbuf.clear();
+        } else {
+            self.rbuf.copy_within(self.rpos.., 0);
+            let remaining = self.rbuf.len() - self.rpos;
+            self.rbuf.truncate(remaining);
+        }
+        self.rpos = 0;
+    }
+}
+
+/// One event loop: an epoll instance plus the connections routed to
+/// it. Runs on its own thread until the server's shutdown flag rises.
+struct Worker {
+    epoll: Epoll,
+    mailbox: Arc<Mailbox>,
+    shared: Arc<Shared>,
+    stats: Arc<ReactorStats>,
+    index: usize,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+}
+
+impl Worker {
+    fn run(&mut self) {
+        let mut events = Events::with_capacity(256);
+        loop {
+            if self.epoll.wait(&mut events, Some(WAIT_TIMEOUT)).is_err() {
+                break;
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            // Tokens are copied out so closing a connection mid-batch
+            // can't invalidate the iteration; a stale token for an
+            // already-closed connection just misses the map.
+            let batch: Vec<(u64, u32)> = events.iter().collect();
+            for (token, bits) in batch {
+                if token == WAKE_TOKEN {
+                    self.stats.wakeups.inc();
+                    self.mailbox.wake.drain();
+                    self.adopt_new();
+                } else {
+                    self.drive(token, bits);
+                }
+            }
+        }
+        // Shutdown: drop every connection (closing the sockets) and
+        // settle the gauges, mirroring the threaded plane's quiesce.
+        for (_, conn) in self.conns.drain() {
+            drop(conn);
+            self.shared.metrics.curr_connections.dec();
+            self.stats.per_loop_connections[self.index].dec();
+        }
+    }
+
+    /// Registers every socket waiting in the mailbox.
+    fn adopt_new(&mut self) {
+        let streams: Vec<TcpStream> = std::mem::take(&mut *self.mailbox.queue.lock());
+        for stream in streams {
+            if stream.set_nonblocking(true).is_err() {
+                continue; // peer already gone
+            }
+            let _ = stream.set_nodelay(true);
+            let token = self.next_token;
+            self.next_token += 1;
+            if self
+                .epoll
+                .add(stream.as_raw_fd(), token, EPOLLIN | EPOLLRDHUP)
+                .is_err()
+            {
+                continue;
+            }
+            self.conns.insert(token, Conn::new(stream));
+            self.shared.metrics.total_connections.inc();
+            self.shared.metrics.curr_connections.inc();
+            self.stats.per_loop_connections[self.index].inc();
+        }
+    }
+
+    /// Advances one connection's state machine for one readiness
+    /// event, closing it when it finishes or fails.
+    fn drive(&mut self, token: u64, bits: u32) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        match self.drive_conn(&mut conn, bits) {
+            Ok(true) => {
+                self.update_interest(token, &mut conn);
+                self.conns.insert(token, conn);
+            }
+            Ok(false) | Err(()) => {
+                // Socket closes on drop (deregistering it from epoll).
+                drop(conn);
+                self.shared.metrics.curr_connections.dec();
+                self.stats.per_loop_connections[self.index].dec();
+            }
+        }
+    }
+
+    /// Runs the read → execute → write cycle. `Ok(true)` keeps the
+    /// connection, `Ok(false)` is a graceful close (EOF or `closing`
+    /// with everything flushed), `Err` is a fatal socket error.
+    fn drive_conn(&mut self, conn: &mut Conn, bits: u32) -> Result<bool, ()> {
+        if bits & EPOLLERR != 0 {
+            return Err(());
+        }
+        if bits & EPOLLOUT != 0 {
+            flush_out(conn, &self.stats)?;
+        }
+        if bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0 {
+            fill_in(conn, &self.stats)?;
+        }
+        self.process(conn)?;
+        flush_out(conn, &self.stats)?;
+        if conn.closing && conn.out_pending() == 0 {
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// Parses and executes every complete command buffered on the
+    /// connection, stopping at backpressure, incomplete input, or a
+    /// close condition.
+    fn process(&mut self, conn: &mut Conn) -> Result<(), ()> {
+        loop {
+            if conn.closing || conn.out_pending() > OUT_HIGH_WATER {
+                break;
+            }
+            let Conn {
+                rbuf,
+                rpos,
+                wire,
+                writer,
+                closing,
+                eof,
+                ..
+            } = &mut *conn;
+            match parse_raw_command(&rbuf[*rpos..], wire) {
+                Ok(Some((command, used))) => {
+                    *rpos += used;
+                    // Same timing rule as the threaded plane: the
+                    // serve (engine + response assembly), not the wait
+                    // for bytes.
+                    let class = op_class_of(&command);
+                    let begin = Instant::now();
+                    let served = serve_command(command, &self.shared, writer);
+                    self.shared.metrics.ops.record(class, begin.elapsed());
+                    match served {
+                        Ok(false) => {}
+                        Ok(true) => *closing = true, // quit: flush then close
+                        Err(_) => return Err(()),    // buffer write cannot fail; defensive
+                    }
+                }
+                Ok(None) => {
+                    // Incomplete: wait for more bytes — unless the
+                    // peer already finished sending, in which case a
+                    // trailing partial command drops exactly as the
+                    // threaded plane's mid-command EOF does.
+                    if *eof {
+                        *closing = true;
+                    }
+                    break;
+                }
+                Err(e) => {
+                    // Threaded-plane parity: malformed input earns an
+                    // ERROR line, then the connection closes.
+                    let _ = writer.write(&Response::Error(e.to_string()));
+                    *closing = true;
+                    break;
+                }
+            }
+        }
+        conn.compact();
+        Ok(())
+    }
+
+    /// Re-arms epoll for what the connection now cares about: always
+    /// readable while open and under the output high-water mark,
+    /// writable only while responses are queued (level-triggered
+    /// EPOLLOUT would spin otherwise).
+    fn update_interest(&self, token: u64, conn: &mut Conn) {
+        let pending = conn.out_pending();
+        let mut want = 0;
+        if pending > 0 {
+            want |= EPOLLOUT;
+        }
+        if !conn.closing && pending <= OUT_HIGH_WATER {
+            want |= EPOLLIN | EPOLLRDHUP;
+        }
+        if want != conn.interest {
+            let _ = self.epoll.modify(conn.stream.as_raw_fd(), token, want);
+            conn.interest = want;
+        }
+    }
+}
+
+/// Reads until the socket is drained (`EAGAIN`), EOF, or the output
+/// high-water mark says to stop pulling in more work.
+fn fill_in(conn: &mut Conn, stats: &ReactorStats) -> Result<(), ()> {
+    loop {
+        if conn.out_pending() > OUT_HIGH_WATER {
+            return Ok(());
+        }
+        let old = conn.rbuf.len();
+        conn.rbuf.resize(old + READ_CHUNK, 0);
+        match conn.stream.read(&mut conn.rbuf[old..]) {
+            Ok(0) => {
+                conn.rbuf.truncate(old);
+                conn.eof = true;
+                return Ok(());
+            }
+            Ok(n) => {
+                conn.rbuf.truncate(old + n);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                conn.rbuf.truncate(old);
+                stats.read_eagain.inc();
+                return Ok(());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                conn.rbuf.truncate(old);
+            }
+            Err(_) => {
+                conn.rbuf.truncate(old);
+                return Err(());
+            }
+        }
+    }
+}
+
+/// Drains queued response bytes to the socket, resuming where the
+/// last partial write stopped; backs off on `EAGAIN` (EPOLLOUT will
+/// re-arm) and reports hard errors.
+fn flush_out(conn: &mut Conn, _stats: &ReactorStats) -> Result<(), ()> {
+    let Conn { stream, writer, .. } = conn;
+    let out = writer.get_mut();
+    while out.pos < out.buf.len() {
+        match stream.write(&out.buf[out.pos..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => out.pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(()),
+        }
+    }
+    if out.pos == out.buf.len() && out.pos > 0 {
+        out.buf.clear();
+        out.pos = 0;
+    }
+    Ok(())
+}

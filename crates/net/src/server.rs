@@ -36,9 +36,9 @@ const ACCEPT_EXHAUSTED_BACKOFF: Duration = Duration::from_millis(50);
 /// under full load.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
-    ops: OpLatencies,
-    curr_connections: Gauge,
-    total_connections: Counter,
+    pub(crate) ops: OpLatencies,
+    pub(crate) curr_connections: Gauge,
+    pub(crate) total_connections: Counter,
 }
 
 impl ServerMetrics {
@@ -61,23 +61,86 @@ impl ServerMetrics {
     }
 }
 
-struct Shared {
-    engine: ShardedEngine,
+/// Selects the data plane a [`CacheServer`] runs on.
+///
+/// Both engines share the engine, protocol, metrics, and command
+/// execution code; they differ only in how sockets are driven. The
+/// threaded engine is the portable fallback and correctness oracle;
+/// the reactor is the production data plane on Linux (see DESIGN.md
+/// §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// One OS thread per connection, blocking reads with an idle
+    /// timeout. Portable; thread count grows with connection count.
+    Threaded,
+    /// Non-blocking epoll reactor: `loops` event-loop threads share
+    /// all connections (Linux only; falls back to [`Threaded`]
+    /// elsewhere).
+    ///
+    /// [`Threaded`]: EngineKind::Threaded
+    Reactor {
+        /// Number of event-loop threads; `0` means
+        /// `min(available cores, 4)`.
+        loops: usize,
+    },
+}
+
+impl Default for EngineKind {
+    /// The reactor on Linux, the threaded engine elsewhere.
+    fn default() -> Self {
+        #[cfg(target_os = "linux")]
+        {
+            EngineKind::Reactor { loops: 0 }
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            EngineKind::Threaded
+        }
+    }
+}
+
+/// Server-level configuration (as opposed to [`CacheConfig`], which
+/// configures the cache engine the server fronts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerConfig {
+    /// Which data plane to run.
+    pub engine: EngineKind,
+}
+
+/// Resolves the `loops: 0` auto setting to a concrete thread count.
+fn resolve_loops(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .clamp(1, 4)
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) engine: ShardedEngine,
     /// The digest snapshot taken by the last `get SET_BLOOM_FILTER`.
     /// Shared so serving `get BLOOM_FILTER` is a refcount bump.
-    snapshot: Mutex<Option<SharedBytes>>,
-    started: Instant,
-    shutdown: AtomicBool,
-    metrics: ServerMetrics,
-    /// Live connection sockets, so `stop()` can interrupt blocked
-    /// reads instead of waiting out their timeout. Each connection
-    /// registers a clone on accept and removes itself on exit.
+    pub(crate) snapshot: Mutex<Option<SharedBytes>>,
+    pub(crate) started: Instant,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) metrics: ServerMetrics,
+    /// Live connection sockets, so the threaded engine's `stop()` can
+    /// interrupt blocked reads instead of waiting out their timeout.
+    /// Each connection registers a clone on accept and removes itself
+    /// on exit. (The reactor never blocks in reads, so it leaves this
+    /// empty.)
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn_id: AtomicU64,
+    /// Reactor telemetry (per-loop gauges, EAGAIN counters); `None`
+    /// when the threaded engine is driving.
+    #[cfg(target_os = "linux")]
+    pub(crate) reactor_stats: Option<Arc<crate::reactor::ReactorStats>>,
 }
 
 impl Shared {
-    fn now(&self) -> SimTime {
+    pub(crate) fn now(&self) -> SimTime {
         SimTime::from_nanos(self.started.elapsed().as_nanos() as u64)
     }
 }
@@ -88,7 +151,7 @@ impl Shared {
 /// tight loop would spin at 100% CPU). No error kills the accept loop:
 /// a transient `EMFILE` must not permanently silence a server that
 /// keeps running and holding its cache.
-fn accept_retry_delay(e: &std::io::Error) -> Option<Duration> {
+pub(crate) fn accept_retry_delay(e: &std::io::Error) -> Option<Duration> {
     // EMFILE(24)/ENFILE(23) surface as Uncategorized on stable, so
     // match raw OS codes; ENOBUFS(105)/ENOMEM(12) likewise.
     let exhausted = matches!(e.raw_os_error(), Some(23 | 24 | 12 | 105))
@@ -99,8 +162,9 @@ fn accept_retry_delay(e: &std::io::Error) -> Option<Duration> {
     exhausted.then_some(ACCEPT_EXHAUSTED_BACKOFF)
 }
 
-/// A running cache server: a listener thread plus one thread per
-/// connection, all sharing one lock-striped [`ShardedEngine`].
+/// A running cache server: an accept thread plus a data plane —
+/// either one thread per connection or an epoll reactor, selected by
+/// [`ServerConfig`] — all sharing one lock-striped [`ShardedEngine`].
 /// Connections touching different key shards proceed in parallel;
 /// there is no global engine lock.
 ///
@@ -117,8 +181,19 @@ fn accept_retry_delay(e: &std::io::Error) -> Option<Duration> {
 pub struct CacheServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    engine_kind: EngineKind,
+    data_plane: DataPlane,
+}
+
+/// The running data plane behind a [`CacheServer`].
+#[derive(Debug)]
+enum DataPlane {
+    Threaded {
+        accept_thread: Option<JoinHandle<()>>,
+        conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    },
+    #[cfg(target_os = "linux")]
+    Reactor(crate::reactor::Reactor),
 }
 
 impl std::fmt::Debug for Shared {
@@ -129,14 +204,45 @@ impl std::fmt::Debug for Shared {
 
 impl CacheServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// serving.
+    /// serving on the default data plane (the epoll reactor on Linux,
+    /// thread-per-connection elsewhere).
     ///
     /// # Errors
     ///
     /// Returns an error if the address cannot be bound.
     pub fn spawn<A: ToSocketAddrs>(addr: A, config: CacheConfig) -> Result<CacheServer, NetError> {
+        CacheServer::spawn_with(addr, config, ServerConfig::default())
+    }
+
+    /// Binds `addr` and starts serving on the data plane selected by
+    /// `server_config`. On non-Linux targets a
+    /// [`EngineKind::Reactor`] request falls back to the threaded
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address cannot be bound or (reactor
+    /// only) the epoll instances cannot be created.
+    pub fn spawn_with<A: ToSocketAddrs>(
+        addr: A,
+        config: CacheConfig,
+        server_config: ServerConfig,
+    ) -> Result<CacheServer, NetError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        #[cfg(target_os = "linux")]
+        let engine_kind = match server_config.engine {
+            EngineKind::Reactor { loops } => EngineKind::Reactor {
+                loops: resolve_loops(loops),
+            },
+            EngineKind::Threaded => EngineKind::Threaded,
+        };
+        #[cfg(not(target_os = "linux"))]
+        let engine_kind = {
+            let _ = resolve_loops(0);
+            let _ = server_config;
+            EngineKind::Threaded
+        };
         let shared = Arc::new(Shared {
             engine: ShardedEngine::new(config),
             snapshot: Mutex::new(None),
@@ -145,44 +251,29 @@ impl CacheServer {
             metrics: ServerMetrics::default(),
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
-        });
-        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept_shared = Arc::clone(&shared);
-        let accept_conn_threads = Arc::clone(&conn_threads);
-        let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_shared.shutdown.load(Ordering::SeqCst) {
-                    break;
+            #[cfg(target_os = "linux")]
+            reactor_stats: match engine_kind {
+                EngineKind::Reactor { loops } => {
+                    Some(Arc::new(crate::reactor::ReactorStats::new(loops)))
                 }
-                match stream {
-                    Ok(stream) => {
-                        let conn_shared = Arc::clone(&accept_shared);
-                        let handle = std::thread::spawn(move || {
-                            serve_connection(stream, &conn_shared);
-                        });
-                        let mut threads = accept_conn_threads.lock();
-                        // Reap finished handles so long-running servers
-                        // don't accumulate one entry per past connection.
-                        threads.retain(|h| !h.is_finished());
-                        threads.push(handle);
-                    }
-                    // A failed accept never kills the listener: the
-                    // connection-level errors (ECONNABORTED & friends)
-                    // retry immediately, resource exhaustion backs off
-                    // first. Only shutdown ends the loop.
-                    Err(e) => {
-                        if let Some(delay) = accept_retry_delay(&e) {
-                            std::thread::sleep(delay);
-                        }
-                    }
-                }
-            }
+                EngineKind::Threaded => None,
+            },
         });
+        let data_plane =
+            match engine_kind {
+                #[cfg(target_os = "linux")]
+                EngineKind::Reactor { loops } => DataPlane::Reactor(
+                    crate::reactor::Reactor::spawn(listener, Arc::clone(&shared), loops)?,
+                ),
+                #[cfg(not(target_os = "linux"))]
+                EngineKind::Reactor { .. } => unreachable!("normalized to Threaded above"),
+                EngineKind::Threaded => spawn_threaded(listener, &shared),
+            };
         Ok(CacheServer {
             addr,
             shared,
-            accept_thread: Some(accept_thread),
-            conn_threads,
+            engine_kind,
+            data_plane,
         })
     }
 
@@ -190,6 +281,15 @@ impl CacheServer {
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The data plane actually running (auto values resolved: a
+    /// requested `Reactor { loops: 0 }` reports its concrete loop
+    /// count, and a reactor request on a non-Linux target reports
+    /// [`EngineKind::Threaded`]).
+    #[must_use]
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine_kind
     }
 
     /// Runs `f` on the server's engine (inspection from tests and the
@@ -230,16 +330,66 @@ impl CacheServer {
         }
         // Unblock the accept loop with a dummy connection.
         let _ = TcpStream::connect(self.addr);
-        // Interrupt connection threads parked in a blocking read.
-        for stream in self.shared.conns.lock().values() {
-            let _ = stream.shutdown(Shutdown::Both);
+        match &mut self.data_plane {
+            DataPlane::Threaded {
+                accept_thread,
+                conn_threads,
+            } => {
+                // Interrupt connection threads parked in a blocking read.
+                for stream in self.shared.conns.lock().values() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                if let Some(handle) = accept_thread.take() {
+                    let _ = handle.join();
+                }
+                for handle in conn_threads.lock().drain(..) {
+                    let _ = handle.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            DataPlane::Reactor(reactor) => reactor.stop(),
         }
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+    }
+}
+
+/// Starts the thread-per-connection data plane: an accept loop that
+/// spawns one serving thread per connection.
+fn spawn_threaded(listener: TcpListener, shared: &Arc<Shared>) -> DataPlane {
+    let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept_shared = Arc::clone(shared);
+    let accept_conn_threads = Arc::clone(&conn_threads);
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let conn_shared = Arc::clone(&accept_shared);
+                    let handle = std::thread::spawn(move || {
+                        serve_connection(stream, &conn_shared);
+                    });
+                    let mut threads = accept_conn_threads.lock();
+                    // Reap finished handles so long-running servers
+                    // don't accumulate one entry per past connection.
+                    threads.retain(|h| !h.is_finished());
+                    threads.push(handle);
+                }
+                // A failed accept never kills the listener: the
+                // connection-level errors (ECONNABORTED & friends)
+                // retry immediately, resource exhaustion backs off
+                // first. Only shutdown ends the loop.
+                Err(e) => {
+                    if let Some(delay) = accept_retry_delay(&e) {
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
         }
-        for handle in self.conn_threads.lock().drain(..) {
-            let _ = handle.join();
-        }
+    });
+    DataPlane::Threaded {
+        accept_thread: Some(accept_thread),
+        conn_threads,
     }
 }
 
@@ -252,7 +402,7 @@ impl Drop for CacheServer {
 /// Classifies a parsed command for per-class latency recording. The
 /// reserved digest keys are traffic of their own class even though they
 /// arrive as plain `get`s.
-fn op_class_of(cmd: &RawCommand<'_>) -> OpClass {
+pub(crate) fn op_class_of(cmd: &RawCommand<'_>) -> OpClass {
     match cmd {
         RawCommand::Get { key } if *key == DIGEST_SNAPSHOT_KEY || *key == DIGEST_KEY => {
             OpClass::Digest
@@ -353,7 +503,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
 /// item/connection gauges, and one latency histogram per command
 /// class. This is what `stats proteus` flattens to `STAT` pairs and
 /// what the `--metrics-addr` endpoint renders as Prometheus text/JSON.
-fn registry(shared: &Shared) -> Vec<Metric> {
+pub(crate) fn registry(shared: &Shared) -> Vec<Metric> {
     let stats = shared.engine.stats();
     let m = &shared.metrics;
     let mut out = vec![
@@ -378,6 +528,27 @@ fn registry(shared: &Shared) -> Vec<Metric> {
                 .with_label("op", class.name()),
         );
     }
+    #[cfg(target_os = "linux")]
+    if let Some(rs) = &shared.reactor_stats {
+        out.push(Metric::counter(
+            "proteus_reactor_accepted_total",
+            rs.accepted(),
+        ));
+        out.push(Metric::counter(
+            "proteus_reactor_read_eagain_total",
+            rs.read_eagain(),
+        ));
+        out.push(Metric::counter(
+            "proteus_reactor_wakeups_total",
+            rs.wakeups(),
+        ));
+        for (index, conns) in rs.loop_connections().into_iter().enumerate() {
+            out.push(
+                Metric::gauge("proteus_reactor_loop_connections", conns)
+                    .with_label("loop", index.to_string()),
+            );
+        }
+    }
     out
 }
 
@@ -385,7 +556,7 @@ fn registry(shared: &Shared) -> Vec<Metric> {
 /// Returns `Ok(true)` for `quit`. The `get` paths write borrowed keys
 /// and shared value buffers straight into the response writer, so a
 /// warmed hit copies nothing.
-fn serve_command<W: Write>(
+pub(crate) fn serve_command<W: Write>(
     command: RawCommand<'_>,
     shared: &Shared,
     writer: &mut ResponseWriter<W>,

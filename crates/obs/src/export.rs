@@ -8,7 +8,7 @@
 
 use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -260,41 +260,133 @@ pub fn to_stat_pairs(metrics: &[Metric]) -> Vec<(String, String)> {
 /// A closure that materialises the current registry.
 pub type MetricSource = Arc<dyn Fn() -> Vec<Metric> + Send + Sync>;
 
+/// Admission limits for the scrape endpoint (see
+/// [`MetricsServer::spawn_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrapeLimits {
+    /// Scrapes served concurrently; further connections are answered
+    /// `503 Service Unavailable` inline and counted as rejected. A
+    /// stalled or malicious scraper can therefore pin at most this many
+    /// threads, never one per connection.
+    pub max_concurrent: usize,
+    /// Per-scrape socket read timeout (bounds how long a stalled
+    /// request head can hold a serving slot).
+    pub read_timeout: Duration,
+    /// Per-scrape socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ScrapeLimits {
+    fn default() -> Self {
+        ScrapeLimits {
+            max_concurrent: 4,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Cumulative scrape-admission counters (see
+/// [`MetricsServer::scrape_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrapeStats {
+    /// Scrapes accepted and handed to a serving thread.
+    pub served: u64,
+    /// Connections refused with `503` because
+    /// [`ScrapeLimits::max_concurrent`] scrapes were already in flight.
+    pub rejected: u64,
+    /// Scrapes in flight right now.
+    pub active: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicScrapeStats {
+    served: AtomicU64,
+    rejected: AtomicU64,
+    active: AtomicU64,
+}
+
 /// A minimal HTTP/1.1 server exposing `/metrics` (Prometheus text)
 /// and `/metrics.json` (JSON array).
 ///
-/// One accept thread handles requests serially — metrics scrapes are
-/// rare and cheap, so no pooling is warranted. The server stops when
-/// dropped or on [`MetricsServer::stop`].
+/// Scrapes are served by short-lived worker threads, capped at
+/// [`ScrapeLimits::max_concurrent`] in flight: connections beyond the
+/// cap get an inline `503` instead of a thread, so a misbehaving
+/// scraper cannot exhaust the process. The server stops when dropped
+/// or on [`MetricsServer::stop`].
 #[derive(Debug)]
 pub struct MetricsServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    stats: Arc<AtomicScrapeStats>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl MetricsServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving metrics
-    /// produced by `source`.
+    /// produced by `source`, with default [`ScrapeLimits`].
     ///
     /// # Errors
     ///
     /// Returns any socket bind error.
     pub fn spawn(addr: &str, source: MetricSource) -> io::Result<MetricsServer> {
+        MetricsServer::spawn_with(addr, source, ScrapeLimits::default())
+    }
+
+    /// [`spawn`](Self::spawn) with explicit admission limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket bind error.
+    pub fn spawn_with(
+        addr: &str,
+        source: MetricSource,
+        limits: ScrapeLimits,
+    ) -> io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(AtomicScrapeStats::default());
         let stop = Arc::clone(&shutdown);
+        let loop_stats = Arc::clone(&stats);
         let handle = std::thread::Builder::new()
             .name("proteus-metrics".into())
             .spawn(move || {
+                let mut workers: Vec<JoinHandle<()>> = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            // Serve errors (client hangup etc.) only
-                            // affect that one scrape.
-                            let _ = serve_scrape(stream, &source);
+                            // Reap finished workers before admitting.
+                            workers.retain(|w| !w.is_finished());
+                            if loop_stats.active.load(Ordering::Relaxed)
+                                >= limits.max_concurrent as u64
+                            {
+                                loop_stats.rejected.fetch_add(1, Ordering::Relaxed);
+                                let _ = reject_scrape(stream, &limits);
+                                continue;
+                            }
+                            loop_stats.active.fetch_add(1, Ordering::Relaxed);
+                            let source = Arc::clone(&source);
+                            let stats = Arc::clone(&loop_stats);
+                            let worker = std::thread::Builder::new()
+                                .name("proteus-scrape".into())
+                                .spawn(move || {
+                                    // Serve errors (client hangup etc.)
+                                    // only affect that one scrape.
+                                    let _ = serve_scrape(stream, &source, &limits);
+                                    stats.served.fetch_add(1, Ordering::Relaxed);
+                                    stats.active.fetch_sub(1, Ordering::Relaxed);
+                                });
+                            match worker {
+                                Ok(w) => workers.push(w),
+                                Err(_) => {
+                                    // Spawn failure: release the slot;
+                                    // the dropped stream reads as a
+                                    // failed scrape at the client.
+                                    loop_stats.active.fetch_sub(1, Ordering::Relaxed);
+                                }
+                            }
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(10));
@@ -302,11 +394,17 @@ impl MetricsServer {
                         Err(_) => std::thread::sleep(Duration::from_millis(10)),
                     }
                 }
+                // Let in-flight scrapes finish (each is bounded by the
+                // socket timeouts) before the server reports stopped.
+                for w in workers {
+                    let _ = w.join();
+                }
             })
             .expect("spawn metrics thread");
         Ok(MetricsServer {
             addr,
             shutdown,
+            stats,
             handle: Some(handle),
         })
     }
@@ -317,7 +415,20 @@ impl MetricsServer {
         self.addr
     }
 
-    /// Stops the accept loop and joins the server thread.
+    /// Snapshot of the scrape-admission counters: how many scrapes were
+    /// served, how many were refused at the cap, and how many are in
+    /// flight right now.
+    #[must_use]
+    pub fn scrape_stats(&self) -> ScrapeStats {
+        ScrapeStats {
+            served: self.stats.served.load(Ordering::Relaxed),
+            rejected: self.stats.rejected.load(Ordering::Relaxed),
+            active: self.stats.active.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the accept loop and joins the server thread (which in turn
+    /// joins any in-flight scrape workers).
     pub fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
@@ -332,10 +443,28 @@ impl Drop for MetricsServer {
     }
 }
 
+/// Refuses a connection over the concurrency cap with an inline `503`
+/// (best effort: a scraper that cannot even take the refusal is simply
+/// dropped).
+fn reject_scrape(mut stream: TcpStream, limits: &ScrapeLimits) -> io::Result<()> {
+    stream.set_write_timeout(Some(limits.write_timeout))?;
+    let body = "too many concurrent scrapes\n";
+    let response = format!(
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
 /// Reads one HTTP request head and writes the matching exposition.
-fn serve_scrape(mut stream: TcpStream, source: &MetricSource) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+fn serve_scrape(
+    mut stream: TcpStream,
+    source: &MetricSource,
+    limits: &ScrapeLimits,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(limits.read_timeout))?;
+    stream.set_write_timeout(Some(limits.write_timeout))?;
     let mut head = Vec::with_capacity(512);
     let mut byte = [0u8; 1];
     // Read until the blank line ending the request head (or EOF).
@@ -434,6 +563,83 @@ mod tests {
     fn empty_histograms_expose_only_count_zero() {
         let pairs = to_stat_pairs(&[Metric::histogram("empty_hist", HistogramSnapshot::empty())]);
         assert_eq!(pairs, vec![("empty_hist_count".into(), "0".into())]);
+    }
+
+    #[test]
+    fn scrape_cap_rejects_excess_connections_and_recovers() {
+        let source: MetricSource = Arc::new(sample_metrics);
+        let limits = ScrapeLimits {
+            max_concurrent: 2,
+            // Long enough that a stalled scrape holds its slot for the
+            // whole test, short enough that teardown stays quick.
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(2),
+        };
+        let mut server = MetricsServer::spawn_with("127.0.0.1:0", source, limits).unwrap();
+        let addr = server.local_addr();
+
+        // Two scrapers connect and stall without sending a request:
+        // each pins one serving slot until its read timeout.
+        let stalled: Vec<TcpStream> = (0..2).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.scrape_stats().active < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "stalled scrapes never occupied the slots: {:?}",
+                server.scrape_stats()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // The rejecting side closes without reading the request, which
+        // can reset the connection before the 503 arrives — so reads
+        // tolerate errors and callers retry on an empty reply.
+        let try_fetch = || -> String {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            write!(s, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+            out
+        };
+
+        // The next scrape is refused inline, not queued behind the
+        // stalled ones.
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        let reply = loop {
+            let out = try_fetch();
+            if !out.is_empty() {
+                break out;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "never got a reply while the slots were pinned"
+            );
+        };
+        assert!(
+            reply.starts_with("HTTP/1.1 503"),
+            "expected 503, got {reply:?}"
+        );
+        let stats = server.scrape_stats();
+        assert!(stats.rejected >= 1, "stats {stats:?}");
+
+        // Releasing the stalled connections frees the slots and normal
+        // service resumes.
+        drop(stalled);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let out = try_fetch();
+            if out.starts_with("HTTP/1.1 200 OK") {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "scrapes never recovered after the stalled clients left: {out:?}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(server.scrape_stats().served >= 1);
+        server.stop();
     }
 
     #[test]

@@ -37,6 +37,7 @@ mod tracer;
 pub use counters::{Counter, FetchClassKind, FetchLatencies, Gauge, OpClass, OpLatencies};
 pub use export::{
     to_json, to_prometheus, to_stat_pairs, Metric, MetricSource, MetricValue, MetricsServer,
+    ScrapeLimits, ScrapeStats,
 };
 pub use histogram::{relative_error_bound, HistogramSnapshot, LatencyHistogram, Percentiles};
 pub use tracer::{EventTracer, TraceEvent, TraceKind};

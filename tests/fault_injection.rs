@@ -199,6 +199,67 @@ fn batched_sweep_survives_a_blackholed_server() {
     r.teardown();
 }
 
+/// The digest broadcast at `begin_transition` must overlap the
+/// per-server round trips: with every server behind a 150ms-per-request
+/// proxy, a snapshot costs ~300ms per server (two delayed requests), so
+/// a serial 4-server broadcast needs >= ~1.2s while the parallel one
+/// finishes in roughly one server's time.
+#[test]
+fn digest_broadcast_overlaps_slow_servers() {
+    use std::time::{Duration, Instant};
+    let delay = Duration::from_millis(150);
+    let servers: Vec<CacheServer> = (0..4)
+        .map(|_| CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(8 << 20)).unwrap())
+        .collect();
+    let proxies: Vec<FaultProxy> = servers
+        .iter()
+        .map(|s| FaultProxy::spawn(s.addr()).unwrap())
+        .collect();
+    let addrs: Vec<_> = proxies.iter().map(FaultProxy::addr).collect();
+    // Generous timeouts: the injected latency must read as slowness,
+    // not as a transport failure.
+    let config = ClientConfig {
+        op_timeout: Duration::from_secs(5),
+        connect_timeout: Duration::from_secs(1),
+        max_retries: 0,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(50),
+        breaker_threshold: 10,
+        breaker_cooldown: Duration::from_secs(1),
+    };
+    let mut cluster =
+        ClusterClient::connect_with(&addrs, Box::new(ProteusPlacement::generate(4)), config)
+            .unwrap();
+    for proxy in &proxies {
+        proxy.set_mode(FaultMode::Latency(delay));
+    }
+
+    let begin = Instant::now();
+    cluster.begin_transition(3).unwrap();
+    let elapsed = begin.elapsed();
+
+    assert_eq!(
+        cluster.fault_stats().missing_digests,
+        0,
+        "every slow-but-alive server must deliver its digest"
+    );
+    // Parallel floor is ~2x delay (one server's two requests); the
+    // serial broadcast would need at least 8x delay. Split the
+    // difference with headroom for a loaded CI machine.
+    assert!(
+        elapsed < delay * 5,
+        "broadcast must overlap per-server round trips, took {elapsed:?}"
+    );
+    cluster.end_transition();
+    drop(cluster);
+    for p in proxies {
+        p.stop();
+    }
+    for s in servers {
+        s.stop();
+    }
+}
+
 /// Flaky-but-alive failure modes: added latency slows requests without
 /// errors, and a mid-response cut is retried (or degraded) — never
 /// surfaced to the caller.
