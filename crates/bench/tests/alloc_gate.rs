@@ -10,7 +10,7 @@
 //! bleed into our measurement windows otherwise.
 
 use proteus_bench::alloc_track::{is_counting, measure, CountingAlloc};
-use proteus_cache::{CacheConfig, ShardedEngine};
+use proteus_cache::{CacheConfig, ShardedEngine, StorageKind};
 use proteus_net::{read_raw_command, RawCommand, WireBuf};
 use proteus_sim::SimTime;
 
@@ -51,6 +51,27 @@ fn hot_paths_stay_within_allocation_budget() {
         "warmed gets allocated {} times over {GET_OPS} ops — \
          the shared-buffer read path has regressed to copying",
         warm.allocations
+    );
+
+    // The slab backend hands out views into its pages: a warmed get is
+    // still a refcount bump on the page, so its budget is also zero.
+    let slab = ShardedEngine::new(CacheConfig::with_capacity(64 << 20).storage(StorageKind::Slab));
+    for i in 0..512u64 {
+        slab.put(&i.to_le_bytes(), vec![7u8; 128], SimTime::ZERO);
+    }
+    let ((), slab_warm) = measure(|| {
+        for i in 0..GET_OPS {
+            let key = (i % 512).to_le_bytes();
+            let hit = slab.get(&key, SimTime::ZERO);
+            assert!(hit.is_some(), "prepopulated slab key missing");
+            std::hint::black_box(&hit);
+        }
+    });
+    assert_eq!(
+        slab_warm.allocations, 0,
+        "warmed slab gets allocated {} times over {GET_OPS} ops — \
+         page views have regressed to copying",
+        slab_warm.allocations
     );
 
     // Borrowed parsing over a reused buffer pool: after a warm-up

@@ -1,0 +1,212 @@
+//! The shared, immutable value buffer handed across the cache tier.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A reference-counted, immutable view of value bytes.
+///
+/// Until the slab store existed this was a plain `Arc<[u8]>`: one
+/// heap allocation per value, shared by refcount. Slab storage packs
+/// many values into one 1 MiB page, so a value is now a *window* into
+/// a shared backing buffer: the buffer is either a whole-value heap
+/// allocation (heap backend, `off == 0`, `len == buf.len()`) or a
+/// refcounted slab page (slab backend, `off`/`len` select the value's
+/// chunk region). Either way the zero-copy contract of DESIGN.md §9 is
+/// unchanged: cloning is a refcount bump, a cache hit never copies
+/// bytes, and the bytes live for as long as any holder keeps the view.
+///
+/// # Example
+///
+/// ```
+/// use proteus_cache::SharedBytes;
+///
+/// let a = SharedBytes::from(vec![1u8, 2, 3]);
+/// let b = SharedBytes::clone(&a);
+/// assert_eq!(&a[..], &[1, 2, 3]);
+/// assert!(SharedBytes::ptr_eq(&a, &b), "clones alias one buffer");
+/// ```
+#[derive(Clone)]
+pub struct SharedBytes {
+    buf: Arc<[u8]>,
+    off: u32,
+    len: u32,
+}
+
+impl SharedBytes {
+    /// A view of `buf[off..off + len]`. Used by the slab store to hand
+    /// out page-backed values; plain conversions go through `From`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window falls outside `buf` or exceeds 4 GiB
+    /// (values on the wire are capped far below either limit).
+    #[must_use]
+    pub fn view(buf: Arc<[u8]>, off: usize, len: usize) -> SharedBytes {
+        assert!(off.checked_add(len).is_some_and(|end| end <= buf.len()));
+        SharedBytes {
+            buf,
+            off: u32::try_from(off).expect("buffer offset exceeds u32"),
+            len: u32::try_from(len).expect("value length exceeds u32"),
+        }
+    }
+
+    /// The viewed bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.off as usize..self.off as usize + self.len as usize]
+    }
+
+    /// Length of the view in bytes.
+    #[must_use]
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether two views alias the same bytes of the same backing
+    /// buffer — the zero-copy assertion (`Arc::ptr_eq` before the
+    /// window existed). Two hits on one cached value are `ptr_eq`;
+    /// equal bytes in different buffers are not.
+    #[must_use]
+    pub fn ptr_eq(a: &SharedBytes, b: &SharedBytes) -> bool {
+        Arc::ptr_eq(&a.buf, &b.buf) && a.off == b.off && a.len == b.len
+    }
+
+    /// Number of live references to the backing buffer (diagnostics;
+    /// the slab store uses this to prove pages quiesced).
+    #[must_use]
+    pub fn ref_count(this: &SharedBytes) -> usize {
+        Arc::strong_count(&this.buf)
+    }
+}
+
+impl std::ops::Deref for SharedBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for SharedBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Default for SharedBytes {
+    fn default() -> Self {
+        SharedBytes::from(&[][..])
+    }
+}
+
+impl From<Arc<[u8]>> for SharedBytes {
+    fn from(buf: Arc<[u8]>) -> Self {
+        let len = u32::try_from(buf.len()).expect("value length exceeds u32");
+        SharedBytes { buf, off: 0, len }
+    }
+}
+
+impl From<Vec<u8>> for SharedBytes {
+    fn from(v: Vec<u8>) -> Self {
+        SharedBytes::from(Arc::<[u8]>::from(v))
+    }
+}
+
+impl From<Box<[u8]>> for SharedBytes {
+    fn from(v: Box<[u8]>) -> Self {
+        SharedBytes::from(Arc::<[u8]>::from(v))
+    }
+}
+
+impl From<&[u8]> for SharedBytes {
+    fn from(v: &[u8]) -> Self {
+        SharedBytes::from(Arc::<[u8]>::from(v))
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for SharedBytes {
+    fn from(v: &[u8; N]) -> Self {
+        SharedBytes::from(&v[..])
+    }
+}
+
+/// Content equality: two views are equal when their bytes are equal,
+/// matching the old `Arc<[u8]>` semantics. Identity is [`ptr_eq`].
+///
+/// [`ptr_eq`]: SharedBytes::ptr_eq
+impl PartialEq for SharedBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SharedBytes {}
+
+impl std::hash::Hash for SharedBytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for SharedBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_views_roundtrip() {
+        let whole = SharedBytes::from(vec![1u8, 2, 3, 4]);
+        assert_eq!(&whole[..], &[1, 2, 3, 4]);
+        assert_eq!(whole.len(), 4);
+        assert!(!whole.is_empty());
+
+        let page: Arc<[u8]> = vec![0u8, 9, 9, 9, 0, 0].into();
+        let window = SharedBytes::view(Arc::clone(&page), 1, 3);
+        assert_eq!(&window[..], &[9, 9, 9]);
+        assert_eq!(window.len(), 3);
+
+        let empty = SharedBytes::default();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn clone_is_aliasing_not_copying() {
+        let a = SharedBytes::from(&b"shared"[..]);
+        let b = SharedBytes::clone(&a);
+        assert!(SharedBytes::ptr_eq(&a, &b));
+        assert_eq!(SharedBytes::ref_count(&a), 2);
+        // Equal bytes in a different buffer are == but not ptr_eq.
+        let c = SharedBytes::from(&b"shared"[..]);
+        assert_eq!(a, c);
+        assert!(!SharedBytes::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn distinct_windows_of_one_page_are_not_ptr_eq() {
+        let page: Arc<[u8]> = vec![7u8; 64].into();
+        let a = SharedBytes::view(Arc::clone(&page), 0, 8);
+        let b = SharedBytes::view(Arc::clone(&page), 8, 8);
+        let a2 = SharedBytes::view(Arc::clone(&page), 0, 8);
+        assert!(!SharedBytes::ptr_eq(&a, &b));
+        assert!(SharedBytes::ptr_eq(&a, &a2));
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn out_of_bounds_view_panics() {
+        let page: Arc<[u8]> = vec![0u8; 8].into();
+        let _ = SharedBytes::view(page, 4, 8);
+    }
+}

@@ -3,6 +3,24 @@
 use proteus_bloom::BloomConfig;
 use proteus_sim::SimDuration;
 
+/// Which value-storage backend a [`CacheEngine`](crate::CacheEngine)
+/// places item bytes in.
+///
+/// Both backends are behaviourally identical — same eviction order,
+/// same accounting, same digest — and stay proptest-equivalent (see
+/// `tests/storage_equivalence.rs`). `Heap` is the original one-
+/// allocation-per-value path, kept as the correctness oracle; `Slab`
+/// packs items into size-classed 1 MiB pages for multi-million-item
+/// residency (DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageKind {
+    /// One heap allocation per item (the PR-1 layout).
+    #[default]
+    Heap,
+    /// Memcached-style slab pages with ~1.25-growth size classes.
+    Slab,
+}
+
 /// Configuration for a [`CacheEngine`](crate::CacheEngine).
 ///
 /// The paper's deployment gives each memcached server 1 GB for 4 KB
@@ -29,8 +47,28 @@ pub struct CacheConfig {
     /// may be discarded when their server powers off.
     pub hot_ttl: SimDuration,
     /// Accounted per-item metadata overhead, mirroring memcached's
-    /// item-header cost.
+    /// item-header cost. Each stored item is charged
+    /// `key.len() + value.len() + item_overhead` against
+    /// `capacity_bytes`; the default 64 covers the engine's real
+    /// bookkeeping (a ~44-byte slot, index bucket share, and LRU
+    /// links), so the configured budget tracks actual memory even for
+    /// tiny items.
     pub item_overhead: u32,
+    /// Value-storage backend (see [`StorageKind`]).
+    pub storage: StorageKind,
+    /// Page size for [`StorageKind::Slab`], in bytes (default 1 MiB,
+    /// clamped to ≥ 1 KiB). Items larger than one page go to the heap
+    /// path. Ignored by [`StorageKind::Heap`].
+    pub slab_page_bytes: u32,
+    /// Hard page-count budget for [`StorageKind::Slab`]. `0` (the
+    /// default) derives the budget from `capacity_bytes`: 1.3× the
+    /// accounted capacity, which covers size-class rounding at the
+    /// default `item_overhead`. Set explicitly when payload accounting
+    /// and physical layout diverge badly — e.g. tiny pages with
+    /// `item_overhead = 0` — and the slab should never run out of
+    /// pages before LRU eviction frees them. Ignored by
+    /// [`StorageKind::Heap`].
+    pub slab_page_budget: u64,
     /// Digest (counting Bloom filter) configuration.
     pub digest: BloomConfig,
     /// Number of independent shards a
@@ -42,18 +80,22 @@ pub struct CacheConfig {
 
 impl CacheConfig {
     /// A configuration with the given payload capacity and defaults
-    /// matching the paper's evaluation: 60 s hot TTL, 48-byte item
-    /// overhead, and a digest sized for the item count the capacity
-    /// implies at 4 KB objects (h = 4, as in Section VI-B).
+    /// matching the paper's evaluation: 60 s hot TTL, 64-byte item
+    /// overhead, heap storage, and a digest sized for the item count
+    /// the capacity implies at 4 KB objects (h = 4, as in Section
+    /// VI-B).
     #[must_use]
     pub fn with_capacity(capacity_bytes: u64) -> Self {
         let expected_items = (capacity_bytes / 4096).max(1024);
         CacheConfig {
             capacity_bytes,
             hot_ttl: SimDuration::from_secs(60),
-            item_overhead: 48,
+            item_overhead: 64,
             digest: BloomConfig::optimal(expected_items, 4, 1e-4, 1e-4),
             shards: 8,
+            storage: StorageKind::Heap,
+            slab_page_bytes: 1 << 20,
+            slab_page_budget: 0,
         }
     }
 
@@ -84,6 +126,29 @@ impl CacheConfig {
         self.shards = shards;
         self
     }
+
+    /// Sets the value-storage backend (builder style).
+    #[must_use]
+    pub fn storage(mut self, storage: StorageKind) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Sets the slab page size in bytes (builder style; slab backend
+    /// only).
+    #[must_use]
+    pub fn slab_page_bytes(mut self, bytes: u32) -> Self {
+        self.slab_page_bytes = bytes;
+        self
+    }
+
+    /// Sets an explicit slab page budget, overriding the 1.3×-capacity
+    /// derivation (builder style; slab backend only, `0` = derive).
+    #[must_use]
+    pub fn slab_page_budget(mut self, pages: u64) -> Self {
+        self.slab_page_budget = pages;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -111,5 +176,15 @@ mod tests {
         assert_eq!(cfg.item_overhead, 0);
         assert_eq!(cfg.shards, 4);
         assert_eq!(cfg.digest, digest);
+    }
+
+    #[test]
+    fn storage_defaults_to_heap_and_builds_to_slab() {
+        let cfg = CacheConfig::with_capacity(1 << 20);
+        assert_eq!(cfg.storage, StorageKind::Heap);
+        assert_eq!(cfg.slab_page_bytes, 1 << 20);
+        let cfg = cfg.storage(StorageKind::Slab).slab_page_bytes(1 << 16);
+        assert_eq!(cfg.storage, StorageKind::Slab);
+        assert_eq!(cfg.slab_page_bytes, 1 << 16);
     }
 }

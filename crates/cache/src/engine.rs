@@ -1,26 +1,110 @@
 //! The LRU cache engine with digest integration.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use proteus_bloom::{BloomFilter, CountingBloomFilter};
 use proteus_sim::{SimDuration, SimTime};
 
-use crate::config::CacheConfig;
+use crate::config::{CacheConfig, StorageKind};
+use crate::index::KeyIndex;
+use crate::slab::{ChunkLoc, SlabError, SlabStats, SlabStore};
 use crate::stats::CacheStats;
 use crate::SharedBytes;
 
 const NIL: u32 = u32::MAX;
 
+/// How many extra LRU evictions a slab placement may perform when the
+/// store reports `Full` (fragmentation or view-pinned pages) before the
+/// item falls back to the heap path. Bounds the worst-case `set`.
+const SLAB_EVICT_RETRY_LIMIT: u32 = 64;
+
+/// FNV-1a with a splitmix64-style finalizer. The finalizer matters:
+/// `ShardedEngine::shard_of` picks shards from folded FNV bits, and the
+/// per-shard index must not see hashes correlated with that fold or
+/// every key in a shard would share home buckets.
+fn hash_key(key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Heap-backed item payload: the original one-allocation-per-value
+/// layout. Boxed so the common slab slot stays small.
 #[derive(Debug)]
-struct Slot {
+struct HeapItem {
     key: Box<[u8]>,
     value: SharedBytes,
+}
+
+/// Where a slot's bytes live.
+#[derive(Debug)]
+enum ValueRepr {
+    /// Slot is on the free list.
+    Free,
+    /// `[key][value]` live in a slab page chunk.
+    Slab(ChunkLoc),
+    /// Key and value are individual heap allocations (heap backend, or
+    /// slab overflow/oversize fallback).
+    Heap(Box<HeapItem>),
+}
+
+#[derive(Debug)]
+struct Slot {
+    repr: ValueRepr,
+    /// Full [`hash_key`] hash; lets index growth/deletion and probe
+    /// filtering skip key-byte reads.
+    hash: u64,
+    klen: u32,
+    vlen: u32,
     last_access: SimTime,
     /// Absolute expiry instant; `SimTime::MAX` means never.
     expires_at: SimTime,
     prev: u32,
     next: u32,
+}
+
+/// What a store operation did: whether the item was stored at all
+/// (`false` = rejected as larger than the engine's whole budget) and
+/// how many LRU evictions made room for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreOutcome {
+    /// The item is now cached.
+    pub stored: bool,
+    /// Items evicted to make room.
+    pub evicted: u64,
+}
+
+/// The stored key bytes of a live slot, wherever they live.
+fn slot_key<'a>(slots: &'a [Slot], store: &'a Option<SlabStore>, idx: u32) -> &'a [u8] {
+    let slot = &slots[idx as usize];
+    match &slot.repr {
+        ValueRepr::Heap(item) => &item.key,
+        ValueRepr::Slab(loc) => store
+            .as_ref()
+            .expect("slab slot without slab store")
+            .key_slice(*loc, slot.klen as usize),
+        ValueRepr::Free => unreachable!("reading key of a free slot"),
+    }
+}
+
+/// The stored value bytes of a live slot.
+fn slot_value<'a>(slots: &'a [Slot], store: &'a Option<SlabStore>, idx: u32) -> &'a [u8] {
+    let slot = &slots[idx as usize];
+    match &slot.repr {
+        ValueRepr::Heap(item) => &item.value[..],
+        ValueRepr::Slab(loc) => store
+            .as_ref()
+            .expect("slab slot without slab store")
+            .value_slice(*loc, slot.klen as usize, slot.vlen as usize),
+        ValueRepr::Free => unreachable!("reading value of a free slot"),
+    }
 }
 
 /// A single cache server's storage engine: an LRU-evicting key-value
@@ -33,6 +117,14 @@ struct Slot {
 /// LRU eviction, and value replacement re-links), so
 /// `digest().contains(k)` is `true` exactly for cached keys (modulo
 /// Bloom false positives).
+///
+/// Item bytes live in one of two backends selected by
+/// [`CacheConfig::storage`]: the heap path (one allocation per item)
+/// or the memcached-style slab store (size-classed 1 MiB pages,
+/// DESIGN.md §12). The backends are behaviourally identical; every
+/// item is charged `key + value + item_overhead` bytes against
+/// `capacity_bytes` either way, so eviction decisions — and therefore
+/// digest contents — do not depend on the backend.
 ///
 /// # Example
 ///
@@ -47,12 +139,13 @@ struct Slot {
 /// ```
 pub struct CacheEngine {
     config: CacheConfig,
-    index: HashMap<Box<[u8]>, u32>,
+    index: KeyIndex,
     slots: Vec<Slot>,
     free: Vec<u32>,
     head: u32, // most recently used
     tail: u32, // least recently used
     bytes_used: u64,
+    store: Option<SlabStore>,
     digest: CountingBloomFilter,
     stats: CacheStats,
 }
@@ -61,14 +154,32 @@ impl CacheEngine {
     /// Creates an empty engine.
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
+        let store = match config.storage {
+            StorageKind::Heap => None,
+            StorageKind::Slab => {
+                // Page budget: the payload capacity plus 30% slack for
+                // chunk rounding and partially-filled pages, plus two
+                // pages of headroom so tiny configurations still have
+                // pages to reassign between classes. An explicit
+                // `slab_page_budget` overrides the derivation.
+                let page = u64::from(config.slab_page_bytes.max(1024));
+                let budget = config.capacity_bytes.saturating_mul(13) / 10;
+                let max_pages = match config.slab_page_budget {
+                    0 => budget.div_ceil(page) + 2,
+                    pages => pages,
+                };
+                Some(SlabStore::new(config.slab_page_bytes, max_pages))
+            }
+        };
         CacheEngine {
             config,
-            index: HashMap::new(),
+            index: KeyIndex::new(),
             slots: Vec::new(),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
             bytes_used: 0,
+            store,
             digest: CountingBloomFilter::new(config.digest),
             stats: CacheStats::default(),
         }
@@ -89,7 +200,7 @@ impl CacheEngine {
     /// Whether the cache holds no items.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.index.len() == 0
     }
 
     /// Bytes currently accounted (keys + values + per-item overhead).
@@ -102,6 +213,30 @@ impl CacheEngine {
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Slab-store usage snapshot, or `None` on the heap backend.
+    #[must_use]
+    pub fn slab_stats(&self) -> Option<SlabStats> {
+        self.store.as_ref().map(SlabStore::stats)
+    }
+
+    /// Audits internal storage accounting, panicking on drift: slab
+    /// chunk conservation per page, per-class counter agreement, the
+    /// page-budget bound, and that accounted bytes stay within the
+    /// capacity budget. A no-op in spirit for the heap backend (only
+    /// the capacity check applies). Intended for tests; cost is
+    /// proportional to the number of slab pages.
+    pub fn assert_storage_consistent(&self) {
+        if let Some(store) = &self.store {
+            store.assert_consistent();
+        }
+        assert!(
+            self.bytes_used <= self.config.capacity_bytes || self.index.len() == 0,
+            "accounted bytes {} exceed capacity {}",
+            self.bytes_used,
+            self.config.capacity_bytes
+        );
     }
 
     /// The live counting-Bloom digest.
@@ -118,8 +253,17 @@ impl CacheEngine {
         self.digest.snapshot()
     }
 
-    fn entry_cost(&self, key: &[u8], value: &[u8]) -> u64 {
-        key.len() as u64 + value.len() as u64 + u64::from(self.config.item_overhead)
+    fn entry_cost(&self, klen: usize, vlen: usize) -> u64 {
+        klen as u64 + vlen as u64 + u64::from(self.config.item_overhead)
+    }
+
+    /// Index lookup: the slot holding exactly `key`, if any.
+    fn find_slot(&self, key: &[u8], hash: u64) -> Option<u32> {
+        let slots = &self.slots;
+        let store = &self.store;
+        self.index.find(hash, |s| {
+            slots[s as usize].hash == hash && slot_key(slots, store, s) == key
+        })
     }
 
     fn detach(&mut self, idx: u32) {
@@ -160,22 +304,38 @@ impl CacheEngine {
     /// (digest updated) the first time anything looks at it.
     pub fn get(&mut self, key: &[u8], now: SimTime) -> Option<&[u8]> {
         self.hit_slot(key, now)
-            .map(|idx| &self.slots[idx as usize].value[..])
+            .map(|idx| slot_value(&self.slots, &self.store, idx))
     }
 
     /// Like [`get`](Self::get), but hands back the value's shared
-    /// buffer. A hit is a refcount bump — no byte copy — so this is the
-    /// lookup the concurrent TCP tier uses under its shard mutex.
+    /// buffer. A hit is a refcount bump — no byte copy, no allocation —
+    /// whichever backend holds the bytes (the slab store hands out a
+    /// window into its page), so this is the lookup the concurrent TCP
+    /// tier uses under its shard mutex.
     pub fn get_shared(&mut self, key: &[u8], now: SimTime) -> Option<SharedBytes> {
-        self.hit_slot(key, now)
-            .map(|idx| SharedBytes::clone(&self.slots[idx as usize].value))
+        self.hit_slot(key, now).map(|idx| self.shared_view(idx))
+    }
+
+    /// The shared view of a live slot's value (refcount bump only).
+    fn shared_view(&self, idx: u32) -> SharedBytes {
+        let slot = &self.slots[idx as usize];
+        match &slot.repr {
+            ValueRepr::Heap(item) => SharedBytes::clone(&item.value),
+            ValueRepr::Slab(loc) => self
+                .store
+                .as_ref()
+                .expect("slab slot without slab store")
+                .value_view(*loc, slot.klen as usize, slot.vlen as usize),
+            ValueRepr::Free => unreachable!("viewing a free slot"),
+        }
     }
 
     /// Shared hit path: reaps an expired item, refreshes recency and
     /// last-access on a hit, and moves the hit/miss counters. Returns
     /// the slot index on a hit.
     fn hit_slot(&mut self, key: &[u8], now: SimTime) -> Option<u32> {
-        match self.index.get(key).copied() {
+        let hash = hash_key(key);
+        match self.find_slot(key, hash) {
             Some(idx) if self.slots[idx as usize].expires_at <= now => {
                 self.remove_slot(idx);
                 self.stats.expired += 1;
@@ -200,7 +360,8 @@ impl CacheEngine {
     /// the value (the memcached `touch` command). Returns whether the
     /// key was present. Does not count as a hit or miss.
     pub fn touch(&mut self, key: &[u8], now: SimTime) -> bool {
-        match self.index.get(key).copied() {
+        let hash = hash_key(key);
+        match self.find_slot(key, hash) {
             Some(idx) if self.slots[idx as usize].expires_at <= now => {
                 self.remove_slot(idx);
                 self.stats.expired += 1;
@@ -222,18 +383,16 @@ impl CacheEngine {
     /// digest semantics.
     #[must_use]
     pub fn peek(&self, key: &[u8]) -> Option<&[u8]> {
-        self.index
-            .get(key)
-            .map(|&idx| &self.slots[idx as usize].value[..])
+        self.find_slot(key, hash_key(key))
+            .map(|idx| slot_value(&self.slots, &self.store, idx))
     }
 
     /// [`peek`](Self::peek) returning the shared value buffer (refcount
     /// bump, no byte copy, no side effects).
     #[must_use]
     pub fn peek_shared(&self, key: &[u8]) -> Option<SharedBytes> {
-        self.index
-            .get(key)
-            .map(|&idx| SharedBytes::clone(&self.slots[idx as usize].value))
+        self.find_slot(key, hash_key(key))
+            .map(|idx| self.shared_view(idx))
     }
 
     /// Presence probe for compound storage commands (`add`/`replace`):
@@ -242,7 +401,8 @@ impl CacheEngine {
     /// `add` on a present key is not a cache read and must not count as
     /// a `get` hit.
     pub fn probe(&mut self, key: &[u8], now: SimTime) -> bool {
-        match self.index.get(key).copied() {
+        let hash = hash_key(key);
+        match self.find_slot(key, hash) {
             Some(idx) if self.slots[idx as usize].expires_at <= now => {
                 self.remove_slot(idx);
                 self.stats.expired += 1;
@@ -259,9 +419,8 @@ impl CacheEngine {
     /// (past) deadline, matching [`peek`](Self::peek) semantics.
     #[must_use]
     pub fn expiry_of(&self, key: &[u8]) -> Option<SimTime> {
-        self.index
-            .get(key)
-            .map(|&idx| self.slots[idx as usize].expires_at)
+        self.find_slot(key, hash_key(key))
+            .map(|idx| self.slots[idx as usize].expires_at)
     }
 
     /// Reaps every expired item now (memcached leaves this to lazy
@@ -269,12 +428,15 @@ impl CacheEngine {
     /// broadcast digests do not advertise dead items). Returns the
     /// number of items reaped.
     pub fn sweep_expired(&mut self, now: SimTime) -> u64 {
-        let expired: Vec<u32> = self
-            .index
-            .values()
-            .copied()
-            .filter(|&idx| self.slots[idx as usize].expires_at <= now)
-            .collect();
+        let mut expired = Vec::new();
+        let mut cursor = self.head;
+        while cursor != NIL {
+            let slot = &self.slots[cursor as usize];
+            if slot.expires_at <= now {
+                expired.push(cursor);
+            }
+            cursor = slot.next;
+        }
         let count = expired.len() as u64;
         for idx in expired {
             self.remove_slot(idx);
@@ -286,17 +448,24 @@ impl CacheEngine {
     /// Whether `key` is cached (no recency/stat side effects).
     #[must_use]
     pub fn contains(&self, key: &[u8]) -> bool {
-        self.index.contains_key(key)
+        self.find_slot(key, hash_key(key)).is_some()
     }
 
-    /// Inserts or replaces `key` with no expiry, then evicts LRU items
-    /// until the engine is within capacity. Returns the number of
-    /// evictions the call caused.
+    /// Inserts or replaces `key` with no expiry, evicting LRU items
+    /// until the new item fits.
     ///
     /// A replacement is an unlink of the old item plus a link of the
     /// new one, exactly as memcached's `do_item_unlink`/`do_item_link`
-    /// pair would drive the digest.
-    pub fn put(&mut self, key: &[u8], value: impl Into<SharedBytes>, now: SimTime) -> u64 {
+    /// pair would drive the digest. An item whose accounted cost
+    /// exceeds the engine's entire capacity is **rejected** (memcached's
+    /// `SERVER_ERROR object too large`): nothing is evicted for it and
+    /// a pre-existing value under the key survives untouched.
+    pub fn put(
+        &mut self,
+        key: &[u8],
+        value: impl Into<SharedBytes> + AsRef<[u8]>,
+        now: SimTime,
+    ) -> StoreOutcome {
         self.put_with_expiry(key, value, now, None)
     }
 
@@ -306,10 +475,10 @@ impl CacheEngine {
     pub fn put_with_expiry(
         &mut self,
         key: &[u8],
-        value: impl Into<SharedBytes>,
+        value: impl Into<SharedBytes> + AsRef<[u8]>,
         now: SimTime,
         ttl: Option<SimDuration>,
-    ) -> u64 {
+    ) -> StoreOutcome {
         self.put_with_deadline(key, value, now, ttl.map_or(SimTime::MAX, |d| now + d))
     }
 
@@ -320,81 +489,138 @@ impl CacheEngine {
     pub fn put_with_deadline(
         &mut self,
         key: &[u8],
-        value: impl Into<SharedBytes>,
+        value: impl Into<SharedBytes> + AsRef<[u8]>,
         now: SimTime,
         expires_at: SimTime,
-    ) -> u64 {
-        let value: SharedBytes = value.into();
+    ) -> StoreOutcome {
         self.stats.sets += 1;
-        if let Some(&idx) = self.index.get(key) {
-            // Replace in place: digest sees unlink(old) + link(new).
-            let old_cost = {
-                let s = &self.slots[idx as usize];
-                self.entry_cost(&s.key, &s.value)
+        let hash = hash_key(key);
+        let klen = key.len();
+        let vlen = value.as_ref().len();
+        let cost = self.entry_cost(klen, vlen);
+        if cost > self.config.capacity_bytes {
+            // Rejecting (rather than evicting the whole cache and then
+            // failing anyway) keeps any existing value under the key.
+            self.stats.rejected += 1;
+            return StoreOutcome {
+                stored: false,
+                evicted: 0,
             };
-            self.digest.remove(key);
-            self.bytes_used -= old_cost;
-            let slot = &mut self.slots[idx as usize];
-            slot.value = value;
-            slot.last_access = now;
-            slot.expires_at = expires_at;
-            let new_cost = self.entry_cost(key, &self.slots[idx as usize].value);
-            self.bytes_used += new_cost;
-            self.digest.insert(key);
-            self.detach(idx);
-            self.push_front(idx);
-        } else {
-            let cost = self.entry_cost(key, &value);
-            let slot = Slot {
-                key: key.to_vec().into_boxed_slice(),
-                value,
-                last_access: now,
-                expires_at,
-                prev: NIL,
-                next: NIL,
-            };
-            let idx = if let Some(free) = self.free.pop() {
-                self.slots[free as usize] = slot;
-                free
-            } else {
-                let idx = u32::try_from(self.slots.len()).expect("cache slot overflow");
-                self.slots.push(slot);
-                idx
-            };
-            self.index.insert(key.to_vec().into_boxed_slice(), idx);
-            self.push_front(idx);
-            self.bytes_used += cost;
-            self.digest.insert(key);
         }
-        self.evict_to_capacity()
-    }
-
-    fn evict_to_capacity(&mut self) -> u64 {
+        // Replace = unlink old + link new. Unlinking first frees the
+        // old chunk, which the new value often reuses immediately.
+        if let Some(idx) = self.find_slot(key, hash) {
+            self.remove_slot(idx);
+        }
         let mut evicted = 0;
-        while self.bytes_used > self.config.capacity_bytes && self.tail != NIL {
+        while self.bytes_used + cost > self.config.capacity_bytes && self.tail != NIL {
             self.remove_slot(self.tail);
             self.stats.evictions += 1;
             evicted += 1;
         }
-        evicted
+        let repr = if self.store.is_some() {
+            match self.place_slab(key, value.as_ref(), &mut evicted) {
+                Some(loc) => ValueRepr::Slab(loc),
+                None => {
+                    // Oversize for the class table, or pages pinned /
+                    // fragmented beyond the retry budget: the heap path
+                    // always succeeds, so a within-budget set never
+                    // fails outright.
+                    self.store
+                        .as_mut()
+                        .expect("checked is_some")
+                        .note_heap_fallback();
+                    ValueRepr::Heap(Box::new(HeapItem {
+                        key: key.into(),
+                        value: value.into(),
+                    }))
+                }
+            }
+        } else {
+            ValueRepr::Heap(Box::new(HeapItem {
+                key: key.into(),
+                value: value.into(),
+            }))
+        };
+        let slot = Slot {
+            repr,
+            hash,
+            klen: u32::try_from(klen).expect("key length exceeds u32"),
+            vlen: u32::try_from(vlen).expect("value length exceeds u32"),
+            last_access: now,
+            expires_at,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = if let Some(free) = self.free.pop() {
+            self.slots[free as usize] = slot;
+            free
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("cache slot overflow");
+            self.slots.push(slot);
+            idx
+        };
+        let slots = &self.slots;
+        self.index.insert(hash, idx, |s| slots[s as usize].hash);
+        self.push_front(idx);
+        self.bytes_used += cost;
+        self.digest.insert(key);
+        StoreOutcome {
+            stored: true,
+            evicted,
+        }
+    }
+
+    /// Tries to place `[key][bytes]` in the slab store, evicting up to
+    /// [`SLAB_EVICT_RETRY_LIMIT`] extra LRU items if the store is full.
+    /// `None` means "use the heap path" — never an unbounded loop.
+    fn place_slab(&mut self, key: &[u8], bytes: &[u8], evicted: &mut u64) -> Option<ChunkLoc> {
+        let mut attempts = 0;
+        loop {
+            let store = self.store.as_mut().expect("slab engine");
+            match store.insert(key, bytes) {
+                Ok(loc) => return Some(loc),
+                Err(SlabError::Oversize) => return None,
+                Err(SlabError::Full) => {
+                    if self.tail == NIL || attempts >= SLAB_EVICT_RETRY_LIMIT {
+                        return None;
+                    }
+                    self.remove_slot(self.tail);
+                    self.stats.evictions += 1;
+                    *evicted += 1;
+                    attempts += 1;
+                }
+            }
+        }
     }
 
     fn remove_slot(&mut self, idx: u32) {
         self.detach(idx);
-        // Taking the payloads both empties the freed slot and hands us
-        // the key for index/digest removal without cloning it.
-        let key = std::mem::take(&mut self.slots[idx as usize].key);
-        let value = std::mem::take(&mut self.slots[idx as usize].value);
-        let cost = self.entry_cost(&key, &value[..]);
-        self.index.remove(&key);
-        self.digest.remove(&key);
-        self.bytes_used -= cost;
+        let i = idx as usize;
+        let (hash, klen, vlen) = {
+            let s = &self.slots[i];
+            (s.hash, s.klen as usize, s.vlen as usize)
+        };
+        match std::mem::replace(&mut self.slots[i].repr, ValueRepr::Free) {
+            ValueRepr::Heap(item) => {
+                self.digest.remove(&item.key);
+            }
+            ValueRepr::Slab(loc) => {
+                let store = self.store.as_mut().expect("slab slot without slab store");
+                self.digest.remove(store.key_slice(loc, klen));
+                store.free(loc, klen + vlen);
+            }
+            ValueRepr::Free => unreachable!("removing a free slot"),
+        }
+        let slots = &self.slots;
+        self.index.remove(hash, idx, |s| slots[s as usize].hash);
+        self.bytes_used -= self.entry_cost(klen, vlen);
         self.free.push(idx);
     }
 
     /// Deletes `key`, returning whether it was present.
     pub fn delete(&mut self, key: &[u8]) -> bool {
-        match self.index.get(key).copied() {
+        match self.find_slot(key, hash_key(key)) {
             Some(idx) => {
                 self.remove_slot(idx);
                 self.stats.deletes += 1;
@@ -408,25 +634,31 @@ impl CacheEngine {
     /// `now` — the paper's definition of "hot" data (Section II).
     #[must_use]
     pub fn is_hot(&self, key: &[u8], now: SimTime, ttl: SimDuration) -> bool {
-        self.index
-            .get(key)
-            .map(|&idx| now.saturating_since(self.slots[idx as usize].last_access) <= ttl)
+        self.find_slot(key, hash_key(key))
+            .map(|idx| now.saturating_since(self.slots[idx as usize].last_access) <= ttl)
             .unwrap_or(false)
     }
 
     /// Number of items accessed within `ttl` of `now`.
     #[must_use]
     pub fn hot_items(&self, now: SimTime, ttl: SimDuration) -> usize {
-        self.index
-            .values()
-            .filter(|&&idx| now.saturating_since(self.slots[idx as usize].last_access) <= ttl)
-            .count()
+        let mut count = 0;
+        let mut cursor = self.head;
+        while cursor != NIL {
+            let slot = &self.slots[cursor as usize];
+            if now.saturating_since(slot.last_access) <= ttl {
+                count += 1;
+            }
+            cursor = slot.next;
+        }
+        count
     }
 
     /// Iterates over cached keys in MRU→LRU order.
     pub fn keys(&self) -> impl Iterator<Item = &[u8]> + '_ {
         LruIter {
-            engine: self,
+            slots: &self.slots,
+            store: &self.store,
             cursor: self.head,
         }
     }
@@ -439,12 +671,16 @@ impl CacheEngine {
         self.head = NIL;
         self.tail = NIL;
         self.bytes_used = 0;
+        if let Some(store) = &mut self.store {
+            store.clear();
+        }
         self.digest.clear();
     }
 }
 
 struct LruIter<'a> {
-    engine: &'a CacheEngine,
+    slots: &'a [Slot],
+    store: &'a Option<SlabStore>,
     cursor: u32,
 }
 
@@ -455,9 +691,9 @@ impl<'a> Iterator for LruIter<'a> {
         if self.cursor == NIL {
             return None;
         }
-        let slot = &self.engine.slots[self.cursor as usize];
-        self.cursor = slot.next;
-        Some(&slot.key)
+        let idx = self.cursor;
+        self.cursor = self.slots[idx as usize].next;
+        Some(slot_key(self.slots, self.store, idx))
     }
 }
 
@@ -467,6 +703,7 @@ impl fmt::Debug for CacheEngine {
             .field("items", &self.len())
             .field("bytes_used", &self.bytes_used)
             .field("capacity_bytes", &self.config.capacity_bytes)
+            .field("storage", &self.config.storage)
             .field("stats", &self.stats)
             .finish()
     }
@@ -481,6 +718,16 @@ mod tests {
         CacheEngine::new(
             CacheConfig::with_capacity(capacity)
                 .item_overhead(0)
+                .digest(BloomConfig::new(1 << 14, 4, 4)),
+        )
+    }
+
+    fn slab_engine(capacity: u64) -> CacheEngine {
+        CacheEngine::new(
+            CacheConfig::with_capacity(capacity)
+                .item_overhead(0)
+                .storage(StorageKind::Slab)
+                .slab_page_bytes(4096)
                 .digest(BloomConfig::new(1 << 14, 4, 4)),
         )
     }
@@ -519,8 +766,9 @@ mod tests {
         c.put(b"c", vec![0; 10], T0);
         // Touch "a" so "b" is now LRU.
         assert!(c.get(b"a", T0).is_some());
-        let evicted = c.put(b"d", vec![0; 10], T0);
-        assert_eq!(evicted, 1);
+        let outcome = c.put(b"d", vec![0; 10], T0);
+        assert_eq!(outcome.evicted, 1);
+        assert!(outcome.stored);
         assert!(!c.contains(b"b"), "b was LRU");
         assert!(c.contains(b"a") && c.contains(b"c") && c.contains(b"d"));
         assert_eq!(c.stats().evictions, 1);
@@ -536,13 +784,24 @@ mod tests {
     }
 
     #[test]
-    fn oversized_item_evicts_everything_then_itself_stays_if_it_fits() {
+    fn oversized_item_is_rejected_and_leaves_contents_intact() {
         let mut c = engine(100);
         c.put(b"small", vec![0; 10], T0);
-        // 200-byte item cannot fit: everything is evicted including it.
-        c.put(b"huge", vec![0; 200], T0);
-        assert!(c.is_empty(), "oversized item cannot be cached");
-        assert_eq!(c.bytes_used(), 0);
+        // A 200-byte item can never fit a 100-byte budget: it is
+        // rejected outright, evicting nothing.
+        let outcome = c.put(b"huge", vec![0; 200], T0);
+        assert!(!outcome.stored);
+        assert_eq!(outcome.evicted, 0);
+        assert!(!c.contains(b"huge"));
+        assert!(!c.digest().contains(b"huge"));
+        assert_eq!(c.peek(b"small"), Some(&[0u8; 10][..]), "survivor intact");
+        assert_eq!(c.stats().rejected, 1);
+        assert_eq!(c.stats().evictions, 0);
+        // A replace that would not fit keeps the old value too.
+        let outcome = c.put(b"small", vec![1; 150], T0);
+        assert!(!outcome.stored);
+        assert_eq!(c.peek(b"small"), Some(&[0u8; 10][..]));
+        assert_eq!(c.stats().rejected, 2);
     }
 
     #[test]
@@ -628,14 +887,14 @@ mod tests {
         let a = c.get_shared(b"k", T0).unwrap();
         let b = c.get_shared(b"k", T0).unwrap();
         assert!(
-            std::sync::Arc::ptr_eq(&a, &b),
+            SharedBytes::ptr_eq(&a, &b),
             "repeated hits must share one allocation"
         );
         let p = c.peek_shared(b"k").unwrap();
-        assert!(std::sync::Arc::ptr_eq(&a, &p));
+        assert!(SharedBytes::ptr_eq(&a, &p));
         assert_eq!(&a[..], b"shared");
         assert_eq!(c.stats().hits, 2);
-        // The buffer outlives deletion for holders of the Arc.
+        // The buffer outlives deletion for holders of the view.
         assert!(c.delete(b"k"));
         assert_eq!(&a[..], b"shared");
     }
@@ -652,8 +911,8 @@ mod tests {
             }
         }
         assert!(c.is_empty());
-        // The slab should not have grown past one round's worth.
-        assert!(c.slots.len() <= 100, "slab grew to {}", c.slots.len());
+        // The slot table should not have grown past one round's worth.
+        assert!(c.slots.len() <= 100, "slot table grew to {}", c.slots.len());
     }
 
     #[test]
@@ -736,5 +995,102 @@ mod tests {
         assert_eq!(c.stats(), before);
         // LRU order unchanged: "b" still MRU.
         assert_eq!(c.keys().next().unwrap(), b"b");
+    }
+
+    // ---- slab backend ----
+
+    #[test]
+    fn slab_roundtrip_digest_and_stats() {
+        let mut c = slab_engine(1 << 16);
+        assert!(c.get(b"k", T0).is_none());
+        c.put(b"k", b"v".to_vec(), T0);
+        assert_eq!(c.get(b"k", T0).unwrap(), b"v");
+        assert!(c.digest().contains(b"k"));
+        assert!(c.delete(b"k"));
+        assert!(!c.digest().contains(b"k"));
+        let slab = c.slab_stats().expect("slab backend");
+        assert_eq!(slab.classes.iter().map(|cl| cl.items).sum::<u64>(), 0);
+        assert!(slab.pages_allocated >= 1, "a page was touched");
+    }
+
+    #[test]
+    fn slab_get_shared_is_a_window_into_the_page() {
+        let mut c = slab_engine(1 << 16);
+        c.put(b"k", b"slabbed".to_vec(), T0);
+        let a = c.get_shared(b"k", T0).unwrap();
+        let b = c.get_shared(b"k", T0).unwrap();
+        assert!(SharedBytes::ptr_eq(&a, &b), "hits alias the page window");
+        assert_eq!(&a[..], b"slabbed");
+        // The page outlives deletion for holders of a view.
+        assert!(c.delete(b"k"));
+        assert_eq!(&a[..], b"slabbed");
+        // Two keys in one page: distinct windows, same backing buffer.
+        c.put(b"x", b"one".to_vec(), T0);
+        c.put(b"y", b"two".to_vec(), T0);
+        let x = c.peek_shared(b"x").unwrap();
+        let y = c.peek_shared(b"y").unwrap();
+        assert!(!SharedBytes::ptr_eq(&x, &y));
+        assert_eq!(&x[..], b"one");
+        assert_eq!(&y[..], b"two");
+    }
+
+    #[test]
+    fn slab_oversize_item_takes_the_heap_path() {
+        // Page size 4096: a 6000-byte value exceeds every size class
+        // but fits the byte budget, so it lands on the heap untouched.
+        let mut c = slab_engine(1 << 20);
+        let outcome = c.put(b"big", vec![9u8; 6000], T0);
+        assert!(outcome.stored);
+        assert_eq!(c.get(b"big", T0).unwrap(), &vec![9u8; 6000][..]);
+        assert_eq!(c.slab_stats().unwrap().heap_fallbacks, 1);
+        // Deleting it must not disturb slab accounting.
+        assert!(c.delete(b"big"));
+        assert_eq!(c.bytes_used(), 0);
+    }
+
+    #[test]
+    fn slab_eviction_and_rejection_match_heap_semantics() {
+        let mut heap = engine(1000);
+        let mut slab = slab_engine(1000);
+        for c in [&mut heap, &mut slab] {
+            for i in 0..200u64 {
+                c.put(&i.to_le_bytes(), vec![0; 50], T0);
+                assert!(c.bytes_used() <= 1000);
+            }
+            let outcome = c.put(b"way-too-big", vec![0; 2000], T0);
+            assert!(!outcome.stored);
+        }
+        assert_eq!(heap.len(), slab.len());
+        assert_eq!(heap.bytes_used(), slab.bytes_used());
+        assert_eq!(heap.stats(), slab.stats());
+        let hk: Vec<Vec<u8>> = heap.keys().map(<[u8]>::to_vec).collect();
+        let sk: Vec<Vec<u8>> = slab.keys().map(<[u8]>::to_vec).collect();
+        assert_eq!(hk, sk, "identical LRU contents and order");
+    }
+
+    #[test]
+    fn slab_churn_keeps_accounting_consistent() {
+        let mut c = slab_engine(64 * 1024);
+        // Mixed sizes, several waves of overwrite + delete churn.
+        for wave in 0..6u64 {
+            for i in 0..500u64 {
+                let len = 8 + ((i * 37 + wave * 11) % 600) as usize;
+                c.put(&i.to_le_bytes(), vec![wave as u8; len], T0);
+            }
+            for i in (0..500u64).step_by(3) {
+                c.delete(&i.to_le_bytes());
+            }
+        }
+        let slab = c.slab_stats().expect("slab backend");
+        let live: u64 = slab.classes.iter().map(|cl| cl.live_bytes).sum();
+        assert!(
+            slab.page_bytes_total() >= live,
+            "pages ({}) must cover live bytes ({live})",
+            slab.page_bytes_total()
+        );
+        // Accounted payload bytes equal slab live bytes (overhead 0,
+        // no heap fallbacks for these sizes).
+        assert_eq!(slab.heap_fallbacks, 0);
+        assert_eq!(c.bytes_used(), live);
     }
 }

@@ -32,21 +32,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bytes;
 mod config;
 mod engine;
+mod index;
 mod sharded;
+mod slab;
 mod stats;
 
-pub use config::CacheConfig;
-pub use engine::CacheEngine;
+pub use bytes::SharedBytes;
+pub use config::{CacheConfig, StorageKind};
+pub use engine::{CacheEngine, StoreOutcome};
 pub use sharded::ShardedEngine;
+pub use slab::{SlabClassStats, SlabStats};
 pub use stats::CacheStats;
-
-/// A reference-counted, immutable value buffer.
-///
-/// Values are stored and handed out as `Arc<[u8]>` so a cache hit is a
-/// refcount bump, never a byte copy: the engine, the wire layer, and
-/// any in-flight responses all share the same allocation. Bytes are
-/// copied into a `SharedBytes` exactly once, at `set` time; after that
-/// they are never copied again inside the cache tier (see DESIGN.md §9).
-pub type SharedBytes = std::sync::Arc<[u8]>;

@@ -7,7 +7,8 @@ use proteus_bloom::BloomFilter;
 use proteus_sim::{SimDuration, SimTime};
 
 use crate::config::CacheConfig;
-use crate::engine::CacheEngine;
+use crate::engine::{CacheEngine, StoreOutcome};
+use crate::slab::SlabStats;
 use crate::stats::CacheStats;
 use crate::SharedBytes;
 
@@ -20,6 +21,7 @@ struct AtomicStats {
     deletes: AtomicU64,
     evictions: AtomicU64,
     expired: AtomicU64,
+    rejected: AtomicU64,
 }
 
 impl AtomicStats {
@@ -38,6 +40,7 @@ impl AtomicStats {
         add(&self.deletes, before.deletes, after.deletes);
         add(&self.evictions, before.evictions, after.evictions);
         add(&self.expired, before.expired, after.expired);
+        add(&self.rejected, before.rejected, after.rejected);
     }
 
     fn load(&self) -> CacheStats {
@@ -48,6 +51,7 @@ impl AtomicStats {
             deletes: self.deletes.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
         }
     }
 }
@@ -169,11 +173,18 @@ impl ShardedEngine {
         self.with_key_shard(key, |e| e.get_shared(key, now))
     }
 
-    /// Inserts or replaces `key` with no expiry. Returns evictions
-    /// caused (within `key`'s shard). A [`SharedBytes`] value is stored
-    /// as-is (no copy); a `Vec<u8>` is copied into a fresh shared
-    /// buffer once.
-    pub fn put(&self, key: &[u8], value: impl Into<SharedBytes>, now: SimTime) -> u64 {
+    /// Inserts or replaces `key` with no expiry. The outcome reports
+    /// whether the item was stored (an item larger than the shard's
+    /// whole budget is rejected, leaving any existing value intact) and
+    /// how many evictions it caused within `key`'s shard. On the heap
+    /// backend a [`SharedBytes`] value is stored as-is (no copy); on
+    /// the slab backend the bytes are copied once into a page.
+    pub fn put(
+        &self,
+        key: &[u8],
+        value: impl Into<SharedBytes> + AsRef<[u8]>,
+        now: SimTime,
+    ) -> StoreOutcome {
         self.with_key_shard(key, |e| e.put(key, value, now))
     }
 
@@ -182,10 +193,10 @@ impl ShardedEngine {
     pub fn put_with_expiry(
         &self,
         key: &[u8],
-        value: impl Into<SharedBytes>,
+        value: impl Into<SharedBytes> + AsRef<[u8]>,
         now: SimTime,
         ttl: Option<SimDuration>,
-    ) -> u64 {
+    ) -> StoreOutcome {
         self.with_key_shard(key, |e| e.put_with_expiry(key, value, now, ttl))
     }
 
@@ -289,10 +300,34 @@ impl ShardedEngine {
         self.digest_snapshot().estimate_cardinality()
     }
 
+    /// Merged slab-store snapshot across shards (per-class counters
+    /// summed, shards locked one at a time), or `None` on the heap
+    /// backend.
+    #[must_use]
+    pub fn slab_stats(&self) -> Option<SlabStats> {
+        let mut merged: Option<SlabStats> = None;
+        for shard in &self.shards {
+            let snap = shard.lock().slab_stats()?;
+            match &mut merged {
+                Some(m) => m.merge(&snap),
+                None => merged = Some(snap),
+            }
+        }
+        merged
+    }
+
     /// Empties every shard (one at a time).
     pub fn clear(&self) {
         for shard in &self.shards {
             shard.lock().clear();
+        }
+    }
+
+    /// Audits every shard's storage accounting (see
+    /// [`CacheEngine::assert_storage_consistent`]), panicking on drift.
+    pub fn assert_storage_consistent(&self) {
+        for shard in &self.shards {
+            shard.lock().assert_storage_consistent();
         }
     }
 }
@@ -517,10 +552,37 @@ mod tests {
         let a = c.get(b"k", T0).unwrap();
         let b = c.get(b"k", T0).unwrap();
         assert!(
-            Arc::ptr_eq(&stored, &a) && Arc::ptr_eq(&a, &b),
+            SharedBytes::ptr_eq(&stored, &a) && SharedBytes::ptr_eq(&a, &b),
             "shared puts and gets must alias one allocation"
         );
         assert_eq!(c.peek(b"k").map(|v| v.len()), Some(128));
+    }
+
+    #[test]
+    fn slab_backend_roundtrips_and_reports_merged_stats() {
+        use crate::config::StorageKind;
+        let c = ShardedEngine::new(
+            CacheConfig::with_capacity(1 << 20)
+                .item_overhead(0)
+                .shards(4)
+                .storage(StorageKind::Slab)
+                .slab_page_bytes(4096)
+                .digest(BloomConfig::new(1 << 14, 4, 4)),
+        );
+        for i in 0..500u64 {
+            c.put(&i.to_le_bytes(), i.to_string().into_bytes(), T0);
+        }
+        for i in 0..500u64 {
+            assert_eq!(
+                c.get(&i.to_le_bytes(), T0).as_deref(),
+                Some(i.to_string().as_bytes())
+            );
+        }
+        let slab = c.slab_stats().expect("slab backend");
+        assert_eq!(slab.classes.iter().map(|cl| cl.items).sum::<u64>(), 500);
+        assert!(slab.pages_allocated > 0);
+        assert!(slab.page_bytes_total() >= slab.live_bytes());
+        assert_eq!(engine(1 << 20, 4).slab_stats(), None, "heap backend");
     }
 
     #[test]

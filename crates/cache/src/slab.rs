@@ -1,0 +1,690 @@
+//! Slab/size-class storage: memcached-style page allocator for items.
+//!
+//! The heap backend allocates one buffer per value. At 10M+ small
+//! resident items that means 10M allocator headers, unpredictable
+//! fragmentation, and an allocator-bound eviction path. The slab store
+//! instead carves fixed-size **pages** (1 MiB by default) into chunks
+//! of geometric size classes (~1.25 growth factor) and places each
+//! item's `[key][value]` bytes into the smallest chunk that fits.
+//! Worst-case internal waste is bounded by the growth factor; pages
+//! are the only allocation unit the system allocator ever sees.
+//!
+//! # Safety model (no `unsafe`)
+//!
+//! Pages are `Arc<[u8]>`. A cache hit hands out a
+//! [`SharedBytes`](crate::SharedBytes) window into the page — a
+//! refcount bump, no copy — and that window may outlive the item (a
+//! response still in flight after an eviction). The store therefore
+//! **never** writes to a page that has outstanding views: every write
+//! goes through [`Arc::get_mut`], which succeeds only while the store
+//! holds the sole reference. A page with in-flight views simply cannot
+//! accept new items for that moment; the write moves to another page
+//! of the class (or a fresh one), and the busy page becomes writable
+//! again the instant the last view drops. This trades a little
+//! placement flexibility for memory safety that the compiler checks.
+//!
+//! # Page reassignment
+//!
+//! Pages belong to a class only while they hold live items. A page
+//! whose last item is freed is remembered; when some other class is
+//! starved (no free chunk, page budget exhausted), the store reclaims
+//! an empty page from a rich class and reassigns it — the
+//! memcached "slab rebalance" move, done eagerly at the moment of
+//! starvation.
+
+use std::sync::Arc;
+
+use crate::SharedBytes;
+
+/// Smallest chunk size. Items smaller than this still occupy one
+/// minimum chunk (48-byte memcached floor rounded to 64).
+const MIN_CHUNK: u32 = 64;
+
+/// Size-class growth factor: 1.25, expressed as a ratio.
+const GROWTH_NUM: u64 = 5;
+const GROWTH_DEN: u64 = 4;
+
+/// How many candidate pages a single insert probes before concluding
+/// the class needs a fresh page. Bounds worst-case insert cost when
+/// many pages of a class are pinned by in-flight views.
+const WRITE_PROBE_LIMIT: usize = 8;
+
+/// Where an item's bytes live: size class, page within the class, and
+/// chunk within the page. The item's key/value lengths are stored by
+/// the owner (the engine slot), not in the page, so chunks carry no
+/// headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkLoc {
+    pub(crate) class: u16,
+    pub(crate) page: u32,
+    pub(crate) chunk: u32,
+}
+
+/// Why an insert could not be placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlabError {
+    /// The item exceeds the largest size class (one whole page); the
+    /// caller stores it on the heap instead.
+    Oversize,
+    /// No free chunk, no reassignable page, and the page budget is
+    /// exhausted: the caller should evict and retry (or fall back).
+    Full,
+}
+
+#[derive(Debug)]
+struct Page {
+    buf: Arc<[u8]>,
+    /// Free chunk indices within this page.
+    free: Vec<u32>,
+    /// Live items in this page.
+    live: u32,
+    /// Whether the page is queued in its class's candidate ring.
+    queued: bool,
+}
+
+#[derive(Debug)]
+struct SizeClass {
+    chunk_size: u32,
+    chunks_per_page: u32,
+    /// Stable page table: `ChunkLoc::page` indexes here, so reclaimed
+    /// entries become `None` rather than shifting their neighbours.
+    pages: Vec<Option<Page>>,
+    /// Indices of `None` entries in `pages`, reusable for new pages.
+    vacant: Vec<u32>,
+    /// Pages that may have free chunks, probed round-robin on insert.
+    candidates: std::collections::VecDeque<u32>,
+    live_items: u64,
+    /// Exact key+value bytes of live items (≤ live_items × chunk_size).
+    live_bytes: u64,
+}
+
+impl SizeClass {
+    fn page_count(&self) -> u64 {
+        self.pages.iter().filter(|p| p.is_some()).count() as u64
+    }
+}
+
+/// Per-class usage snapshot, exported through `stats proteus` and the
+/// Prometheus registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlabClassStats {
+    /// Chunk size of this class in bytes.
+    pub chunk_size: u32,
+    /// Pages currently assigned to the class.
+    pub pages: u64,
+    /// Live items.
+    pub items: u64,
+    /// Exact key+value bytes of live items.
+    pub live_bytes: u64,
+    /// Internal waste: `items × chunk_size − live_bytes`.
+    pub bytes_wasted: u64,
+}
+
+/// Whole-store usage snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SlabStats {
+    /// Per-class breakdown, ascending chunk size. Classes that never
+    /// held an item are omitted.
+    pub classes: Vec<SlabClassStats>,
+    /// Configured page size in bytes.
+    pub page_bytes: u64,
+    /// Pages allocated from the system (assigned + pooled).
+    pub pages_allocated: u64,
+    /// Reclaimed empty pages waiting in the cross-class pool.
+    pub pages_pooled: u64,
+    /// Inserts that found a candidate page pinned by in-flight views
+    /// and had to look elsewhere.
+    pub write_blocked: u64,
+    /// Empty pages moved between size classes under starvation.
+    pub pages_reassigned: u64,
+    /// Items the engine stored on the heap because the slab was full
+    /// or the item was oversize.
+    pub heap_fallbacks: u64,
+}
+
+impl SlabStats {
+    /// Total live key+value bytes across classes.
+    #[must_use]
+    pub fn live_bytes(&self) -> u64 {
+        self.classes.iter().map(|c| c.live_bytes).sum()
+    }
+
+    /// Total bytes held in pages (allocated × page size).
+    #[must_use]
+    pub fn page_bytes_total(&self) -> u64 {
+        self.pages_allocated * self.page_bytes
+    }
+
+    /// Fraction of page memory **not** holding live item bytes:
+    /// `1 − live_bytes / page_bytes_total`, in `0.0..=1.0`. Counts
+    /// both internal (chunk rounding) and external (unfilled pages)
+    /// fragmentation. `0.0` when no pages are allocated.
+    #[must_use]
+    pub fn fragmentation(&self) -> f64 {
+        let total = self.page_bytes_total();
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - self.live_bytes() as f64 / total as f64
+        }
+    }
+
+    /// Folds another store's snapshot into this one (the sharded
+    /// engine merges its per-shard stores class-by-class).
+    pub fn merge(&mut self, other: &SlabStats) {
+        self.page_bytes = self.page_bytes.max(other.page_bytes);
+        self.pages_allocated += other.pages_allocated;
+        self.pages_pooled += other.pages_pooled;
+        self.write_blocked += other.write_blocked;
+        self.pages_reassigned += other.pages_reassigned;
+        self.heap_fallbacks += other.heap_fallbacks;
+        for oc in &other.classes {
+            match self
+                .classes
+                .iter_mut()
+                .find(|c| c.chunk_size == oc.chunk_size)
+            {
+                Some(c) => {
+                    c.pages += oc.pages;
+                    c.items += oc.items;
+                    c.live_bytes += oc.live_bytes;
+                    c.bytes_wasted += oc.bytes_wasted;
+                }
+                None => self.classes.push(*oc),
+            }
+        }
+        self.classes.sort_by_key(|c| c.chunk_size);
+    }
+}
+
+/// The slab store. One per engine shard; all access is serialized by
+/// the shard (the engine is `&mut self` throughout).
+#[derive(Debug)]
+pub struct SlabStore {
+    page_bytes: u32,
+    classes: Vec<SizeClass>,
+    /// Reclaimed empty pages, reusable by any class.
+    free_pool: Vec<Arc<[u8]>>,
+    /// Hints of (class, page) pairs that were seen empty; validated on
+    /// use (the page may have been refilled since).
+    empty_hints: Vec<(u16, u32)>,
+    pages_allocated: u64,
+    max_pages: u64,
+    write_blocked: u64,
+    pages_reassigned: u64,
+    heap_fallbacks: u64,
+}
+
+/// The size-class chunk table for a page size: MIN_CHUNK growing by
+/// ×1.25 (rounded up to 8) until one chunk fills the page.
+fn class_table(page_bytes: u32) -> Vec<u32> {
+    let mut sizes = Vec::new();
+    let mut size = MIN_CHUNK.min(page_bytes);
+    loop {
+        sizes.push(size);
+        if size >= page_bytes {
+            break;
+        }
+        let next = ((u64::from(size) * GROWTH_NUM / GROWTH_DEN + 7) & !7) as u32;
+        size = next.min(page_bytes);
+    }
+    sizes
+}
+
+impl SlabStore {
+    /// A store with the given page size and a budget of `max_pages`
+    /// pages. `page_bytes` is clamped to at least 1 KiB.
+    #[must_use]
+    pub fn new(page_bytes: u32, max_pages: u64) -> SlabStore {
+        let page_bytes = page_bytes.max(1024);
+        let classes = class_table(page_bytes)
+            .into_iter()
+            .map(|chunk_size| SizeClass {
+                chunk_size,
+                chunks_per_page: page_bytes / chunk_size,
+                pages: Vec::new(),
+                vacant: Vec::new(),
+                candidates: std::collections::VecDeque::new(),
+                live_items: 0,
+                live_bytes: 0,
+            })
+            .collect();
+        SlabStore {
+            page_bytes,
+            classes,
+            free_pool: Vec::new(),
+            empty_hints: Vec::new(),
+            pages_allocated: 0,
+            max_pages: max_pages.max(1),
+            write_blocked: 0,
+            pages_reassigned: 0,
+            heap_fallbacks: 0,
+        }
+    }
+
+    /// The size class an item of `len` bytes lands in, or `None` if it
+    /// exceeds the largest class (→ heap path).
+    #[must_use]
+    pub fn class_of(&self, len: usize) -> Option<u16> {
+        if len > self.page_bytes as usize {
+            return None;
+        }
+        let len = len as u32;
+        self.classes
+            .iter()
+            .position(|c| c.chunk_size >= len)
+            .map(|i| i as u16)
+    }
+
+    /// Chunk size of class `class`.
+    #[cfg(test)]
+    pub fn chunk_size(&self, class: u16) -> u32 {
+        self.classes[class as usize].chunk_size
+    }
+
+    /// Records that the engine stored an item on the heap because the
+    /// slab could not place it.
+    pub fn note_heap_fallback(&mut self) {
+        self.heap_fallbacks += 1;
+    }
+
+    /// Places `[key][value]` into the smallest chunk that fits.
+    ///
+    /// # Errors
+    ///
+    /// [`SlabError::Oversize`] if the item exceeds the largest class;
+    /// [`SlabError::Full`] if no chunk can be produced right now (the
+    /// caller evicts and retries, or falls back to the heap).
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<ChunkLoc, SlabError> {
+        let len = key.len() + value.len();
+        let class = self.class_of(len).ok_or(SlabError::Oversize)?;
+        // 1. A candidate page of the class with a free chunk we may
+        //    write (no outstanding views).
+        let probes = self.classes[class as usize]
+            .candidates
+            .len()
+            .min(WRITE_PROBE_LIMIT);
+        for _ in 0..probes {
+            let c = &mut self.classes[class as usize];
+            let Some(&pid) = c.candidates.front() else {
+                break;
+            };
+            let page = match c.pages[pid as usize].as_mut() {
+                Some(p) if !p.free.is_empty() => p,
+                other => {
+                    // Stale candidate: reclaimed or fully occupied.
+                    if let Some(p) = other {
+                        p.queued = false;
+                    }
+                    c.candidates.pop_front();
+                    continue;
+                }
+            };
+            match Arc::get_mut(&mut page.buf) {
+                Some(data) => {
+                    let chunk = page.free.pop().expect("checked non-empty");
+                    let off = (chunk * c.chunk_size) as usize;
+                    data[off..off + key.len()].copy_from_slice(key);
+                    data[off + key.len()..off + len].copy_from_slice(value);
+                    page.live += 1;
+                    if page.free.is_empty() {
+                        page.queued = false;
+                        c.candidates.pop_front();
+                    }
+                    c.live_items += 1;
+                    c.live_bytes += len as u64;
+                    return Ok(ChunkLoc {
+                        class,
+                        page: pid,
+                        chunk,
+                    });
+                }
+                None => {
+                    // Pinned by in-flight views; try the next page.
+                    self.write_blocked += 1;
+                    let c = &mut self.classes[class as usize];
+                    let pid = c.candidates.pop_front().expect("probed front");
+                    c.candidates.push_back(pid);
+                }
+            }
+        }
+        // 2. A fresh page: the cross-class pool, the allocator (within
+        //    budget), or an empty page reclaimed from a rich class.
+        if let Some(buf) = self.take_page() {
+            return Ok(self.install_page(class, buf, key, value));
+        }
+        Err(SlabError::Full)
+    }
+
+    /// Pops a usable page from the pool, allocates one within budget,
+    /// or reclaims an empty page from another class.
+    fn take_page(&mut self) -> Option<Arc<[u8]>> {
+        if let Some(buf) = self.free_pool.pop() {
+            return Some(buf);
+        }
+        if self.pages_allocated < self.max_pages {
+            self.pages_allocated += 1;
+            return Some(vec![0u8; self.page_bytes as usize].into());
+        }
+        self.reclaim_empty_page()
+    }
+
+    /// Detaches an empty, view-free page from whatever class holds it.
+    fn reclaim_empty_page(&mut self) -> Option<Arc<[u8]>> {
+        while let Some((class, pid)) = self.empty_hints.pop() {
+            let c = &mut self.classes[class as usize];
+            let empty_and_quiet = matches!(
+                c.pages.get(pid as usize),
+                Some(Some(p)) if p.live == 0 && Arc::strong_count(&p.buf) == 1
+            );
+            if !empty_and_quiet {
+                continue; // refilled since, or a response still views it
+            }
+            let page = c.pages[pid as usize].take().expect("matched Some");
+            c.vacant.push(pid);
+            self.pages_reassigned += 1;
+            return Some(page.buf);
+        }
+        None
+    }
+
+    /// Installs `buf` as a new page of `class` and writes the item
+    /// into chunk 0.
+    fn install_page(
+        &mut self,
+        class: u16,
+        mut buf: Arc<[u8]>,
+        key: &[u8],
+        value: &[u8],
+    ) -> ChunkLoc {
+        let c = &mut self.classes[class as usize];
+        let data = Arc::get_mut(&mut buf).expect("fresh page has no views");
+        data[..key.len()].copy_from_slice(key);
+        data[key.len()..key.len() + value.len()].copy_from_slice(value);
+        // Free list in descending order so chunks are handed out 0, 1,
+        // 2, … (chunk 0 is taken by this insert).
+        let free: Vec<u32> = (1..c.chunks_per_page).rev().collect();
+        let page = Page {
+            buf,
+            free,
+            live: 1,
+            queued: true,
+        };
+        let pid = match c.vacant.pop() {
+            Some(pid) => {
+                c.pages[pid as usize] = Some(page);
+                pid
+            }
+            None => {
+                let pid = u32::try_from(c.pages.len()).expect("page table overflow");
+                c.pages.push(Some(page));
+                pid
+            }
+        };
+        if c.chunks_per_page > 1 {
+            c.candidates.push_back(pid);
+        } else {
+            c.pages[pid as usize]
+                .as_mut()
+                .expect("just installed")
+                .queued = false;
+        }
+        c.live_items += 1;
+        c.live_bytes += (key.len() + value.len()) as u64;
+        ChunkLoc {
+            class,
+            page: pid,
+            chunk: 0,
+        }
+    }
+
+    /// Releases the chunk at `loc` (item of `len = klen + vlen` bytes).
+    /// The bytes are left in place — an in-flight view may still be
+    /// reading them — and the chunk is only rewritten once
+    /// [`Arc::get_mut`] proves no view exists.
+    pub fn free(&mut self, loc: ChunkLoc, len: usize) {
+        let c = &mut self.classes[loc.class as usize];
+        let page = c.pages[loc.page as usize]
+            .as_mut()
+            .expect("freeing a chunk of a reclaimed page");
+        page.free.push(loc.chunk);
+        page.live -= 1;
+        c.live_items -= 1;
+        c.live_bytes -= len as u64;
+        if !page.queued {
+            page.queued = true;
+            c.candidates.push_back(loc.page);
+        }
+        if page.live == 0 {
+            self.empty_hints.push((loc.class, loc.page));
+        }
+    }
+
+    /// The stored key bytes at `loc`.
+    #[must_use]
+    pub fn key_slice(&self, loc: ChunkLoc, klen: usize) -> &[u8] {
+        let (buf, off) = self.chunk(loc);
+        &buf[off..off + klen]
+    }
+
+    /// The stored value bytes at `loc`.
+    #[must_use]
+    pub fn value_slice(&self, loc: ChunkLoc, klen: usize, vlen: usize) -> &[u8] {
+        let (buf, off) = self.chunk(loc);
+        &buf[off + klen..off + klen + vlen]
+    }
+
+    /// A zero-copy shared view of the value at `loc`: a refcount bump
+    /// on the page, no allocation, no byte copy.
+    #[must_use]
+    pub fn value_view(&self, loc: ChunkLoc, klen: usize, vlen: usize) -> SharedBytes {
+        let c = &self.classes[loc.class as usize];
+        let page = c.pages[loc.page as usize].as_ref().expect("live chunk");
+        let off = (loc.chunk * c.chunk_size) as usize + klen;
+        SharedBytes::view(Arc::clone(&page.buf), off, vlen)
+    }
+
+    fn chunk(&self, loc: ChunkLoc) -> (&[u8], usize) {
+        let c = &self.classes[loc.class as usize];
+        let page = c.pages[loc.page as usize].as_ref().expect("live chunk");
+        (&page.buf[..], (loc.chunk * c.chunk_size) as usize)
+    }
+
+    /// Drops every page and resets all counters (`flush_all` / server
+    /// power-off). Pooled pages are released back to the allocator.
+    pub fn clear(&mut self) {
+        for c in &mut self.classes {
+            c.pages.clear();
+            c.vacant.clear();
+            c.candidates.clear();
+            c.live_items = 0;
+            c.live_bytes = 0;
+        }
+        self.free_pool.clear();
+        self.empty_hints.clear();
+        self.pages_allocated = 0;
+    }
+
+    /// Usage snapshot (see [`SlabStats`]).
+    #[must_use]
+    pub fn stats(&self) -> SlabStats {
+        let classes = self
+            .classes
+            .iter()
+            .filter(|c| c.page_count() > 0 || c.live_items > 0)
+            .map(|c| SlabClassStats {
+                chunk_size: c.chunk_size,
+                pages: c.page_count(),
+                items: c.live_items,
+                live_bytes: c.live_bytes,
+                bytes_wasted: c.live_items * u64::from(c.chunk_size) - c.live_bytes,
+            })
+            .collect();
+        SlabStats {
+            classes,
+            page_bytes: u64::from(self.page_bytes),
+            pages_allocated: self.pages_allocated,
+            pages_pooled: self.free_pool.len() as u64,
+            write_blocked: self.write_blocked,
+            pages_reassigned: self.pages_reassigned,
+            heap_fallbacks: self.heap_fallbacks,
+        }
+    }
+
+    /// Internal-consistency audit for tests: chunk conservation per
+    /// page, counter agreement per class, and the page-budget bound.
+    /// Panics on drift.
+    pub fn assert_consistent(&self) {
+        let mut assigned = 0u64;
+        for (ci, c) in self.classes.iter().enumerate() {
+            let mut live_items = 0u64;
+            for page in c.pages.iter().flatten() {
+                assigned += 1;
+                assert_eq!(
+                    page.free.len() as u32 + page.live,
+                    c.chunks_per_page,
+                    "class {ci}: chunk leak (free {} + live {} != {})",
+                    page.free.len(),
+                    page.live,
+                    c.chunks_per_page
+                );
+                live_items += u64::from(page.live);
+            }
+            assert_eq!(live_items, c.live_items, "class {ci}: live-item drift");
+            assert!(
+                c.live_bytes <= c.live_items * u64::from(c.chunk_size),
+                "class {ci}: live bytes exceed chunk capacity"
+            );
+        }
+        assert_eq!(
+            assigned + self.free_pool.len() as u64,
+            self.pages_allocated,
+            "page conservation: assigned + pooled != allocated"
+        );
+        assert!(
+            self.pages_allocated <= self.max_pages,
+            "page budget exceeded: {} > {}",
+            self.pages_allocated,
+            self.max_pages
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_table_grows_geometrically_to_one_page() {
+        let sizes = class_table(1 << 20);
+        assert_eq!(sizes[0], 64);
+        assert_eq!(*sizes.last().unwrap(), 1 << 20);
+        for w in sizes.windows(2) {
+            assert!(w[1] > w[0]);
+            // Growth never exceeds ×1.25 by more than rounding-to-8.
+            assert!(u64::from(w[1]) <= u64::from(w[0]) * 5 / 4 + 8);
+        }
+        // ~45 classes for 1 MiB pages; u16 class ids are ample.
+        assert!(sizes.len() < 60, "unexpected class count {}", sizes.len());
+    }
+
+    #[test]
+    fn insert_free_reuse_roundtrip() {
+        let mut s = SlabStore::new(4096, 8);
+        let a = s.insert(b"k1", b"hello").unwrap();
+        let b = s.insert(b"k2", b"world").unwrap();
+        assert_eq!(a.class, b.class);
+        assert_eq!(s.key_slice(a, 2), b"k1");
+        assert_eq!(s.value_slice(a, 2, 5), b"hello");
+        assert_eq!(s.value_slice(b, 2, 5), b"world");
+        s.free(a, 7);
+        // The freed chunk is reused (no views outstanding).
+        let c = s.insert(b"k3", b"again");
+        assert_eq!(s.value_slice(c.unwrap(), 2, 5), b"again");
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn views_are_zero_copy_and_survive_free() {
+        let mut s = SlabStore::new(4096, 8);
+        let loc = s.insert(b"key", b"value").unwrap();
+        let v1 = s.value_view(loc, 3, 5);
+        let v2 = s.value_view(loc, 3, 5);
+        assert_eq!(&v1[..], b"value");
+        assert!(SharedBytes::ptr_eq(&v1, &v2), "views alias the page");
+        s.free(loc, 8);
+        // The view still reads the original bytes after the free...
+        assert_eq!(&v1[..], b"value");
+        // ...because the store refuses to rewrite a viewed page: the
+        // next insert of the same class must go to a different page.
+        let loc2 = s.insert(b"ky2", b"other").unwrap();
+        assert_eq!(&v1[..], b"value");
+        assert_ne!((loc2.page, loc2.chunk), (loc.page, loc.chunk));
+        drop((v1, v2));
+        // Views gone: the original chunk becomes reusable.
+        let loc3 = s.insert(b"ky3", b"reuse").unwrap();
+        assert_eq!((loc3.page, loc3.chunk), (loc.page, loc.chunk));
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn oversize_items_are_refused_to_the_heap_path() {
+        let mut s = SlabStore::new(1024, 4);
+        assert_eq!(s.insert(b"k", &vec![0u8; 2048]), Err(SlabError::Oversize));
+        assert!(s.class_of(4096).is_none());
+        assert!(s.class_of(1024).is_some());
+    }
+
+    #[test]
+    fn page_budget_is_enforced_and_eviction_unblocks() {
+        // 1 KiB pages, budget 2: class 64 holds 16 chunks/page.
+        let mut s = SlabStore::new(1024, 2);
+        let locs: Vec<ChunkLoc> = (0..32)
+            .map(|i| s.insert(&[i as u8], &[0u8; 40]).unwrap())
+            .collect();
+        assert_eq!(s.insert(b"x", &[0u8; 40]), Err(SlabError::Full));
+        s.free(locs[0], 41);
+        let again = s.insert(b"x", &[0u8; 40]).unwrap();
+        assert_eq!((again.page, again.chunk), (locs[0].page, locs[0].chunk));
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn empty_pages_move_between_starved_and_rich_classes() {
+        // Budget 2 pages. Fill a small class across both pages, then
+        // free one page's worth; a large-class insert must reclaim the
+        // empty page rather than fail.
+        let mut s = SlabStore::new(1024, 2);
+        let locs: Vec<ChunkLoc> = (0..32)
+            .map(|i| s.insert(&[i as u8], &[0u8; 40]).unwrap())
+            .collect();
+        let first_page = locs[0].page;
+        for &loc in locs.iter().filter(|l| l.page == first_page) {
+            s.free(loc, 41);
+        }
+        let big = s.insert(b"big", &vec![0u8; 700]).unwrap();
+        assert!(s.chunk_size(big.class) >= 703);
+        assert_eq!(s.stats().pages_reassigned, 1);
+        assert_eq!(s.value_slice(big, 3, 700), &vec![0u8; 700][..]);
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn stats_track_waste_and_fragmentation() {
+        let mut s = SlabStore::new(4096, 4);
+        for i in 0..10u8 {
+            s.insert(&[i], &[7u8; 30]).unwrap(); // 31 bytes in 64-byte chunks
+        }
+        let stats = s.stats();
+        let class = &stats.classes[0];
+        assert_eq!(class.chunk_size, 64);
+        assert_eq!(class.items, 10);
+        assert_eq!(class.live_bytes, 310);
+        assert_eq!(class.bytes_wasted, 10 * 64 - 310);
+        assert!(stats.fragmentation() > 0.0 && stats.fragmentation() < 1.0);
+        assert_eq!(stats.page_bytes_total(), 4096);
+        s.clear();
+        assert_eq!(s.stats().pages_allocated, 0);
+        s.assert_consistent();
+    }
+}

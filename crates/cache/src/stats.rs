@@ -16,6 +16,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Items reaped after their expiry time (lazy or swept).
     pub expired: u64,
+    /// Stores rejected because the item could never fit the shard's
+    /// capacity budget (memcached's `SERVER_ERROR object too large`).
+    pub rejected: u64,
 }
 
 impl CacheStats {

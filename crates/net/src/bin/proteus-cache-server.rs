@@ -3,6 +3,7 @@
 //! ```text
 //! proteus-cache-server [--bind ADDR] [--capacity-mb N] [--hot-ttl-secs N]
 //!                      [--engine threaded|reactor] [--loops N]
+//!                      [--storage slab|heap]
 //! ```
 //!
 //! Speaks the memcached-flavoured text protocol on `ADDR`
@@ -20,7 +21,7 @@
 
 use std::process::ExitCode;
 
-use proteus_cache::CacheConfig;
+use proteus_cache::{CacheConfig, StorageKind};
 use proteus_net::{CacheServer, EngineKind, ServerConfig};
 use proteus_obs::MetricsServer;
 use proteus_sim::SimDuration;
@@ -32,6 +33,7 @@ struct Options {
     metrics_addr: Option<String>,
     engine: Option<String>,
     loops: usize,
+    storage: StorageKind,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -42,6 +44,11 @@ fn parse_args() -> Result<Options, String> {
         metrics_addr: None,
         engine: None,
         loops: 0,
+        // The binary defaults to the slab allocator: long-running
+        // servers want bounded fragmentation at tens of millions of
+        // resident items. (The library default stays `Heap` so
+        // embedders opt in explicitly.)
+        storage: StorageKind::Slab,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -74,11 +81,19 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--loops must be a number".to_string())?;
             }
+            "--storage" => {
+                opts.storage = match value("--storage")?.as_str() {
+                    "slab" => StorageKind::Slab,
+                    "heap" => StorageKind::Heap,
+                    _ => return Err("--storage must be `slab` or `heap`".to_string()),
+                };
+            }
             "--help" | "-h" => {
                 return Err("usage: proteus-cache-server [--bind ADDR] \
                             [--capacity-mb N] [--hot-ttl-secs N] \
                             [--metrics-addr ADDR] \
-                            [--engine threaded|reactor] [--loops N]"
+                            [--engine threaded|reactor] [--loops N] \
+                            [--storage slab|heap]"
                     .to_string());
             }
             other => return Err(format!("unknown flag {other}")),
@@ -99,7 +114,8 @@ fn main() -> ExitCode {
         }
     };
     let config = CacheConfig::with_capacity(opts.capacity_mb << 20)
-        .hot_ttl(SimDuration::from_secs(opts.hot_ttl_secs));
+        .hot_ttl(SimDuration::from_secs(opts.hot_ttl_secs))
+        .storage(opts.storage);
     // Default: the platform's preferred data plane (the reactor on
     // Linux, threaded elsewhere); `--engine` forces one explicitly.
     let engine = match opts.engine.as_deref() {
@@ -121,8 +137,12 @@ fn main() -> ExitCode {
         EngineKind::Threaded => "thread-per-connection".to_string(),
         EngineKind::Reactor { loops } => format!("epoll reactor, {loops} event loops"),
     };
+    let storage = match opts.storage {
+        StorageKind::Slab => "slab storage",
+        StorageKind::Heap => "heap storage",
+    };
     println!(
-        "proteus-cache-server listening on {} ({} MB, hot TTL {} s, {plane})",
+        "proteus-cache-server listening on {} ({} MB, hot TTL {} s, {plane}, {storage})",
         server.addr(),
         opts.capacity_mb,
         opts.hot_ttl_secs

@@ -521,7 +521,61 @@ pub(crate) fn registry(shared: &Shared) -> Vec<Metric> {
         Metric::counter("proteus_deletes_total", stats.deletes),
         Metric::counter("proteus_evictions_total", stats.evictions),
         Metric::counter("proteus_expirations_total", stats.expired),
+        Metric::counter("proteus_rejected_sets_total", stats.rejected),
     ];
+    if let Some(slab) = shared.engine.slab_stats() {
+        out.push(Metric::gauge(
+            "proteus_slab_pages_allocated",
+            slab.pages_allocated as i64,
+        ));
+        out.push(Metric::gauge(
+            "proteus_slab_pages_pooled",
+            slab.pages_pooled as i64,
+        ));
+        out.push(Metric::gauge(
+            "proteus_slab_page_bytes",
+            slab.page_bytes as i64,
+        ));
+        out.push(Metric::gauge(
+            "proteus_slab_live_bytes",
+            slab.live_bytes() as i64,
+        ));
+        out.push(Metric::float_gauge(
+            "proteus_slab_fragmentation_ratio",
+            slab.fragmentation(),
+        ));
+        out.push(Metric::counter(
+            "proteus_slab_heap_fallbacks_total",
+            slab.heap_fallbacks,
+        ));
+        out.push(Metric::counter(
+            "proteus_slab_write_blocked_total",
+            slab.write_blocked,
+        ));
+        out.push(Metric::counter(
+            "proteus_slab_pages_reassigned_total",
+            slab.pages_reassigned,
+        ));
+        for class in &slab.classes {
+            let chunk = class.chunk_size.to_string();
+            out.push(
+                Metric::gauge("proteus_slab_class_pages", class.pages as i64)
+                    .with_label("chunk_size", chunk.clone()),
+            );
+            out.push(
+                Metric::gauge("proteus_slab_class_items", class.items as i64)
+                    .with_label("chunk_size", chunk.clone()),
+            );
+            out.push(
+                Metric::gauge("proteus_slab_class_live_bytes", class.live_bytes as i64)
+                    .with_label("chunk_size", chunk.clone()),
+            );
+            out.push(
+                Metric::gauge("proteus_slab_class_bytes_wasted", class.bytes_wasted as i64)
+                    .with_label("chunk_size", chunk),
+            );
+        }
+    }
     for (class, snap) in m.ops.snapshot_all() {
         out.push(
             Metric::histogram("proteus_command_latency_seconds", snap)
@@ -636,6 +690,18 @@ fn expiry(exptime: u32) -> Option<SimDuration> {
     (exptime > 0).then(|| SimDuration::from_secs(u64::from(exptime)))
 }
 
+/// Maps a storage outcome onto the wire: a rejected item (larger than
+/// the shard's whole budget) answers like memcached's
+/// `SERVER_ERROR object too large for cache` instead of silently
+/// evicting the world and failing anyway.
+fn stored_reply(outcome: proteus_cache::StoreOutcome) -> Response {
+    if outcome.stored {
+        Response::Stored
+    } else {
+        Response::Error("object too large for cache".into())
+    }
+}
+
 fn execute(command: RawCommand<'_>, shared: &Shared) -> Response {
     match command {
         RawCommand::Set {
@@ -643,11 +709,12 @@ fn execute(command: RawCommand<'_>, shared: &Shared) -> Response {
         } => {
             let now = shared.now();
             // The parsed data block is already a shared buffer; the
-            // engine stores it as-is with no further copy.
-            shared
+            // heap backend stores it as-is with no further copy (the
+            // slab backend copies it once into a page).
+            let outcome = shared
                 .engine
                 .put_with_expiry(key, data, now, expiry(exptime));
-            Response::Stored
+            stored_reply(outcome)
         }
         RawCommand::Add {
             key, data, exptime, ..
@@ -662,8 +729,7 @@ fn execute(command: RawCommand<'_>, shared: &Shared) -> Response {
                 if engine.probe(key, now) {
                     Response::NotStored
                 } else {
-                    engine.put_with_expiry(key, data, now, expiry(exptime));
-                    Response::Stored
+                    stored_reply(engine.put_with_expiry(key, data, now, expiry(exptime)))
                 }
             })
         }
@@ -673,8 +739,7 @@ fn execute(command: RawCommand<'_>, shared: &Shared) -> Response {
             let now = shared.now();
             shared.engine.with_key_shard(key, |engine| {
                 if engine.probe(key, now) {
-                    engine.put_with_expiry(key, data, now, expiry(exptime));
-                    Response::Stored
+                    stored_reply(engine.put_with_expiry(key, data, now, expiry(exptime)))
                 } else {
                     Response::NotStored
                 }
@@ -728,6 +793,7 @@ fn execute(command: RawCommand<'_>, shared: &Shared) -> Response {
                 ("delete_hits".into(), stats.deletes.to_string()),
                 ("evictions".into(), stats.evictions.to_string()),
                 ("expirations".into(), stats.expired.to_string()),
+                ("rejected_sets".into(), stats.rejected.to_string()),
                 (
                     "digest_estimated_items".into(),
                     shared

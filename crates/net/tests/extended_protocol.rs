@@ -1,6 +1,6 @@
 //! Tests of the extended memcached command surface over live sockets.
 
-use proteus_cache::CacheConfig;
+use proteus_cache::{CacheConfig, StorageKind};
 use proteus_net::{CacheClient, CacheServer, NetError};
 
 fn server() -> CacheServer {
@@ -143,6 +143,81 @@ fn stats_expose_digest_estimate() {
         .map(|(_, v)| v.parse().unwrap())
         .unwrap();
     assert!((estimate - 200.0).abs() < 20.0, "estimate {estimate}");
+    server.stop();
+}
+
+#[test]
+fn slab_backend_serves_the_full_protocol() {
+    let config = CacheConfig::with_capacity(1 << 20)
+        .storage(StorageKind::Slab)
+        .slab_page_bytes(64 << 10);
+    let server = CacheServer::spawn("127.0.0.1:0", config).unwrap();
+    let client = CacheClient::connect(server.addr()).unwrap();
+    for i in 0..300u32 {
+        let key = format!("slab-key-{i}");
+        let value = vec![(i % 251) as u8; 16 + (i as usize % 900)];
+        client.set(key.as_bytes(), &value).unwrap();
+        assert_eq!(
+            client.get(key.as_bytes()).unwrap().as_deref(),
+            Some(&value[..])
+        );
+    }
+    client.set(b"counter", b"41").unwrap();
+    assert_eq!(client.incr(b"counter", 1).unwrap(), Some(42));
+
+    // `stats proteus` exposes the slab allocator's telemetry.
+    let stats = client.stats_proteus().unwrap();
+    let lookup = |name: &str| -> String {
+        stats
+            .iter()
+            .find(|(k, _)| k == name || k.starts_with(&format!("{name}{{")))
+            .unwrap_or_else(|| panic!("missing stat {name}"))
+            .1
+            .clone()
+    };
+    let pages: u64 = lookup("proteus_slab_pages_allocated").parse().unwrap();
+    assert!(pages >= 1, "slab server must hold at least one page");
+    let live: u64 = lookup("proteus_slab_live_bytes").parse().unwrap();
+    assert!(live > 0);
+    let frag: f64 = lookup("proteus_slab_fragmentation_ratio").parse().unwrap();
+    assert!((0.0..1.0).contains(&frag), "fragmentation {frag}");
+    assert!(
+        stats
+            .iter()
+            .any(|(k, _)| k.starts_with("proteus_slab_class_items")),
+        "per-class metrics must be present"
+    );
+    server.stop();
+}
+
+#[test]
+fn oversized_set_is_rejected_with_a_server_error() {
+    // Value larger than the whole shard budget: the server must refuse
+    // it cleanly instead of evicting everything or looping.
+    let config = CacheConfig::with_capacity(64 << 10)
+        .shards(1)
+        .storage(StorageKind::Slab)
+        .slab_page_bytes(16 << 10);
+    let server = CacheServer::spawn("127.0.0.1:0", config).unwrap();
+    let client = CacheClient::connect(server.addr()).unwrap();
+    client.set(b"survivor", b"still here").unwrap();
+    let huge = vec![0xAB; 128 << 10];
+    match client.set(b"way-too-big", &huge) {
+        Err(NetError::ServerError(msg)) => assert!(msg.contains("too large"), "{msg}"),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    // Existing contents are untouched and the rejection is counted.
+    assert_eq!(
+        client.get(b"survivor").unwrap().as_deref(),
+        Some(&b"still here"[..])
+    );
+    let stats = client.stats().unwrap();
+    let rejected: u64 = stats
+        .iter()
+        .find(|(k, _)| k == "rejected_sets")
+        .map(|(_, v)| v.parse().unwrap())
+        .unwrap();
+    assert_eq!(rejected, 1);
     server.stop();
 }
 

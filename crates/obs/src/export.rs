@@ -22,6 +22,9 @@ pub enum MetricValue {
     Counter(u64),
     /// An instantaneous level.
     Gauge(i64),
+    /// An instantaneous ratio or other fractional level (e.g. a
+    /// fragmentation fraction). Rendered with six decimal places.
+    FloatGauge(f64),
     /// A full latency distribution.
     Histogram(HistogramSnapshot),
 }
@@ -55,6 +58,16 @@ impl Metric {
             name: name.into(),
             labels: Vec::new(),
             value: MetricValue::Gauge(v),
+        }
+    }
+
+    /// A fractional gauge sample without labels.
+    #[must_use]
+    pub fn float_gauge(name: impl Into<String>, v: f64) -> Self {
+        Metric {
+            name: name.into(),
+            labels: Vec::new(),
+            value: MetricValue::FloatGauge(v),
         }
     }
 
@@ -149,6 +162,10 @@ pub fn to_prometheus(metrics: &[Metric]) -> String {
                 out.push_str(&format!("# TYPE {} gauge\n", m.name));
                 out.push_str(&format!("{}{} {v}\n", m.name, m.prometheus_labels(None)));
             }
+            MetricValue::FloatGauge(v) => {
+                out.push_str(&format!("# TYPE {} gauge\n", m.name));
+                out.push_str(&format!("{}{} {v:.6}\n", m.name, m.prometheus_labels(None)));
+            }
             MetricValue::Histogram(snap) => {
                 out.push_str(&format!("# TYPE {} summary\n", m.name));
                 for (q, qname, _) in QUANTILES {
@@ -193,6 +210,7 @@ pub fn to_json(metrics: &[Metric]) -> String {
         let body = match &m.value {
             MetricValue::Counter(v) => format!("\"type\":\"counter\",\"value\":{v}"),
             MetricValue::Gauge(v) => format!("\"type\":\"gauge\",\"value\":{v}"),
+            MetricValue::FloatGauge(v) => format!("\"type\":\"gauge\",\"value\":{v:.6}"),
             MetricValue::Histogram(snap) => {
                 let quantiles: Vec<String> = QUANTILES
                     .iter()
@@ -234,6 +252,7 @@ pub fn to_stat_pairs(metrics: &[Metric]) -> Vec<(String, String)> {
         match &m.value {
             MetricValue::Counter(v) => out.push((key, v.to_string())),
             MetricValue::Gauge(v) => out.push((key, v.to_string())),
+            MetricValue::FloatGauge(v) => out.push((key, format!("{v:.6}"))),
             MetricValue::Histogram(snap) => {
                 out.push((format!("{key}_count"), snap.count().to_string()));
                 if snap.is_empty() {
@@ -514,6 +533,7 @@ mod tests {
         vec![
             Metric::counter("proteus_requests_total", 42).with_label("op", "get"),
             Metric::gauge("proteus_connections", 3),
+            Metric::float_gauge("proteus_fragmentation_ratio", 0.25),
             Metric::histogram("proteus_latency_seconds", h.snapshot()).with_label("op", "get"),
         ]
     }
@@ -525,6 +545,8 @@ mod tests {
         assert!(text.contains("proteus_requests_total{op=\"get\"} 42"));
         assert!(text.contains("# TYPE proteus_connections gauge"));
         assert!(text.contains("proteus_connections 3"));
+        assert!(text.contains("# TYPE proteus_fragmentation_ratio gauge"));
+        assert!(text.contains("proteus_fragmentation_ratio 0.250000"));
         assert!(text.contains("proteus_latency_seconds{op=\"get\",quantile=\"0.99\"}"));
         assert!(text.contains("proteus_latency_seconds_count{op=\"get\"} 100"));
     }
@@ -551,6 +573,7 @@ mod tests {
         };
         assert_eq!(get("proteus_requests_total_op_get").unwrap(), "42");
         assert_eq!(get("proteus_connections").unwrap(), "3");
+        assert_eq!(get("proteus_fragmentation_ratio").unwrap(), "0.250000");
         assert_eq!(get("proteus_latency_seconds_op_get_count").unwrap(), "100");
         let p99: u64 = get("proteus_latency_seconds_op_get_p99_us")
             .unwrap()

@@ -36,6 +36,55 @@ pub fn generate_page_content(key: &[u8], size: usize) -> Vec<u8> {
     out
 }
 
+/// Picks a deterministic value size in `min..=max` for `key`,
+/// log-uniformly distributed.
+///
+/// Real memcached fleets carry a heavy small-object skew: most values
+/// are tens to hundreds of bytes, with a long tail of multi-kilobyte
+/// pages. A log-uniform draw reproduces that shape — every size
+/// *decade* gets equal probability mass, so small sizes dominate by
+/// count — while staying a pure function of the key. Benchmarks
+/// (`item_scale`) and churn tests use it to build mixed-size
+/// populations any component can regenerate independently.
+///
+/// # Example
+///
+/// ```
+/// let n = proteus_store::content_size_for(b"page:7", 16, 4096);
+/// assert!((16..=4096).contains(&n));
+/// assert_eq!(n, proteus_store::content_size_for(b"page:7", 16, 4096));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `min` is zero or exceeds `max`.
+#[must_use]
+pub fn content_size_for(key: &[u8], min: usize, max: usize) -> usize {
+    assert!(min > 0 && min <= max, "need 0 < min <= max");
+    if min == max {
+        return min;
+    }
+    let seed = key.iter().fold(0x9e37_79b9_7f4a_7c15u64, |h, &b| {
+        splitmix64(h ^ u64::from(b))
+    });
+    // Uniform in [ln min, ln max), exponentiated back to a size.
+    let unit = (splitmix64(seed) >> 11) as f64 / (1u64 << 53) as f64;
+    let (lo, hi) = ((min as f64).ln(), (max as f64).ln());
+    let size = (lo + unit * (hi - lo)).exp().round() as usize;
+    size.clamp(min, max)
+}
+
+/// Generates content for `key` with a log-uniform size in `min..=max`:
+/// [`content_size_for`] composed with [`generate_page_content`].
+///
+/// # Panics
+///
+/// Panics if `min` is zero or exceeds `max`.
+#[must_use]
+pub fn generate_sized_content(key: &[u8], min: usize, max: usize) -> Vec<u8> {
+    generate_page_content(key, content_size_for(key, min, max))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,6 +109,34 @@ mod tests {
     fn header_is_readable() {
         let a = generate_page_content(b"page:9", 64);
         assert!(a.starts_with(b"WIKI:page:9:"));
+    }
+
+    #[test]
+    fn sizes_are_deterministic_bounded_and_skewed_small() {
+        let mut sizes = Vec::new();
+        for i in 0..2000u32 {
+            let key = format!("page:{i}");
+            let n = content_size_for(key.as_bytes(), 16, 4096);
+            assert!((16..=4096).contains(&n));
+            assert_eq!(n, content_size_for(key.as_bytes(), 16, 4096));
+            sizes.push(n);
+        }
+        // Log-uniform: the sub-256 B range spans half the log space, so
+        // roughly half the draws land there (far more than the ~6% a
+        // uniform draw would give).
+        let small = sizes.iter().filter(|&&n| n < 256).count();
+        assert!(small > 600, "only {small}/2000 below 256 B");
+        let large = sizes.iter().filter(|&&n| n >= 1024).count();
+        assert!(large > 100, "tail missing: {large}/2000 at 1 KiB+");
+        // Degenerate range collapses to the single size.
+        assert_eq!(content_size_for(b"k", 64, 64), 64);
+    }
+
+    #[test]
+    fn sized_content_matches_its_declared_size() {
+        let v = generate_sized_content(b"page:55", 16, 4096);
+        assert_eq!(v.len(), content_size_for(b"page:55", 16, 4096));
+        assert!(v.starts_with(b"WIKI:"));
     }
 
     #[test]
