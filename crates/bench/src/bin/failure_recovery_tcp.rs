@@ -50,7 +50,7 @@ impl Phase {
         self.requests += 1;
         self.latency.record(elapsed);
         match outcome {
-            Ok((_, ClusterFetch::Hit)) => self.hits += 1,
+            Ok((_, ClusterFetch::Hit)) | Ok((_, ClusterFetch::ReplicaHit)) => self.hits += 1,
             Ok((_, ClusterFetch::Migrated)) => self.migrated += 1,
             Ok((_, ClusterFetch::Database)) | Ok((_, ClusterFetch::FalsePositive)) => {
                 self.database += 1;

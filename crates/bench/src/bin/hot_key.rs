@@ -1,0 +1,268 @@
+//! Hot-key load concentration on the live TCP plane, with and without
+//! client-side replication.
+//!
+//! Proteus spreads the *key space* evenly, but a skewed workload still
+//! concentrates *traffic*: one celebrity object pins its home server
+//! at ~`f*N` times the mean while the other servers idle. The
+//! [`ClusterClient`]'s hot-key path detects such keys from its own
+//! fetch counts (a space-saving sketch), replicates them to `R`
+//! servers on independent rings, and routes reads power-of-two-choices
+//! by the client's own load estimate — flattening the load without any
+//! server-side coordination.
+//!
+//! Two scenarios, each measured with replication off and on:
+//!
+//! - **celebrity** — 90% of requests hit one object, the rest are
+//!   uniform over the tail (the paper's "single viral page" case).
+//! - **zipf** — Zipf(s = 1.2) popularity over the whole page set,
+//!   the heavy-tailed regime where a handful of keys dominate.
+//!
+//! The reported figure is `max/mean` per-server load (get traffic per
+//! server over the measured window, from each server's own `stats`),
+//! the same imbalance metric as the paper's Figure 5.
+//!
+//! Run with: `cargo run --release -p proteus-bench --bin hot_key`
+//!
+//! `--smoke` is the CI gate: the celebrity scenario with replication
+//! must flatten to `max/mean <= 1.5` (without replication it sits near
+//! `N`, recorded in the same table for contrast).
+
+use parking_lot::Mutex;
+use proteus_bench::write_csv;
+use proteus_cache::CacheConfig;
+use proteus_net::{CacheServer, ClientConfig, ClusterClient, HotKeyConfig};
+use proteus_ring::ProteusPlacement;
+use proteus_sim::SimRng;
+use proteus_store::{ShardedStore, StoreConfig};
+use proteus_workload::ZipfSampler;
+
+const SERVERS: usize = 6;
+const TAIL_KEYS: u64 = 600;
+const CELEBRITY_FRACTION: f64 = 0.9;
+const ZIPF_EXPONENT: f64 = 1.2;
+/// CI gate on the celebrity scenario with replication enabled.
+const SMOKE_MAX_MEAN: f64 = 1.5;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    Celebrity,
+    Zipf,
+}
+
+impl Scenario {
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::Celebrity => "celebrity",
+            Scenario::Zipf => "zipf",
+        }
+    }
+
+    /// The next key of the request stream, deterministic per seed.
+    fn key(self, rng: &mut SimRng, zipf: &ZipfSampler) -> Vec<u8> {
+        match self {
+            Scenario::Celebrity => {
+                let toss = rng.next_u64() as f64 / u64::MAX as f64;
+                if toss < CELEBRITY_FRACTION {
+                    b"celebrity".to_vec()
+                } else {
+                    format!("page:{}", rng.next_u64() % TAIL_KEYS).into_bytes()
+                }
+            }
+            Scenario::Zipf => format!("page:{}", zipf.sample(rng)).into_bytes(),
+        }
+    }
+}
+
+/// Per-server get traffic (`get_hits + get_misses` from the server's
+/// own `stats`) — the load metric the imbalance ratio is computed on.
+fn get_loads(cluster: &ClusterClient, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|s| {
+            let stats = cluster.client(s).stats().expect("stats");
+            let read = |name: &str| {
+                stats
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .and_then(|(_, v)| v.parse::<u64>().ok())
+                    .unwrap_or_else(|| panic!("server {s} missing stat {name}"))
+            };
+            read("get_hits") + read("get_misses")
+        })
+        .collect()
+}
+
+struct Row {
+    scenario: &'static str,
+    replicas: usize,
+    requests: u64,
+    max_mean: f64,
+    replica_hit_share: f64,
+    replicated_keys: i64,
+}
+
+/// Runs one scenario against a fresh cluster and returns the measured
+/// per-server imbalance over the request window.
+fn measure(scenario: Scenario, replicas: usize, requests: u64) -> Row {
+    let servers: Vec<CacheServer> = (0..SERVERS)
+        .map(|_| CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(32 << 20)).unwrap())
+        .collect();
+    let addrs: Vec<_> = servers.iter().map(CacheServer::addr).collect();
+    let strategy = Box::new(ProteusPlacement::generate(SERVERS));
+    let cluster = if replicas < 2 {
+        ClusterClient::connect_with(&addrs, strategy, ClientConfig::default()).unwrap()
+    } else {
+        ClusterClient::connect_replicated(
+            &addrs,
+            strategy,
+            ClientConfig::default(),
+            HotKeyConfig {
+                replicas,
+                hot_key_threshold: 32,
+                sketch_capacity: 64,
+            },
+        )
+        .unwrap()
+    };
+    let db = Mutex::new(ShardedStore::new(StoreConfig {
+        object_size: 256,
+        ..StoreConfig::default()
+    }));
+    let zipf = ZipfSampler::new(TAIL_KEYS, ZIPF_EXPONENT);
+
+    // Warm-up: populate the working set and give the sketch enough
+    // samples to promote the heavy hitters, then snapshot the per-
+    // server counters so the measured window starts clean.
+    let mut rng = SimRng::seed_from_u64(7);
+    for _ in 0..requests / 4 {
+        let key = scenario.key(&mut rng, &zipf);
+        cluster.fetch(&key, &db).expect("warm-up fetch");
+    }
+    let before = get_loads(&cluster, SERVERS);
+    let hits_before = cluster.hot_key_stats().map(|s| s.replica_hits).unwrap_or(0);
+
+    for _ in 0..requests {
+        let key = scenario.key(&mut rng, &zipf);
+        cluster.fetch(&key, &db).expect("measured fetch");
+    }
+
+    let loads: Vec<u64> = get_loads(&cluster, SERVERS)
+        .iter()
+        .zip(&before)
+        .map(|(now, then)| now - then)
+        .collect();
+    let max = loads.iter().copied().max().unwrap_or(0) as f64;
+    let mean = loads.iter().sum::<u64>() as f64 / SERVERS as f64;
+    let hot = cluster.hot_key_stats();
+    let row = Row {
+        scenario: scenario.name(),
+        replicas,
+        requests,
+        max_mean: if mean > 0.0 { max / mean } else { 0.0 },
+        replica_hit_share: hot
+            .as_ref()
+            .map(|s| (s.replica_hits - hits_before) as f64 / requests as f64)
+            .unwrap_or(0.0),
+        replicated_keys: hot.as_ref().map(|s| s.replicated_keys).unwrap_or(0),
+    };
+    drop(cluster);
+    for s in servers {
+        s.stop();
+    }
+    row
+}
+
+fn print_rows(rows: &[Row]) {
+    println!("\nscenario  | replicas | requests | max/mean | replica hits | hot keys");
+    println!("----------+----------+----------+----------+--------------+---------");
+    for r in rows {
+        println!(
+            "{:<9} | {:>8} | {:>8} | {:>8.2} | {:>11.1}% | {:>8}",
+            r.scenario,
+            r.replicas,
+            r.requests,
+            r.max_mean,
+            r.replica_hit_share * 100.0,
+            r.replicated_keys,
+        );
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let requests: u64 = if smoke { 8_000 } else { 40_000 };
+    println!(
+        "hot-key replication ({SERVERS} servers, {requests} measured requests per run{})",
+        if smoke { ", smoke mode" } else { "" }
+    );
+
+    let rows: Vec<Row> = [Scenario::Celebrity, Scenario::Zipf]
+        .iter()
+        .flat_map(|&scenario| {
+            [
+                measure(scenario, 1, requests),
+                measure(scenario, SERVERS, requests),
+            ]
+        })
+        .collect();
+    print_rows(&rows);
+
+    let csv = rows.iter().map(|r| {
+        vec![
+            r.scenario.to_string(),
+            r.replicas.to_string(),
+            r.requests.to_string(),
+            format!("{:.3}", r.max_mean),
+            format!("{:.4}", r.replica_hit_share),
+            r.replicated_keys.to_string(),
+        ]
+    });
+    if let Ok(path) = write_csv(
+        "hot_key",
+        &[
+            "scenario",
+            "replicas",
+            "requests",
+            "max_mean_load",
+            "replica_hit_share",
+            "replicated_keys",
+        ],
+        csv,
+    ) {
+        println!("\nwrote {}", path.display());
+    }
+
+    if smoke {
+        let cell = |scenario: &str, replicas: usize| {
+            rows.iter()
+                .find(|r| r.scenario == scenario && r.replicas == replicas)
+                .expect("scenario row")
+        };
+        let unreplicated = cell("celebrity", 1);
+        let replicated = cell("celebrity", SERVERS);
+        println!(
+            "celebrity max/mean: {:.2} unreplicated -> {:.2} with {SERVERS} replicas",
+            unreplicated.max_mean, replicated.max_mean
+        );
+        assert!(
+            unreplicated.max_mean > replicated.max_mean,
+            "replication must reduce the imbalance ({:.2} -> {:.2})",
+            unreplicated.max_mean,
+            replicated.max_mean
+        );
+        assert!(
+            replicated.max_mean <= SMOKE_MAX_MEAN,
+            "celebrity with replication must flatten to max/mean <= {SMOKE_MAX_MEAN}, got {:.2}",
+            replicated.max_mean
+        );
+        assert!(
+            replicated.replicated_keys >= 1,
+            "the celebrity key must be promoted"
+        );
+        assert!(
+            replicated.replica_hit_share > 0.1,
+            "p2c must spread a meaningful share of reads to replicas, got {:.1}%",
+            replicated.replica_hit_share * 100.0
+        );
+        println!("smoke check passed");
+    }
+}

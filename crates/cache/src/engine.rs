@@ -946,6 +946,62 @@ mod tests {
     }
 
     #[test]
+    fn slab_incr_rewrite_under_a_pinned_view_keeps_accounting_exact() {
+        // The server's incr path (probe → expiry_of → peek →
+        // put_with_deadline) rewrites the counter while a client may
+        // still hold the get result pinning the counter's page. With a
+        // single-page budget the rewrite cannot go back to the pinned
+        // page, so it must heap-fallback — counted, with per-class
+        // accounting staying exact — and return to the slab once the
+        // view drops.
+        let mut c = CacheEngine::new(
+            CacheConfig::with_capacity(1 << 16)
+                .item_overhead(0)
+                .storage(StorageKind::Slab)
+                .slab_page_bytes(1024)
+                .slab_page_budget(1)
+                .digest(BloomConfig::new(1 << 14, 4, 4)),
+        );
+        c.put(b"ctr", b"41".to_vec(), T0);
+        let pin = c.get_shared(b"ctr", T0).unwrap();
+        assert_eq!(&pin[..], b"41");
+
+        // The server's numeric_op composition.
+        assert!(c.probe(b"ctr", T0));
+        let deadline = c.expiry_of(b"ctr").unwrap();
+        let current: u64 = std::str::from_utf8(&c.peek_shared(b"ctr").unwrap())
+            .unwrap()
+            .parse()
+            .unwrap();
+        let outcome =
+            c.put_with_deadline(b"ctr", (current + 1).to_string().into_bytes(), T0, deadline);
+        assert!(outcome.stored);
+
+        // New value visible; the outstanding view still reads the old
+        // bytes; the fallback is counted, not silent.
+        assert_eq!(c.get(b"ctr", T0).unwrap(), b"42");
+        assert_eq!(&pin[..], b"41", "pinned view must not be rewritten");
+        let stats = c.slab_stats().unwrap();
+        assert_eq!(stats.heap_fallbacks, 1, "fallback must be counted");
+        let slab_live: u64 = stats.classes.iter().map(|cl| cl.live_bytes).sum();
+        assert_eq!(slab_live, 0, "old chunk freed, new value on the heap");
+        assert_eq!(c.bytes_used(), 5, "key + value, single accounting model");
+        c.assert_storage_consistent();
+
+        // View dropped: the next rewrite lands back in the slab with no
+        // further fallbacks and exact per-class bytes.
+        drop(pin);
+        c.put_with_deadline(b"ctr", b"43".to_vec(), T0, deadline);
+        assert_eq!(c.get(b"ctr", T0).unwrap(), b"43");
+        let stats = c.slab_stats().unwrap();
+        assert_eq!(stats.heap_fallbacks, 1, "no new fallback once unpinned");
+        let slab_live: u64 = stats.classes.iter().map(|cl| cl.live_bytes).sum();
+        assert_eq!(slab_live, 5);
+        assert_eq!(c.bytes_used(), 5);
+        c.assert_storage_consistent();
+    }
+
+    #[test]
     fn probe_reports_presence_without_stats_or_recency() {
         let mut c = engine(1 << 16);
         c.put(b"a", vec![1], T0);

@@ -371,21 +371,32 @@ impl SlabStore {
 
     /// Detaches an empty, view-free page from whatever class holds it.
     fn reclaim_empty_page(&mut self) -> Option<Arc<[u8]>> {
+        let mut viewed = Vec::new();
+        let mut found = None;
         while let Some((class, pid)) = self.empty_hints.pop() {
             let c = &mut self.classes[class as usize];
-            let empty_and_quiet = matches!(
-                c.pages.get(pid as usize),
-                Some(Some(p)) if p.live == 0 && Arc::strong_count(&p.buf) == 1
-            );
-            if !empty_and_quiet {
-                continue; // refilled since, or a response still views it
+            let (empty, quiet) = match c.pages.get(pid as usize) {
+                Some(Some(p)) => (p.live == 0, Arc::strong_count(&p.buf) == 1),
+                _ => (false, false),
+            };
+            if !empty {
+                continue; // refilled (or already reclaimed): hint is dead
+            }
+            if !quiet {
+                // Empty but a response still views it: the hint stays
+                // valid — once the view drops this page is reclaimable,
+                // so it must survive this pass rather than be dropped.
+                viewed.push((class, pid));
+                continue;
             }
             let page = c.pages[pid as usize].take().expect("matched Some");
             c.vacant.push(pid);
             self.pages_reassigned += 1;
-            return Some(page.buf);
+            found = Some(page.buf);
+            break;
         }
-        None
+        self.empty_hints.extend(viewed);
+        found
     }
 
     /// Installs `buf` as a new page of `class` and writes the item
@@ -664,6 +675,37 @@ mod tests {
         }
         let big = s.insert(b"big", &vec![0u8; 700]).unwrap();
         assert!(s.chunk_size(big.class) >= 703);
+        assert_eq!(s.stats().pages_reassigned, 1);
+        assert_eq!(s.value_slice(big, 3, 700), &vec![0u8; 700][..]);
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn empty_hint_survives_a_pinned_reclaim_attempt() {
+        // Budget 2 pages, both filled by the small class; page 0 is
+        // freed to empty while a view still pins it. A large-class
+        // insert must fail over (the page is unreclaimable while
+        // viewed) — but the empty hint must NOT be consumed: once the
+        // view drops, the same insert succeeds by reclaiming the page.
+        let mut s = SlabStore::new(1024, 2);
+        let locs: Vec<ChunkLoc> = (0..32)
+            .map(|i| s.insert(&[i as u8], &[0u8; 40]).unwrap())
+            .collect();
+        let first_page = locs[0].page;
+        let pin = s.value_view(locs[0], 1, 40);
+        for &loc in locs.iter().filter(|l| l.page == first_page) {
+            s.free(loc, 41);
+        }
+        assert_eq!(
+            s.insert(b"big", &vec![0u8; 700]),
+            Err(SlabError::Full),
+            "a viewed page must not be reclaimed out from under its reader"
+        );
+        assert_eq!(s.stats().pages_reassigned, 0);
+        drop(pin);
+        let big = s
+            .insert(b"big", &vec![0u8; 700])
+            .expect("hint must survive the pinned attempt");
         assert_eq!(s.stats().pages_reassigned, 1);
         assert_eq!(s.value_slice(big, 3, 700), &vec![0u8; 700][..]);
         s.assert_consistent();

@@ -50,6 +50,7 @@
 mod cluster;
 mod config;
 mod controller;
+pub mod hot_key;
 mod metrics;
 mod power;
 mod replicated_router;
@@ -60,6 +61,7 @@ mod transition;
 pub use cluster::{page_key, ClusterSim};
 pub use config::{ClusterConfig, LatencyModel};
 pub use controller::{FeedbackController, ProvisioningPlan};
+pub use hot_key::{HotKeyEstimate, ReplicaRings, SpaceSaving, TwoChoices};
 pub use metrics::{ClusterReport, FetchClass, FetchCounters};
 pub use power::{energy_of_constant_draw, EnergyMeter, PowerModel, PowerState, TierPowerModel};
 pub use replicated_router::{ReplicaFetch, ReplicatedRouter};

@@ -14,6 +14,8 @@ use proteus_ring::{ReplicatedPlacement, ServerId};
 use proteus_sim::SimTime;
 use proteus_store::ShardedStore;
 
+use crate::hot_key::{distinct_live, live_ring_order};
+
 /// How a replicated fetch was served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplicaFetch {
@@ -111,23 +113,27 @@ impl ReplicatedRouter {
     ) -> (Vec<u8>, ReplicaFetch) {
         assert_eq!(down.len(), caches.len(), "down-mask / cache count mismatch");
         assert!(active <= caches.len(), "more active servers than caches");
-        let replicas = self.placement.servers_for(key, active);
-        for (ring, &server) in replicas.iter().enumerate() {
-            if down[server.index()] {
-                continue;
-            }
-            if let Some(v) = caches[server.index()].get(key, now) {
+        let replicas: Vec<usize> = self
+            .placement
+            .servers_for(key, active)
+            .iter()
+            .map(|s| s.index())
+            .collect();
+        for (ring, server) in live_ring_order(&replicas, |s| down[s]) {
+            if let Some(v) = caches[server].get(key, now) {
                 let value = v.to_vec();
-                return (value, ReplicaFetch::Hit { ring, server });
+                return (
+                    value,
+                    ReplicaFetch::Hit {
+                        ring,
+                        server: ServerId::new(server as u32),
+                    },
+                );
             }
         }
         let value = db.fetch(key);
-        let mut installed = Vec::with_capacity(replicas.len());
-        for &server in &replicas {
-            if !down[server.index()] && !installed.contains(&server) {
-                caches[server.index()].put(key, value.clone(), now);
-                installed.push(server);
-            }
+        for server in distinct_live(&replicas, |s| down[s]) {
+            caches[server].put(key, value.clone(), now);
         }
         (value, ReplicaFetch::Database)
     }

@@ -124,7 +124,9 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
                     cluster.fetch(pages[i].as_bytes(), &*db)
                 };
                 match outcome {
-                    Ok((_, ClusterFetch::Hit)) => counters.hits.fetch_add(1, Ordering::Relaxed),
+                    Ok((_, ClusterFetch::Hit)) | Ok((_, ClusterFetch::ReplicaHit)) => {
+                        counters.hits.fetch_add(1, Ordering::Relaxed)
+                    }
                     Ok((_, ClusterFetch::Migrated)) => {
                         counters.migrated.fetch_add(1, Ordering::Relaxed)
                     }

@@ -9,7 +9,8 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use proteus_bloom::BloomFilter;
 use proteus_cache::SharedBytes;
-use proteus_obs::{EventTracer, FetchClassKind, FetchLatencies, TraceKind};
+use proteus_core::hot_key::{ReplicaRings, SpaceSaving, TwoChoices};
+use proteus_obs::{Counter, EventTracer, FetchClassKind, FetchLatencies, Gauge, TraceKind};
 use proteus_ring::{hash::KeyHasher, PlacementStrategy, ServerId};
 use proteus_store::ShardedStore;
 
@@ -58,6 +59,11 @@ pub enum ClusterFetch {
     /// fetch, which is exactly the cost the paper's digest sizing
     /// trades against — so it gets its own class.
     FalsePositive,
+    /// Hit at a non-home replica of a hot key: power-of-two-choices
+    /// routing picked (or replica failover fell through to) a server
+    /// other than the key's ring-0 owner. Only possible when the
+    /// client was built with [`ClusterClient::connect_replicated`].
+    ReplicaHit,
 }
 
 /// Maps the wire-level fetch classification onto the telemetry
@@ -69,7 +75,94 @@ fn class_kind(class: ClusterFetch) -> FetchClassKind {
         ClusterFetch::Database => FetchClassKind::Database,
         ClusterFetch::Degraded => FetchClassKind::Degraded,
         ClusterFetch::FalsePositive => FetchClassKind::FalsePositive,
+        ClusterFetch::ReplicaHit => FetchClassKind::ReplicaHit,
     }
+}
+
+/// Hot-key replication knobs for
+/// [`ClusterClient::connect_replicated`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotKeyConfig {
+    /// Target number of distinct servers holding each hot key
+    /// (including its home server). `1` disables replication.
+    pub replicas: usize,
+    /// Estimated fetch count at which a key is promoted to hot and
+    /// replicated.
+    pub hot_key_threshold: u64,
+    /// Keys the space-saving sketch monitors; bounds detector memory.
+    pub sketch_capacity: usize,
+}
+
+impl Default for HotKeyConfig {
+    fn default() -> Self {
+        HotKeyConfig {
+            replicas: 2,
+            hot_key_threshold: 64,
+            sketch_capacity: 128,
+        }
+    }
+}
+
+/// Cumulative hot-key replication counters (see
+/// [`ClusterClient::hot_key_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HotKeyStats {
+    /// Keys currently replicated (the hot-key gauge).
+    pub replicated_keys: i64,
+    /// Keys ever promoted to hot.
+    pub promotions: u64,
+    /// Replica invalidations issued by writes (one per key per
+    /// non-home target server).
+    pub invalidations: u64,
+    /// Fetches served by a non-home replica
+    /// ([`ClusterFetch::ReplicaHit`]).
+    pub replica_hits: u64,
+}
+
+/// Per-server load estimate feeding the power-of-two-choices routing:
+/// requests currently in flight plus an EWMA of recent get latency,
+/// both maintained purely client-side.
+#[derive(Debug, Default)]
+struct ServerLoad {
+    in_flight: AtomicU64,
+    ewma_nanos: AtomicU64,
+}
+
+impl ServerLoad {
+    /// A single comparable score: queue depth dominates, smoothed
+    /// latency breaks ties between equally idle servers.
+    fn score(&self) -> u64 {
+        let in_flight = self.in_flight.load(Ordering::Relaxed);
+        let ewma = self.ewma_nanos.load(Ordering::Relaxed);
+        in_flight
+            .saturating_add(1)
+            .saturating_mul(ewma.saturating_add(1))
+    }
+
+    fn record(&self, elapsed_nanos: u64) {
+        // EWMA with alpha = 1/4: old - old/4 + sample/4, relaxed (a
+        // lost race just loses one smoothing step).
+        let old = self.ewma_nanos.load(Ordering::Relaxed);
+        self.ewma_nanos
+            .store(old - old / 4 + elapsed_nanos / 4, Ordering::Relaxed);
+    }
+}
+
+/// Everything the hot-key layer owns. Interior-mutable because
+/// [`ClusterClient::fetch`] takes `&self`.
+struct HotKeyState {
+    config: HotKeyConfig,
+    rings: ReplicaRings,
+    sketch: Mutex<SpaceSaving>,
+    /// Hot key → its distinct replica servers under the **current**
+    /// active count, home server first. Recomputed against the new
+    /// ring by `begin_transition`.
+    replicated: Mutex<std::collections::HashMap<Vec<u8>, Vec<usize>>>,
+    chooser: TwoChoices,
+    loads: Vec<ServerLoad>,
+    promotions: Counter,
+    invalidations: Counter,
+    hot_keys: Gauge,
 }
 
 /// Cumulative cluster-level fault counters (see
@@ -130,6 +223,7 @@ pub struct ClusterClient {
     stats: AtomicClusterStats,
     fetches: FetchLatencies,
     tracer: Arc<EventTracer>,
+    hot: Option<HotKeyState>,
 }
 
 impl ClusterClient {
@@ -195,7 +289,51 @@ impl ClusterClient {
             stats: AtomicClusterStats::default(),
             fetches: FetchLatencies::default(),
             tracer,
+            hot: None,
         })
+    }
+
+    /// [`connect_with`](Self::connect_with) plus hot-key replication:
+    /// the client tracks its own per-key fetch counts in a bounded
+    /// space-saving sketch, replicates keys whose estimated count
+    /// crosses `hot.hot_key_threshold` to `hot.replicas` distinct
+    /// servers, routes replicated reads with power-of-two-choices by
+    /// its own in-flight/latency load estimate, and invalidates every
+    /// replica on [`put`](Self::put).
+    ///
+    /// Replica 0 of any key is its ordinary home server, so keys that
+    /// never get hot behave exactly as with
+    /// [`connect_with`](Self::connect_with).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first connection failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty or its length differs from the
+    /// strategy's `max_servers()`, or if `hot.replicas == 0` or
+    /// `hot.sketch_capacity == 0`.
+    pub fn connect_replicated(
+        addrs: &[std::net::SocketAddr],
+        strategy: Box<dyn PlacementStrategy + Send + Sync>,
+        config: ClientConfig,
+        hot: HotKeyConfig,
+    ) -> Result<ClusterClient, NetError> {
+        let mut client = ClusterClient::connect_with(addrs, strategy, config)?;
+        let n = client.clients.len();
+        client.hot = Some(HotKeyState {
+            config: hot,
+            rings: ReplicaRings::new(client.hasher, hot.replicas),
+            sketch: Mutex::new(SpaceSaving::new(hot.sketch_capacity)),
+            replicated: Mutex::new(std::collections::HashMap::new()),
+            chooser: TwoChoices::new(),
+            loads: (0..n).map(|_| ServerLoad::default()).collect(),
+            promotions: Counter::new(),
+            invalidations: Counter::new(),
+            hot_keys: Gauge::new(),
+        });
+        Ok(client)
     }
 
     /// Currently active servers.
@@ -252,6 +390,26 @@ impl ClusterClient {
     #[must_use]
     pub fn tracer(&self) -> &Arc<EventTracer> {
         &self.tracer
+    }
+
+    /// Hot-key replication counters, or `None` if this client was not
+    /// built with [`connect_replicated`](Self::connect_replicated).
+    #[must_use]
+    pub fn hot_key_stats(&self) -> Option<HotKeyStats> {
+        self.hot.as_ref().map(|hot| HotKeyStats {
+            replicated_keys: hot.hot_keys.get(),
+            promotions: hot.promotions.get(),
+            invalidations: hot.invalidations.get(),
+            replica_hits: self.fetches.count(FetchClassKind::ReplicaHit),
+        })
+    }
+
+    /// The distinct replica servers currently assigned to `key`, home
+    /// first, or `None` if the key is not replicated (or replication
+    /// is off).
+    #[must_use]
+    pub fn replicas_of(&self, key: &[u8]) -> Option<Vec<usize>> {
+        self.hot.as_ref()?.replicated.lock().get(key).cloned()
     }
 
     /// Begins a provisioning transition to `new_active` servers: pulls
@@ -339,6 +497,22 @@ impl ClusterClient {
         self.previous_active = self.active;
         self.active = new_active;
         self.in_transition = true;
+        // Replica sets are a function of the active prefix: recompute
+        // every hot key's set against the new ring so no replica points
+        // at a drained/powered-off server. Newly added replicas start
+        // cold and are backfilled lazily by the next read that misses
+        // there (`try_replicas` re-installs on the servers it probed
+        // and missed), so no bulk copy happens at transition time.
+        if let Some(hot) = &self.hot {
+            let mut map = hot.replicated.lock();
+            let keys: Vec<Vec<u8>> = map.keys().cloned().collect();
+            for key in keys {
+                let set = hot
+                    .rings
+                    .replica_set(&key, |h| self.strategy.server_for(h, self.active).index());
+                map.insert(key, set);
+            }
+        }
         Ok(())
     }
 
@@ -445,7 +619,11 @@ impl ClusterClient {
         result
     }
 
-    /// The decision tree proper, without the latency bookkeeping.
+    /// The decision tree proper, without the latency bookkeeping:
+    /// the hot-key replica path first (replicated keys route
+    /// power-of-two-choices among their replicas), then the standard
+    /// Algorithm 2 tree, then hot-key bookkeeping (sketch update,
+    /// promotion, re-replication) on whatever the tree resolved.
     fn fetch_uninstrumented<D: DbFallback + ?Sized>(
         &self,
         key: &[u8],
@@ -453,6 +631,211 @@ impl ClusterClient {
     ) -> Result<(SharedBytes, ClusterFetch), NetError> {
         let hash = self.hasher.hash_bytes(key);
         let new_server = self.strategy.server_for(hash, self.active).index();
+        if let Some(hit) = self.try_replicas(key, new_server)? {
+            if let Some(hot) = &self.hot {
+                hot.sketch.lock().observe(key);
+            }
+            return Ok(hit);
+        }
+        let (value, class) = self.algorithm2_fetch(key, hash, new_server, db)?;
+        self.hot_key_after_fetch(key, &value, new_server, class)?;
+        Ok((value, class))
+    }
+
+    /// Probes a replicated key's replica set: power-of-two-choices
+    /// picks the first server by the client's own load estimate, the
+    /// remaining replicas serve as failover (a miss or a dead server
+    /// just moves to the next replica). On a hit, replicas that were
+    /// probed and missed are backfilled best-effort — this is how
+    /// replicas added by a transition's recompute warm up without a
+    /// bulk copy.
+    ///
+    /// Returns `None` when the key is not replicated or no replica
+    /// could serve it (the standard tree then resolves the fetch).
+    fn try_replicas(
+        &self,
+        key: &[u8],
+        home: usize,
+    ) -> Result<Option<(SharedBytes, ClusterFetch)>, NetError> {
+        let Some(hot) = &self.hot else {
+            return Ok(None);
+        };
+        let Some(replicas) = hot.replicated.lock().get(key).cloned() else {
+            return Ok(None);
+        };
+        if replicas.len() < 2 {
+            return Ok(None);
+        }
+        let first = replicas[hot
+            .chooser
+            .choose(replicas.len(), |i| hot.loads[replicas[i]].score())];
+        let order = std::iter::once(first).chain(replicas.iter().copied().filter(|&s| s != first));
+        let mut missed = Vec::new();
+        for server in order {
+            let load = &hot.loads[server];
+            load.in_flight.fetch_add(1, Ordering::Relaxed);
+            let begin = Instant::now();
+            let result = self.clients[server].get(key);
+            load.in_flight.fetch_sub(1, Ordering::Relaxed);
+            match result {
+                Ok(found) => {
+                    load.record(u64::try_from(begin.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    match found {
+                        Some(value) => {
+                            for &m in &missed {
+                                self.install(m, key, SharedBytes::clone(&value))?;
+                            }
+                            let class = if server == home {
+                                ClusterFetch::Hit
+                            } else {
+                                ClusterFetch::ReplicaHit
+                            };
+                            return Ok(Some((value, class)));
+                        }
+                        None => missed.push(server),
+                    }
+                }
+                // A dead replica is routed around, not degraded: the
+                // surviving replicas (or the standard tree) serve.
+                Err(e) if e.is_transport() => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Sketch update, hot-key promotion, and re-replication after the
+    /// standard tree resolved a fetch. A key crossing the threshold is
+    /// promoted: its distinct replica set is computed against the
+    /// current ring and the just-fetched value is installed on every
+    /// non-home replica. For an already-replicated key that the
+    /// standard tree resolved (every replica missed or the value was
+    /// just migrated/refetched), the non-home replicas are re-filled —
+    /// excluding the home server the tree already installed at, so a
+    /// migration install is never duplicated.
+    fn hot_key_after_fetch(
+        &self,
+        key: &[u8],
+        value: &SharedBytes,
+        home: usize,
+        class: ClusterFetch,
+    ) -> Result<(), NetError> {
+        let Some(hot) = &self.hot else {
+            return Ok(());
+        };
+        if hot.config.replicas < 2 {
+            return Ok(());
+        }
+        let count = hot.sketch.lock().observe(key);
+        let existing = hot.replicated.lock().get(key).cloned();
+        let set = match existing {
+            Some(set) => {
+                if class == ClusterFetch::Hit {
+                    // Home served directly (e.g. the p2c probe raced a
+                    // concurrent promotion): nothing to re-fill.
+                    return Ok(());
+                }
+                set
+            }
+            None => {
+                if count < hot.config.hot_key_threshold {
+                    return Ok(());
+                }
+                let set = hot
+                    .rings
+                    .replica_set(key, |h| self.strategy.server_for(h, self.active).index());
+                if set.len() < 2 {
+                    return Ok(());
+                }
+                let mut map = hot.replicated.lock();
+                map.insert(key.to_vec(), set.clone());
+                hot.promotions.inc();
+                hot.hot_keys.set(map.len() as i64);
+                set
+            }
+        };
+        for &server in set.iter().filter(|&&s| s != home) {
+            self.install(server, key, SharedBytes::clone(value))?;
+        }
+        Ok(())
+    }
+
+    /// Stores `value` at `key`'s home server and invalidates every
+    /// other copy a reader could still find: the non-home replicas of
+    /// a hot key, and — mid-transition — the old-mapping server whose
+    /// digest could otherwise resurrect the stale value through an
+    /// on-demand migration.
+    ///
+    /// The home write and the invalidations are best-effort on
+    /// transport failures (a dead server serves nothing; the paper's
+    /// failure model treats it as a miss), so a write never errors
+    /// because a replica is down.
+    ///
+    /// # Errors
+    ///
+    /// Returns semantic (non-transport) cache-server errors.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), NetError> {
+        let home = self.server_for(key).index();
+        self.install(home, key, value.into())?;
+        self.invalidate_many(&[key])?;
+        Ok(())
+    }
+
+    /// Invalidates every non-home copy of each key — hot-key replicas
+    /// plus, mid-transition, the old-mapping server — batched into one
+    /// pipelined [`CacheClient::delete_many`] per target server.
+    /// Returns how many copies were actually deleted. Unreachable
+    /// targets are skipped (best effort, like every install path).
+    ///
+    /// # Errors
+    ///
+    /// Returns semantic (non-transport) cache-server errors.
+    pub fn invalidate_many(&self, keys: &[&[u8]]) -> Result<u64, NetError> {
+        let mut per_server: std::collections::HashMap<usize, Vec<&[u8]>> =
+            std::collections::HashMap::new();
+        for &key in keys {
+            let hash = self.hasher.hash_bytes(key);
+            let home = self.strategy.server_for(hash, self.active).index();
+            if self.in_transition {
+                let old = self.strategy.server_for(hash, self.previous_active).index();
+                if old != home {
+                    per_server.entry(old).or_default().push(key);
+                }
+            }
+            if let Some(hot) = &self.hot {
+                if let Some(set) = hot.replicated.lock().get(key) {
+                    for &server in set.iter().filter(|&&s| s != home) {
+                        let group = per_server.entry(server).or_default();
+                        if !group.contains(&key) {
+                            group.push(key);
+                        }
+                    }
+                }
+            }
+        }
+        let mut deleted = 0;
+        for (server, group) in per_server {
+            if let Some(hot) = &self.hot {
+                hot.invalidations.add(group.len() as u64);
+            }
+            match self.clients[server].delete_many(&group) {
+                Ok(n) => deleted += n,
+                Err(e) if e.is_transport() => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(deleted)
+    }
+
+    /// The standard Algorithm 2 tree: new server, then the old
+    /// server's digest mid-transition, then the database.
+    fn algorithm2_fetch<D: DbFallback + ?Sized>(
+        &self,
+        key: &[u8],
+        hash: u64,
+        new_server: usize,
+        db: &D,
+    ) -> Result<(SharedBytes, ClusterFetch), NetError> {
         match self.clients[new_server].get(key) {
             Ok(Some(value)) => return Ok((value, ClusterFetch::Hit)),
             Ok(None) => {}
@@ -601,6 +984,14 @@ impl ClusterClient {
         // failed keep the per-key path (the tripped breaker fails fast,
         // preserving the degraded semantics); everything else is an
         // ordinary database miss.
+        // Duplicate keys resolve once: the first unresolved position
+        // of each distinct key is its representative; the rest mirror
+        // its result at the end. Without this, N copies of one key in
+        // a batch would fetch the database N times, migrate (and
+        // trace, and count) the same key N times, and re-install it N
+        // times.
+        let mut rep_of: std::collections::HashMap<&[u8], usize> = std::collections::HashMap::new();
+        let mut dups: Vec<(usize, usize)> = Vec::new();
         let mut probe_groups: std::collections::HashMap<usize, Vec<usize>> =
             std::collections::HashMap::new();
         for pos in 0..keys.len() {
@@ -608,6 +999,15 @@ impl ClusterClient {
                 continue;
             }
             let key = keys[pos];
+            match rep_of.entry(key) {
+                std::collections::hash_map::Entry::Occupied(rep) => {
+                    dups.push((pos, *rep.get()));
+                    continue;
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(pos);
+                }
+            }
             let hash = self.hasher.hash_bytes(key);
             let new_server = self.strategy.server_for(hash, self.active).index();
             if failed.contains(&new_server) {
@@ -716,6 +1116,14 @@ impl ClusterClient {
                 self.fetches.count_only(FetchClassKind::Migrated);
                 out[pos] = Some((data, ClusterFetch::Migrated));
             }
+        }
+        // Duplicate positions mirror their representative's resolution
+        // (same shared buffer, same class — counted so every position
+        // is accounted exactly once, like the phase-2 hits).
+        for (pos, rep) in dups {
+            let resolved = out[rep].clone().expect("representative resolved");
+            self.fetches.count_only(class_kind(resolved.1));
+            out[pos] = Some(resolved);
         }
         Ok(out
             .into_iter()
@@ -1017,6 +1425,233 @@ mod tests {
             stats.breaker_trips >= 1,
             "repeated failures must trip the dead server's breaker"
         );
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    fn replicated_cluster(
+        n: usize,
+        hot: HotKeyConfig,
+    ) -> (Vec<CacheServer>, ClusterClient, Mutex<ShardedStore>) {
+        let servers: Vec<CacheServer> = (0..n)
+            .map(|_| {
+                CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(4 << 20)).unwrap()
+            })
+            .collect();
+        let addrs: Vec<_> = servers.iter().map(CacheServer::addr).collect();
+        let client = ClusterClient::connect_replicated(
+            &addrs,
+            Box::new(ProteusPlacement::generate(n)),
+            ClientConfig::fast_failover(),
+            hot,
+        )
+        .unwrap();
+        let db = Mutex::new(ShardedStore::new(StoreConfig {
+            object_size: 64,
+            ..StoreConfig::default()
+        }));
+        (servers, client, db)
+    }
+
+    #[test]
+    fn fetch_many_with_duplicate_keys_resolves_each_key_once_mid_transition() {
+        let (servers, mut client, db) = cluster(4);
+        let warm: Vec<Vec<u8>> = (0..40u32)
+            .map(|i| format!("page:{i}").into_bytes())
+            .collect();
+        for k in &warm {
+            client.fetch(k, &db).unwrap();
+        }
+        client.begin_transition(3).unwrap();
+        // Each warm key three times, plus cold keys twice each, shuffled
+        // into repeated runs so duplicates land in the same phase-3 pass.
+        let cold: Vec<Vec<u8>> = (0..10u32)
+            .map(|i| format!("cold:{i}").into_bytes())
+            .collect();
+        let mut batch: Vec<&[u8]> = Vec::new();
+        for _ in 0..3 {
+            batch.extend(warm.iter().map(Vec::as_slice));
+        }
+        for _ in 0..2 {
+            batch.extend(cold.iter().map(Vec::as_slice));
+        }
+        let db_before = db.lock().total_fetches();
+        let migrated_before = client
+            .tracer()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::KeyMigrated { .. }))
+            .count();
+        let results = client.fetch_many(&batch, &db).unwrap();
+        assert_eq!(results.len(), batch.len());
+        // Every duplicate position mirrors its representative exactly.
+        let mut first: std::collections::HashMap<&[u8], &(SharedBytes, ClusterFetch)> =
+            std::collections::HashMap::new();
+        for (key, resolved) in batch.iter().zip(&results) {
+            let rep = first.entry(key).or_insert(resolved);
+            assert_eq!(rep.0, resolved.0, "duplicate value diverged");
+            assert_eq!(rep.1, resolved.1, "duplicate class diverged");
+        }
+        // One database fetch per *unique* cold key, not per position.
+        assert_eq!(
+            db.lock().total_fetches() - db_before,
+            cold.len() as u64,
+            "duplicates must not multiply database fetches"
+        );
+        // And one migration per unique migrating key, not per position.
+        let migrated_events = client
+            .tracer()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::KeyMigrated { .. }))
+            .count()
+            - migrated_before;
+        let migrated_unique = first
+            .values()
+            .filter(|(_, how)| *how == ClusterFetch::Migrated)
+            .count();
+        assert!(migrated_unique > 0, "the scale-down must move some keys");
+        assert_eq!(
+            migrated_events, migrated_unique,
+            "duplicates must not double-migrate"
+        );
+        // Values agree with the single-key path.
+        for (key, (value, _)) in batch.iter().zip(&results) {
+            let (single, _) = client.fetch(key, &db).unwrap();
+            assert_eq!(value, &single);
+        }
+        client.end_transition();
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn hot_key_is_promoted_replicated_and_served_by_replicas() {
+        let hot = HotKeyConfig {
+            replicas: 3,
+            hot_key_threshold: 10,
+            sketch_capacity: 32,
+        };
+        let (servers, client, db) = replicated_cluster(4, hot);
+        let (celebrity, _) = client.fetch(b"celebrity", &db).unwrap();
+        for _ in 0..80 {
+            let (v, how) = client.fetch(b"celebrity", &db).unwrap();
+            assert_eq!(v, celebrity);
+            assert!(
+                matches!(how, ClusterFetch::Hit | ClusterFetch::ReplicaHit),
+                "hot key must stay cached, got {how:?}"
+            );
+        }
+        let stats = client.hot_key_stats().unwrap();
+        assert_eq!(stats.promotions, 1);
+        assert_eq!(stats.replicated_keys, 1);
+        assert!(
+            stats.replica_hits > 0,
+            "p2c must route some reads to non-home replicas"
+        );
+        let replicas = client.replicas_of(b"celebrity").unwrap();
+        assert_eq!(replicas.len(), 3, "three distinct replicas");
+        assert_eq!(
+            replicas[0],
+            client.server_for(b"celebrity").index(),
+            "replica 0 is the home server"
+        );
+        // Every replica server really holds the value.
+        for &s in &replicas {
+            assert_eq!(
+                client.client(s).get(b"celebrity").unwrap().as_deref(),
+                Some(&celebrity[..])
+            );
+        }
+        // A cold key stays un-replicated and behaves as ever.
+        let (_, how) = client.fetch(b"cold:1", &db).unwrap();
+        assert_eq!(how, ClusterFetch::Database);
+        assert!(client.replicas_of(b"cold:1").is_none());
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn writes_invalidate_every_replica_with_no_stale_reads() {
+        let hot = HotKeyConfig {
+            replicas: 3,
+            hot_key_threshold: 5,
+            sketch_capacity: 32,
+        };
+        let (servers, client, db) = replicated_cluster(4, hot);
+        for _ in 0..20 {
+            client.fetch(b"celebrity", &db).unwrap();
+        }
+        let replicas = client.replicas_of(b"celebrity").unwrap();
+        assert!(replicas.len() > 1);
+        client.put(b"celebrity", b"rewritten").unwrap();
+        // The home holds the new value; every other replica was
+        // invalidated, not left stale.
+        let home = client.server_for(b"celebrity").index();
+        assert_eq!(
+            client.client(home).get(b"celebrity").unwrap().as_deref(),
+            Some(&b"rewritten"[..])
+        );
+        for &s in replicas.iter().filter(|&&s| s != home) {
+            assert_eq!(
+                client.client(s).get(b"celebrity").unwrap(),
+                None,
+                "replica {s} must be invalidated"
+            );
+        }
+        let stats = client.hot_key_stats().unwrap();
+        assert_eq!(stats.invalidations, (replicas.len() - 1) as u64);
+        // Subsequent fetches only ever see the new value (replicas are
+        // backfilled from the home copy, never from a stale one).
+        for _ in 0..20 {
+            let (v, _) = client.fetch(b"celebrity", &db).unwrap();
+            assert_eq!(&v[..], b"rewritten", "stale replica value resurfaced");
+        }
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn transition_recomputes_replica_sets_against_the_new_ring() {
+        let hot = HotKeyConfig {
+            replicas: 2,
+            hot_key_threshold: 5,
+            sketch_capacity: 32,
+        };
+        let (servers, mut client, db) = replicated_cluster(4, hot);
+        let (value, _) = client.fetch(b"celebrity", &db).unwrap();
+        for _ in 0..20 {
+            client.fetch(b"celebrity", &db).unwrap();
+        }
+        assert!(client.replicas_of(b"celebrity").is_some());
+        // Scale down: every replica must point inside the new active
+        // prefix, and reads must keep serving the same value with zero
+        // errors across the whole window.
+        client.begin_transition(2).unwrap();
+        let replicas = client.replicas_of(b"celebrity").unwrap();
+        assert!(
+            replicas.iter().all(|&s| s < 2),
+            "replica set {replicas:?} must live in the active prefix"
+        );
+        let db_before = db.lock().total_fetches();
+        for _ in 0..30 {
+            let (v, _) = client.fetch(b"celebrity", &db).unwrap();
+            assert_eq!(v, value);
+        }
+        assert_eq!(
+            db.lock().total_fetches(),
+            db_before,
+            "the hot key must never fall through to the database"
+        );
+        client.end_transition();
+        for _ in 0..10 {
+            let (v, _) = client.fetch(b"celebrity", &db).unwrap();
+            assert_eq!(v, value);
+        }
         for s in servers {
             s.stop();
         }

@@ -69,7 +69,9 @@ mod reactor;
 mod server;
 
 pub use client::{CacheClient, ClientConfig, ClientStats, PendingGets};
-pub use cluster_client::{ClusterClient, ClusterFetch, ClusterStats, DbFallback};
+pub use cluster_client::{
+    ClusterClient, ClusterFetch, ClusterStats, DbFallback, HotKeyConfig, HotKeyStats,
+};
 pub use error::NetError;
 pub use fault::{FaultMode, FaultProxy};
 pub use protocol::{

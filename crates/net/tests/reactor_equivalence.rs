@@ -29,6 +29,7 @@ use std::time::Duration;
 use proptest::prelude::*;
 use proteus_cache::CacheConfig;
 use proteus_net::{write_command, CacheServer, Command, EngineKind, ServerConfig};
+use proteus_obs::MetricValue;
 
 fn spawn_pair() -> (CacheServer, CacheServer) {
     let threaded = CacheServer::spawn_with(
@@ -312,6 +313,23 @@ fn reactor_shutdown_quiesces_with_idle_connections() {
         assert_eq!(&buf[..n], b"STORED\r\n");
         idle.push(s);
     }
+    // A connection that disconnects *before* shutdown must be decremented
+    // exactly once — not again by the shutdown drain.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "set early 0 0 1\r\nx\r\n").unwrap();
+        let mut buf = [0u8; 8];
+        let n = s.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"STORED\r\n");
+        write!(s, "quit\r\n").unwrap();
+        let mut rest = Vec::new();
+        let _ = s.read_to_end(&mut rest);
+    }
+    assert_eq!(server.metrics().total_connections(), 10);
+    // `stop` consumes the server; the pull-based source keeps the shared
+    // metrics alive so the post-shutdown gauge can be inspected.
+    let source = server.metric_source();
     let begin = std::time::Instant::now();
     server.stop();
     assert!(
@@ -325,6 +343,29 @@ fn reactor_shutdown_quiesces_with_idle_connections() {
         let _ = s.read_to_end(&mut rest);
         assert!(rest.is_empty(), "no stray bytes at shutdown: {rest:?}");
     }
+    // Connection accounting is exactly-once: after every socket (the
+    // early-quit one and the drained idle ones) is gone, the gauge is
+    // back at zero — neither leaked (>0) nor double-decremented (<0) —
+    // and the monotone total still reflects all ten accepts.
+    let metrics = source();
+    let value = |name: &str| {
+        metrics
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from registry"))
+            .value
+            .clone()
+    };
+    assert!(
+        matches!(value("proteus_curr_connections"), MetricValue::Gauge(0)),
+        "curr_connections must settle at exactly zero, got {:?}",
+        value("proteus_curr_connections")
+    );
+    assert!(
+        matches!(value("proteus_total_connections"), MetricValue::Counter(10)),
+        "total_connections must count each accept once, got {:?}",
+        value("proteus_total_connections")
+    );
 }
 
 /// After `stop`, the reactor's port no longer accepts work and a new

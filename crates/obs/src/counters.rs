@@ -229,16 +229,21 @@ pub enum FetchClassKind {
     /// The digest claimed the old server had the key but it did not
     /// (Bloom-filter false positive); served from the database.
     FalsePositive,
+    /// Served by a non-home replica of a hot key (power-of-two-choices
+    /// routing picked, or failover fell through to, a server other
+    /// than the key's ring-0 owner).
+    ReplicaHit,
 }
 
 impl FetchClassKind {
     /// Every class, in display order.
-    pub const ALL: [FetchClassKind; 5] = [
+    pub const ALL: [FetchClassKind; 6] = [
         FetchClassKind::NewHit,
         FetchClassKind::Migrated,
         FetchClassKind::Database,
         FetchClassKind::Degraded,
         FetchClassKind::FalsePositive,
+        FetchClassKind::ReplicaHit,
     ];
 
     /// Stable snake_case name used in metric labels and STAT keys.
@@ -250,6 +255,7 @@ impl FetchClassKind {
             FetchClassKind::Database => "database",
             FetchClassKind::Degraded => "degraded",
             FetchClassKind::FalsePositive => "false_positive",
+            FetchClassKind::ReplicaHit => "replica_hit",
         }
     }
 

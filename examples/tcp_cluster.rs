@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut database = 0;
     for key in &keys {
         match cluster.fetch(key, &db)?.1 {
-            ClusterFetch::Hit => hits += 1,
+            ClusterFetch::Hit | ClusterFetch::ReplicaHit => hits += 1,
             ClusterFetch::Migrated => migrated += 1,
             ClusterFetch::Database | ClusterFetch::Degraded | ClusterFetch::FalsePositive => {
                 database += 1;

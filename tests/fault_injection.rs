@@ -9,7 +9,9 @@
 
 use parking_lot::Mutex;
 use proteus::cache::CacheConfig;
-use proteus::net::{CacheServer, ClientConfig, ClusterClient, ClusterFetch, FaultMode, FaultProxy};
+use proteus::net::{
+    CacheServer, ClientConfig, ClusterClient, ClusterFetch, FaultMode, FaultProxy, HotKeyConfig,
+};
 use proteus::ring::ProteusPlacement;
 use proteus::store::{ShardedStore, StoreConfig};
 
@@ -59,8 +61,157 @@ impl Rig {
     }
 }
 
+fn replicated_rig(n: usize, hot: HotKeyConfig) -> Rig {
+    let servers: Vec<CacheServer> = (0..n)
+        .map(|_| CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(8 << 20)).unwrap())
+        .collect();
+    let proxies: Vec<FaultProxy> = servers
+        .iter()
+        .map(|s| FaultProxy::spawn(s.addr()).unwrap())
+        .collect();
+    let addrs: Vec<_> = proxies.iter().map(FaultProxy::addr).collect();
+    let cluster = ClusterClient::connect_replicated(
+        &addrs,
+        Box::new(ProteusPlacement::generate(n)),
+        ClientConfig::fast_failover(),
+        hot,
+    )
+    .unwrap();
+    let db = Mutex::new(ShardedStore::new(StoreConfig {
+        object_size: 128,
+        ..StoreConfig::default()
+    }));
+    Rig {
+        servers,
+        proxies,
+        cluster,
+        db,
+    }
+}
+
 fn hot_keys(n: u32) -> Vec<Vec<u8>> {
     (0..n).map(|i| format!("page:{i}").into_bytes()).collect()
+}
+
+/// A writable backing store for staleness tests: the test can advance
+/// a key to a new version, so any later read of the old bytes is a
+/// provable stale copy rather than an honest authoritative answer.
+#[derive(Default)]
+struct VersionedDb {
+    values: Mutex<std::collections::HashMap<Vec<u8>, Vec<u8>>>,
+    fetches: std::sync::atomic::AtomicU64,
+}
+
+impl VersionedDb {
+    fn set(&self, key: &[u8], value: &[u8]) {
+        self.values.lock().insert(key.to_vec(), value.to_vec());
+    }
+
+    fn fetches(&self) -> u64 {
+        self.fetches.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl proteus::net::DbFallback for VersionedDb {
+    fn fetch(&self, key: &[u8]) -> Result<Vec<u8>, proteus::net::NetError> {
+        self.fetches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(self.values.lock().get(key).cloned().unwrap_or_default())
+    }
+}
+
+/// A replicated hot key survives its *home* server going dark
+/// mid-transition: every read is served by a surviving replica with
+/// zero errors and zero database fallbacks, and once the home returns
+/// a write invalidates every replica so no stale value ever resurfaces.
+#[test]
+fn replicated_key_survives_home_blackhole_mid_transition() {
+    let mut r = replicated_rig(
+        4,
+        HotKeyConfig {
+            replicas: 4,
+            hot_key_threshold: 5,
+            sketch_capacity: 32,
+        },
+    );
+    let key: &[u8] = b"celebrity";
+    let db = VersionedDb::default();
+    db.set(key, b"v1");
+    for _ in 0..20 {
+        r.cluster.fetch(key, &db).unwrap();
+    }
+    let full_set = r.cluster.replicas_of(key).unwrap();
+    assert!(
+        full_set.len() >= 3,
+        "the hot key must be replicated widely, got {full_set:?}"
+    );
+
+    // Scale down 4 -> 3; the replica set is recomputed against the new
+    // ring, so every member lies in the surviving prefix.
+    r.cluster.begin_transition(3).unwrap();
+    let replicas = r.cluster.replicas_of(key).unwrap();
+    assert!(replicas.iter().all(|&s| s < 3), "stale replica set");
+    assert!(replicas.len() >= 2, "need survivors, got {replicas:?}");
+    let home = r.cluster.server_for(key).index();
+    assert_eq!(home, replicas[0], "replica 0 is the home server");
+
+    // The home goes dark mid-transition. Every read must come from a
+    // surviving replica: no errors, no database fallback.
+    r.proxies[home].set_mode(FaultMode::Blackhole);
+    let db_before = db.fetches();
+    for _ in 0..30 {
+        let (value, how) = r
+            .cluster
+            .fetch(key, &db)
+            .unwrap_or_else(|e| panic!("read of a replicated key errored with its home dark: {e}"));
+        assert_eq!(&value[..], b"v1");
+        assert_eq!(
+            how,
+            ClusterFetch::ReplicaHit,
+            "reads must be served by surviving replicas"
+        );
+    }
+    assert_eq!(
+        db.fetches(),
+        db_before,
+        "replica reads must never touch the database"
+    );
+
+    // The home comes back. Wait for the breaker's probe to close the
+    // circuit (the home write is best-effort, so an open breaker would
+    // silently skip it), then write v2 through: database first, then
+    // the cache, which installs at the home and invalidates every
+    // other replica.
+    r.proxies[home].set_mode(FaultMode::Forward);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(15);
+    while r.cluster.client(home).get(key).is_err() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "the home never became reachable again"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    db.set(key, b"v2");
+    r.cluster.put(key, b"v2").unwrap();
+    r.cluster.end_transition();
+    for &s in replicas.iter().filter(|&&s| s != home) {
+        assert_eq!(
+            r.cluster.client(s).get(key).unwrap(),
+            None,
+            "replica {s} must be invalidated by the write"
+        );
+    }
+    // No stale value after invalidation: every subsequent read observes
+    // v2, whichever replica serves it.
+    for _ in 0..30 {
+        let (value, how) = r.cluster.fetch(key, &db).unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(&value[..]),
+            "v2",
+            "a stale replica value resurfaced after invalidation ({how:?})"
+        );
+    }
+    r.teardown();
 }
 
 /// The headline scenario from the issue: a 4-server warmed cluster
