@@ -1,21 +1,26 @@
 //! Connection scaling of the TCP data plane: the thread-per-connection
-//! engine vs the epoll reactor, swept over a growing population of
-//! *idle* connections while a fixed pool of active clients runs a
-//! verified 90/10 get/set mix.
+//! engine vs the epoll reactor vs the io_uring plane, swept over a
+//! growing population of *idle* connections while a fixed pool of
+//! active clients runs a verified 90/10 get/set mix.
 //!
-//! The column that matters is `threads`: the threaded engine spends
-//! one OS thread per attached socket, so 512 parked memcached clients
-//! cost 512 stacks and 512 schedulable entities before a single byte
-//! of work arrives. The reactor multiplexes every connection onto a
-//! fixed set of event loops, so the same 512 sockets cost a handful of
-//! threads — while the active mix keeps its throughput and tail
-//! latency.
+//! Two columns matter. `threads`: the threaded engine spends one OS
+//! thread per attached socket, so 512 parked memcached clients cost
+//! 512 stacks and 512 schedulable entities before a single byte of
+//! work arrives; the event-driven planes multiplex every connection
+//! onto a fixed set of loops. `sys/op`: data-plane syscalls per active
+//! operation (from the server's own `plane_syscalls` counter) — the
+//! threaded engine pays a read and a write per op, the reactor adds
+//! epoll traffic, and io_uring batches many receives and sends behind
+//! a single `io_uring_enter`, so its quotient drops below both.
 //!
 //! Run with: `cargo run --release -p proteus-bench --bin connection_scaling`
 //!
-//! `--smoke` is the CI gate: the reactor must carry >= 512 concurrent
-//! connections on <= 8 data-plane threads with every active operation
-//! verified and the parked sockets still answering afterwards.
+//! `--smoke` is the CI gate: the reactor and io_uring planes must each
+//! carry >= 512 concurrent connections on <= 8 data-plane threads with
+//! every active operation verified and the parked sockets still
+//! answering afterwards, and io_uring must spend strictly fewer
+//! syscalls per op than the epoll reactor. On kernels without io_uring
+//! the uring rows are skipped with an explicit note.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -24,7 +29,7 @@ use std::time::{Duration, Instant};
 
 use proteus_bench::write_csv;
 use proteus_cache::CacheConfig;
-use proteus_net::{CacheServer, EngineKind, ServerConfig};
+use proteus_net::{uring_supported, CacheServer, EngineKind, ServerConfig};
 use proteus_obs::LatencyHistogram;
 
 const ACTIVE_WORKERS: usize = 8;
@@ -59,7 +64,11 @@ fn touch(stream: &mut TcpStream) -> std::io::Result<()> {
     let mut buf = [0u8; 256];
     let mut n = 0;
     while !buf[..n].contains(&b'\n') {
-        let r = stream.read(&mut buf[n..])?;
+        let r = match stream.read(&mut buf[n..]) {
+            Ok(r) => r,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
         if r == 0 {
             return Err(protocol_error("version line", "EOF"));
         }
@@ -206,6 +215,10 @@ struct Row {
     /// or per-connection handlers, and the parked sockets.
     server_threads: usize,
     ops_per_sec: f64,
+    /// Data-plane syscalls per active operation: the delta of the
+    /// server's `plane_syscalls` counter across the active phase over
+    /// the operations performed.
+    syscalls_per_op: f64,
     p50: Duration,
     p99: Duration,
 }
@@ -223,7 +236,14 @@ fn measure(engine: EngineKind, label: &'static str, idle: usize, ops: u64) -> Ro
     let server_threads = os_threads().saturating_sub(before);
 
     let hist = Arc::new(LatencyHistogram::new());
+    // Snapshot the syscall counter tight around the active phase so
+    // the quotient excludes accept/park traffic. Each worker also
+    // spends a prepopulation burst inside `run_active`; it is the same
+    // per-plane workload shape as the measured mix, so it shifts every
+    // plane's quotient equally.
+    let sys_before = server.metrics().plane_syscalls();
     let elapsed = run_active(server.addr(), ACTIVE_WORKERS, ops, &hist);
+    let sys_delta = server.metrics().plane_syscalls().saturating_sub(sys_before);
 
     // The parked sockets must have survived the active phase: sample
     // across the population and round-trip each.
@@ -237,12 +257,14 @@ fn measure(engine: EngineKind, label: &'static str, idle: usize, ops: u64) -> Ro
         .snapshot()
         .percentiles()
         .expect("active phase recorded no samples");
+    let total_ops = ACTIVE_WORKERS as u64 * (ops + KEYS_PER_WORKER);
     Row {
         label,
         resolved,
         idle,
         server_threads,
         ops_per_sec: (ACTIVE_WORKERS as u64 * ops) as f64 / elapsed.as_secs_f64(),
+        syscalls_per_op: sys_delta as f64 / total_ops as f64,
         p50: pct.p50,
         p99: pct.p99,
     }
@@ -250,15 +272,16 @@ fn measure(engine: EngineKind, label: &'static str, idle: usize, ops: u64) -> Ro
 
 fn print_rows(rows: &[Row]) {
     let us = |d: Duration| d.as_secs_f64() * 1e6;
-    println!("\nengine   | idle conns | threads |        ops/s |   p50 us |   p99 us");
-    println!("---------+------------+---------+--------------+----------+---------");
+    println!("\nengine   | idle conns | threads |        ops/s | sys/op |   p50 us |   p99 us");
+    println!("---------+------------+---------+--------------+--------+----------+---------");
     for r in rows {
         println!(
-            "{:<8} | {:>10} | {:>7} | {:>12.0} | {:>8.1} | {:>8.1}",
+            "{:<8} | {:>10} | {:>7} | {:>12.0} | {:>6.2} | {:>8.1} | {:>8.1}",
             r.label,
             r.idle,
             r.server_threads,
             r.ops_per_sec,
+            r.syscalls_per_op,
             us(r.p50),
             us(r.p99),
         );
@@ -277,22 +300,36 @@ fn main() {
         println!("note: /proc/self/status unavailable — thread column reads 0");
     }
 
-    // The reactor's loop count is pinned so the thread column is
-    // hardware-independent: 4 loops + 1 acceptor on any machine.
+    // The event planes' loop counts are pinned so the thread column is
+    // hardware-independent: 4 loops + 1 acceptor on any machine (the
+    // uring plane's accept lives inside loop 0 — no extra thread).
     let reactor = EngineKind::Reactor { loops: 4 };
+    let uring = EngineKind::Uring { loops: 4 };
+    let have_uring = uring_supported();
+    if !have_uring {
+        println!("skipped: no io_uring (uring rows omitted)");
+    }
     let rows: Vec<Row> = if smoke {
-        vec![
+        let mut rows = vec![
             measure(EngineKind::Threaded, "threaded", 128, ops),
             measure(reactor, "reactor", SMOKE_IDLE_CONNS, ops),
-        ]
+        ];
+        if have_uring {
+            rows.push(measure(uring, "uring", SMOKE_IDLE_CONNS, ops));
+        }
+        rows
     } else {
         [0usize, 128, 512]
             .iter()
             .flat_map(|&idle| {
-                [
+                let mut batch = vec![
                     measure(EngineKind::Threaded, "threaded", idle, ops),
                     measure(reactor, "reactor", idle, ops),
-                ]
+                ];
+                if have_uring {
+                    batch.push(measure(uring, "uring", idle, ops));
+                }
+                batch
             })
             .collect()
     };
@@ -304,6 +341,7 @@ fn main() {
             r.idle.to_string(),
             r.server_threads.to_string(),
             format!("{:.0}", r.ops_per_sec),
+            format!("{:.3}", r.syscalls_per_op),
             format!("{:.1}", r.p50.as_secs_f64() * 1e6),
             format!("{:.1}", r.p99.as_secs_f64() * 1e6),
         ]
@@ -315,6 +353,7 @@ fn main() {
             "idle_conns",
             "server_threads",
             "ops_per_sec",
+            "syscalls_per_op",
             "p50_us",
             "p99_us",
         ],
@@ -355,6 +394,39 @@ fn main() {
                 threaded.server_threads,
                 threaded.idle
             );
+            if let Some(uring_row) = rows.get(2) {
+                // Same capacity gate as the reactor, plus the batching
+                // payoff: strictly fewer syscalls per op than epoll.
+                assert!(
+                    matches!(uring_row.resolved, EngineKind::Uring { .. }),
+                    "uring request fell back to {:?} despite a positive probe",
+                    uring_row.resolved
+                );
+                assert!(uring_row.idle >= SMOKE_IDLE_CONNS);
+                assert!(
+                    uring_row.server_threads > 0 && uring_row.server_threads <= SMOKE_THREAD_BUDGET,
+                    "uring used {} threads for {} connections (budget {SMOKE_THREAD_BUDGET})",
+                    uring_row.server_threads,
+                    uring_row.idle
+                );
+                assert!(
+                    uring_row.syscalls_per_op < reactor_row.syscalls_per_op,
+                    "io_uring must batch below the epoll plane: \
+                     {:.3} sys/op vs reactor {:.3} sys/op",
+                    uring_row.syscalls_per_op,
+                    reactor_row.syscalls_per_op
+                );
+                println!(
+                    "smoke: uring served {} idle + {ACTIVE_WORKERS} active connections on {} \
+                     threads at {:.3} sys/op (reactor: {:.3} sys/op)",
+                    uring_row.idle,
+                    uring_row.server_threads,
+                    uring_row.syscalls_per_op,
+                    reactor_row.syscalls_per_op
+                );
+            } else {
+                println!("smoke: skipped: no io_uring (uring gate not enforced)");
+            }
         } else {
             println!("\nsmoke: non-Linux target — thread budget reported, not enforced");
         }

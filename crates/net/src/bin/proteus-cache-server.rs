@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! proteus-cache-server [--bind ADDR] [--capacity-mb N] [--hot-ttl-secs N]
-//!                      [--engine threaded|reactor] [--loops N]
+//!                      [--engine threaded|reactor|uring] [--loops N]
 //!                      [--storage slab|heap]
 //! ```
 //!
@@ -71,8 +71,8 @@ fn parse_args() -> Result<Options, String> {
             "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")?),
             "--engine" => {
                 let engine = value("--engine")?;
-                if engine != "threaded" && engine != "reactor" {
-                    return Err("--engine must be `threaded` or `reactor`".to_string());
+                if engine != "threaded" && engine != "reactor" && engine != "uring" {
+                    return Err("--engine must be `threaded`, `reactor`, or `uring`".to_string());
                 }
                 opts.engine = Some(engine);
             }
@@ -92,7 +92,7 @@ fn parse_args() -> Result<Options, String> {
                 return Err("usage: proteus-cache-server [--bind ADDR] \
                             [--capacity-mb N] [--hot-ttl-secs N] \
                             [--metrics-addr ADDR] \
-                            [--engine threaded|reactor] [--loops N] \
+                            [--engine threaded|reactor|uring] [--loops N] \
                             [--storage slab|heap]"
                     .to_string());
             }
@@ -118,12 +118,16 @@ fn main() -> ExitCode {
         .storage(opts.storage);
     // Default: the platform's preferred data plane (the reactor on
     // Linux, threaded elsewhere); `--engine` forces one explicitly.
+    // `uring` resolves through the fallback ladder (uring → reactor →
+    // threaded) when the kernel lacks io_uring; the startup line below
+    // reports the plane actually running.
     let engine = match opts.engine.as_deref() {
         Some("threaded") => EngineKind::Threaded,
+        Some("uring") => EngineKind::Uring { loops: opts.loops },
         Some(_) => EngineKind::Reactor { loops: opts.loops },
         None => match EngineKind::default() {
             EngineKind::Reactor { .. } => EngineKind::Reactor { loops: opts.loops },
-            threaded => threaded,
+            other => other,
         },
     };
     let server = match CacheServer::spawn_with(&*opts.bind, config, ServerConfig { engine }) {
@@ -136,6 +140,7 @@ fn main() -> ExitCode {
     let plane = match server.engine_kind() {
         EngineKind::Threaded => "thread-per-connection".to_string(),
         EngineKind::Reactor { loops } => format!("epoll reactor, {loops} event loops"),
+        EngineKind::Uring { loops } => format!("io_uring, {loops} event loops"),
     };
     let storage = match opts.storage {
         StorageKind::Slab => "slab storage",

@@ -1,0 +1,182 @@
+//! The plane-independent connection state machine.
+//!
+//! Both event-driven data planes — the epoll reactor ([`reactor`]) and
+//! the io_uring plane ([`uring_reactor`]) — drive the same
+//! ReadingCommand → Executing → WritingResponse cycle over a
+//! connection; they differ only in how bytes move between the socket
+//! and the buffers. This module holds the shared middle: the input
+//! buffer with its parse cursor, the per-connection [`WireBuf`] parse
+//! scratch, the [`ResponseWriter`] over a drainable output buffer, and
+//! the execute loop that turns buffered bytes into queued responses
+//! through the same [`serve_command`] the threaded plane uses.
+//!
+//! [`reactor`]: crate::reactor
+//! [`uring_reactor`]: crate::uring_reactor
+
+use std::io::{IoSlice, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use crate::protocol::{parse_raw_command, Response, ResponseWriter, WireBuf};
+use crate::server::{op_class_of, serve_command, Shared};
+
+/// Output high-water mark: above this many pending response bytes a
+/// connection stops reading and parsing until the peer drains its
+/// socket — bounding per-connection memory against a client that
+/// pipelines requests without reading responses. Shared by both
+/// event-driven planes so backpressure behaves identically.
+pub(crate) const OUT_HIGH_WATER: usize = 1 << 20;
+
+/// A growable response buffer with a drain cursor: [`ResponseWriter`]
+/// appends (vectored writes land in one pass), the owning event loop
+/// drains `buf[pos..]` to the socket and resumes partial writes where
+/// they stopped.
+#[derive(Debug, Default)]
+pub(crate) struct OutBuf {
+    pub(crate) buf: Vec<u8>,
+    pub(crate) pos: usize,
+}
+
+impl OutBuf {
+    pub(crate) fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+impl Write for OutBuf {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+        let mut n = 0;
+        for b in bufs {
+            self.buf.extend_from_slice(b);
+            n += b.len();
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One connection's plane-independent state. The phases of the
+/// ReadingCommand → Executing → WritingResponse cycle are encoded in
+/// the buffers: unparsed input waits in `rbuf[rpos..]`, queued output
+/// waits in the writer's [`OutBuf`], and the `eof`/`closing` flags
+/// steer the endgame (serve everything already buffered, flush, then
+/// close — exactly the threaded plane's semantics).
+pub(crate) struct ConnCore {
+    pub(crate) stream: TcpStream,
+    /// Raw bytes off the socket; `rpos` is the parse cursor.
+    pub(crate) rbuf: Vec<u8>,
+    pub(crate) rpos: usize,
+    /// Per-connection parse scratch: keys borrow this in place, so a
+    /// warmed connection parses without allocating.
+    pub(crate) wire: WireBuf,
+    /// Response assembly over the connection's output buffer.
+    pub(crate) writer: ResponseWriter<OutBuf>,
+    /// Peer finished sending (clean EOF or RDHUP).
+    pub(crate) eof: bool,
+    /// Close once the output buffer drains (quit, protocol error, or
+    /// input exhausted after EOF).
+    pub(crate) closing: bool,
+}
+
+impl ConnCore {
+    pub(crate) fn new(stream: TcpStream) -> ConnCore {
+        ConnCore {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wire: WireBuf::new(),
+            writer: ResponseWriter::new(OutBuf::default()),
+            eof: false,
+            closing: false,
+        }
+    }
+
+    /// Response bytes queued in the output buffer (excluding any bytes
+    /// a plane holds in its own in-flight buffer).
+    pub(crate) fn out_pending(&self) -> usize {
+        self.writer.get_ref().pending()
+    }
+
+    /// Drops the parsed prefix of the input buffer so it never grows
+    /// past one command plus whatever arrived pipelined behind it.
+    pub(crate) fn compact(&mut self) {
+        if self.rpos == 0 {
+            return;
+        }
+        if self.rpos == self.rbuf.len() {
+            self.rbuf.clear();
+        } else {
+            self.rbuf.copy_within(self.rpos.., 0);
+            let remaining = self.rbuf.len() - self.rpos;
+            self.rbuf.truncate(remaining);
+        }
+        self.rpos = 0;
+    }
+
+    /// Parses and executes every complete command buffered on the
+    /// connection, stopping at backpressure, incomplete input, or a
+    /// close condition. `extra_out` is how many response bytes the
+    /// plane already holds outside the [`OutBuf`] (the io_uring plane's
+    /// in-flight send buffer); it counts against the high-water mark so
+    /// both planes apply the same 1 MiB backpressure rule.
+    pub(crate) fn process(&mut self, shared: &Shared, extra_out: usize) -> Result<(), ()> {
+        loop {
+            if self.closing || self.out_pending() + extra_out > OUT_HIGH_WATER {
+                break;
+            }
+            let ConnCore {
+                rbuf,
+                rpos,
+                wire,
+                writer,
+                closing,
+                eof,
+                ..
+            } = &mut *self;
+            match parse_raw_command(&rbuf[*rpos..], wire) {
+                Ok(Some((command, used))) => {
+                    *rpos += used;
+                    // Same timing rule as the threaded plane: the
+                    // serve (engine + response assembly), not the wait
+                    // for bytes.
+                    let class = op_class_of(&command);
+                    let begin = Instant::now();
+                    let served = serve_command(command, shared, writer);
+                    shared.metrics.ops.record(class, begin.elapsed());
+                    match served {
+                        Ok(false) => {}
+                        Ok(true) => *closing = true, // quit: flush then close
+                        Err(_) => return Err(()),    // buffer write cannot fail; defensive
+                    }
+                }
+                Ok(None) => {
+                    // Incomplete: wait for more bytes — unless the
+                    // peer already finished sending, in which case a
+                    // trailing partial command drops exactly as the
+                    // threaded plane's mid-command EOF does.
+                    if *eof {
+                        *closing = true;
+                    }
+                    break;
+                }
+                Err(e) => {
+                    // Threaded-plane parity: malformed input earns an
+                    // ERROR line, then the connection closes.
+                    let _ = writer.write(&Response::Error(e.to_string()));
+                    *closing = true;
+                    break;
+                }
+            }
+        }
+        self.compact();
+        Ok(())
+    }
+}

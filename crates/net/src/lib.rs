@@ -51,14 +51,19 @@
 //! # Ok::<(), proteus_net::NetError>(())
 //! ```
 
-// `deny` (not `forbid`) so the one FFI module below can opt back in:
-// the epoll/eventfd bindings in `poll` are the only unsafe code in the
-// crate, and they carry `#[allow(unsafe_code)]` at each use site.
+// `deny` (not `forbid`) so the two FFI modules below can opt back in:
+// the epoll/eventfd bindings in `poll` and the io_uring bindings in
+// `uring` are the only unsafe code in the crate; `poll` carries
+// `#[allow(unsafe_code)]` at each use site, `uring` allows it
+// module-wide but adds `#![deny(unsafe_op_in_unsafe_fn)]` and a
+// documented invariant per unsafe block (DESIGN.md §14).
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod client;
 mod cluster_client;
+#[cfg(target_os = "linux")]
+mod conn;
 mod error;
 mod fault;
 #[cfg(target_os = "linux")]
@@ -67,6 +72,10 @@ mod protocol;
 #[cfg(target_os = "linux")]
 mod reactor;
 mod server;
+#[cfg(target_os = "linux")]
+mod uring;
+#[cfg(target_os = "linux")]
+mod uring_reactor;
 
 pub use client::{CacheClient, ClientConfig, ClientStats, PendingGets};
 pub use cluster_client::{
@@ -80,6 +89,24 @@ pub use protocol::{
     RawCommand, Response, ResponseWriter, ValueItem, WireBuf, DIGEST_KEY, DIGEST_SNAPSHOT_KEY,
 };
 pub use server::{CacheServer, EngineKind, ServerConfig, ServerMetrics};
+
+/// Whether this kernel supports everything [`EngineKind::Uring`]
+/// needs (io_uring with registered provided-buffer rings, Linux ≥
+/// 5.19, not blocked by seccomp). When `false`, a `Uring` request
+/// resolves to [`EngineKind::Reactor`]; tests and benches use this to
+/// skip uring-specific assertions explicitly instead of silently
+/// exercising the fallback plane.
+#[must_use]
+pub fn uring_supported() -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        uring::supported()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
+}
 
 /// Re-export of the shared value-buffer type the wire layer hands out
 /// (see [`proteus_cache::SharedBytes`]).

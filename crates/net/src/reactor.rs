@@ -14,37 +14,38 @@
 //! - Each **event loop** owns one epoll instance and the connections
 //!   routed to it; a connection never migrates, so all per-connection
 //!   state is single-threaded and lock-free.
-//! - Each **connection** is a state machine: *reading* bytes into a
-//!   growable input buffer, *executing* every complete command it
-//!   holds (through the same [`serve_command`] the threaded plane
-//!   uses), and *writing* the queued responses, resuming partial
-//!   writes when the socket backs up.
+//! - Each **connection** is a [`ConnCore`] state machine (shared with
+//!   the io_uring plane): *reading* bytes into a growable input
+//!   buffer, *executing* every complete command it holds (through the
+//!   same `serve_command` the threaded plane uses), and *writing* the
+//!   queued responses, resuming partial writes when the socket backs
+//!   up.
 //!
 //! The hot path reuses the zero-copy machinery from the threaded
 //! plane: commands are parsed in place by
 //! [`parse_raw_command`](crate::protocol::parse_raw_command) (borrowed
-//! keys, one long-lived [`WireBuf`] per connection) and responses are
-//! assembled by [`ResponseWriter`] into a reused output buffer, so a
+//! keys, one long-lived `WireBuf` per connection) and responses are
+//! assembled by `ResponseWriter` into a reused output buffer, so a
 //! warmed connection serves gets without allocating.
 //!
 //! [`EngineKind::Threaded`]: crate::EngineKind::Threaded
 
 use std::collections::HashMap;
-use std::io::{IoSlice, Read, Write};
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use proteus_obs::{Counter, Gauge};
 
+use crate::conn::{ConnCore, OUT_HIGH_WATER};
 use crate::error::NetError;
 use crate::poll::{Epoll, EventFd, Events, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
-use crate::protocol::{parse_raw_command, Response, ResponseWriter, WireBuf};
-use crate::server::{accept_retry_delay, op_class_of, serve_command, Shared};
+use crate::server::{accept_retry_delay, Shared};
 
 /// Token reserved for the loop's eventfd doorbell; connection tokens
 /// count up from zero and never collide with it.
@@ -59,21 +60,20 @@ const WAIT_TIMEOUT: Duration = Duration::from_millis(100);
 /// offered in the connection's input buffer.
 const READ_CHUNK: usize = 64 << 10;
 
-/// Output high-water mark: above this many pending response bytes a
-/// connection stops reading and parsing until the peer drains its
-/// socket — bounding per-connection memory against a client that
-/// pipelines requests without reading responses.
-const OUT_HIGH_WATER: usize = 1 << 20;
-
-/// Reactor telemetry: per-loop connection gauges plus accept and
-/// read-`EAGAIN` counters, surfaced through the server's registry
-/// (`stats proteus` and the metrics endpoint).
+/// Reactor telemetry: per-loop connection gauges plus accept,
+/// read-`EAGAIN`, and submit/complete batch counters, surfaced through
+/// the server's registry (`stats proteus` and the metrics endpoint).
+/// `events / waits` is the mean readiness batch one `epoll_wait`
+/// syscall delivers — the epoll-plane analogue of the io_uring plane's
+/// `cqes / enters`.
 #[derive(Debug)]
 pub(crate) struct ReactorStats {
     per_loop_connections: Vec<Gauge>,
     accepted: Counter,
     read_eagain: Counter,
     wakeups: Counter,
+    waits: Counter,
+    events: Counter,
 }
 
 impl ReactorStats {
@@ -84,6 +84,8 @@ impl ReactorStats {
             accepted: Counter::new(),
             read_eagain: Counter::new(),
             wakeups: Counter::new(),
+            waits: Counter::new(),
+            events: Counter::new(),
         }
     }
 
@@ -107,13 +109,35 @@ impl ReactorStats {
     pub(crate) fn wakeups(&self) -> u64 {
         self.wakeups.get()
     }
+
+    /// `epoll_wait` syscalls issued (the submit side of a batch).
+    pub(crate) fn waits(&self) -> u64 {
+        self.waits.get()
+    }
+
+    /// Readiness events delivered across all waits (the complete side
+    /// of a batch).
+    pub(crate) fn events(&self) -> u64 {
+        self.events.get()
+    }
 }
 
 /// A cross-thread handoff slot: the accept thread pushes sockets, the
-/// owning loop drains them when its doorbell rings.
-struct Mailbox {
-    queue: Mutex<Vec<TcpStream>>,
-    wake: EventFd,
+/// owning loop drains them when its doorbell rings. Shared with the
+/// io_uring plane, whose accept-owning loop hands sockets to its
+/// sibling loops the same way.
+pub(crate) struct Mailbox {
+    pub(crate) queue: Mutex<Vec<TcpStream>>,
+    pub(crate) wake: EventFd,
+}
+
+impl Mailbox {
+    pub(crate) fn new() -> Result<Mailbox, NetError> {
+        Ok(Mailbox {
+            queue: Mutex::new(Vec::new()),
+            wake: EventFd::new()?,
+        })
+    }
 }
 
 /// The running reactor: the accept thread plus its event loops.
@@ -155,10 +179,7 @@ impl Reactor {
             .expect("reactor spawned with reactor stats");
         let mut handles = Vec::with_capacity(loops.max(1));
         for index in 0..loops.max(1) {
-            let mailbox = Arc::new(Mailbox {
-                queue: Mutex::new(Vec::new()),
-                wake: EventFd::new()?,
-            });
+            let mailbox = Arc::new(Mailbox::new()?);
             let epoll = Epoll::new()?;
             epoll.add(mailbox.wake.fd(), WAKE_TOKEN, EPOLLIN)?;
             let mut worker = Worker {
@@ -185,6 +206,8 @@ impl Reactor {
             .spawn(move || {
                 let mut next = 0usize;
                 for stream in listener.incoming() {
+                    // One blocking `accept` syscall per iteration.
+                    accept_shared.metrics.plane_syscalls.inc();
                     if accept_shared.shutdown.load(Ordering::SeqCst) {
                         break;
                     }
@@ -195,6 +218,7 @@ impl Reactor {
                             stats.accepted.inc();
                             mailbox.queue.lock().push(stream);
                             mailbox.wake.notify();
+                            accept_shared.metrics.plane_syscalls.inc(); // eventfd write
                         }
                         // Same policy as the threaded plane: no accept
                         // error kills the listener; exhaustion backs
@@ -232,99 +256,20 @@ impl Reactor {
     }
 }
 
-/// A growable response buffer with a drain cursor: [`ResponseWriter`]
-/// appends (vectored writes land in one pass), the event loop drains
-/// `buf[pos..]` to the socket and resumes partial writes where they
-/// stopped.
-#[derive(Debug, Default)]
-struct OutBuf {
-    buf: Vec<u8>,
-    pos: usize,
-}
-
-impl OutBuf {
-    fn pending(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-}
-
-impl Write for OutBuf {
-    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
-        self.buf.extend_from_slice(data);
-        Ok(data.len())
-    }
-
-    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
-        let mut n = 0;
-        for b in bufs {
-            self.buf.extend_from_slice(b);
-            n += b.len();
-        }
-        Ok(n)
-    }
-
-    fn flush(&mut self) -> std::io::Result<()> {
-        Ok(())
-    }
-}
-
-/// One connection's state machine. The phases of the
-/// ReadingCommand → Executing → WritingResponse cycle are encoded in
-/// the buffers: unparsed input waits in `rbuf[rpos..]`, queued output
-/// waits in the writer's [`OutBuf`], and the `eof`/`closing` flags
-/// steer the endgame (serve everything already buffered, flush, then
-/// close — exactly the threaded plane's semantics).
+/// One connection on the epoll plane: the shared state machine plus
+/// the epoll interest bits currently registered for it.
 struct Conn {
-    stream: TcpStream,
-    /// Raw bytes off the socket; `rpos` is the parse cursor.
-    rbuf: Vec<u8>,
-    rpos: usize,
-    /// Per-connection parse scratch: keys borrow this in place, so a
-    /// warmed connection parses without allocating.
-    wire: WireBuf,
-    /// Response assembly over the connection's output buffer.
-    writer: ResponseWriter<OutBuf>,
+    core: ConnCore,
     /// The epoll interest bits currently registered.
     interest: u32,
-    /// Peer finished sending (clean EOF or RDHUP).
-    eof: bool,
-    /// Close once the output buffer drains (quit, protocol error, or
-    /// input exhausted after EOF).
-    closing: bool,
 }
 
 impl Conn {
     fn new(stream: TcpStream) -> Conn {
         Conn {
-            stream,
-            rbuf: Vec::new(),
-            rpos: 0,
-            wire: WireBuf::new(),
-            writer: ResponseWriter::new(OutBuf::default()),
+            core: ConnCore::new(stream),
             interest: EPOLLIN | EPOLLRDHUP,
-            eof: false,
-            closing: false,
         }
-    }
-
-    fn out_pending(&self) -> usize {
-        self.writer.get_ref().pending()
-    }
-
-    /// Drops the parsed prefix of the input buffer so it never grows
-    /// past one command plus whatever arrived pipelined behind it.
-    fn compact(&mut self) {
-        if self.rpos == 0 {
-            return;
-        }
-        if self.rpos == self.rbuf.len() {
-            self.rbuf.clear();
-        } else {
-            self.rbuf.copy_within(self.rpos.., 0);
-            let remaining = self.rbuf.len() - self.rpos;
-            self.rbuf.truncate(remaining);
-        }
-        self.rpos = 0;
     }
 }
 
@@ -344,9 +289,12 @@ impl Worker {
     fn run(&mut self) {
         let mut events = Events::with_capacity(256);
         loop {
-            if self.epoll.wait(&mut events, Some(WAIT_TIMEOUT)).is_err() {
+            self.stats.waits.inc();
+            self.shared.metrics.plane_syscalls.inc();
+            let Ok(n) = self.epoll.wait(&mut events, Some(WAIT_TIMEOUT)) else {
                 break;
-            }
+            };
+            self.stats.events.add(n as u64);
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
@@ -358,6 +306,7 @@ impl Worker {
                 if token == WAKE_TOKEN {
                     self.stats.wakeups.inc();
                     self.mailbox.wake.drain();
+                    self.shared.metrics.plane_syscalls.inc(); // eventfd read
                     self.adopt_new();
                 } else {
                     self.drive(token, bits);
@@ -390,6 +339,7 @@ impl Worker {
             {
                 continue;
             }
+            self.shared.metrics.plane_syscalls.add(3); // nonblocking + nodelay + epoll_ctl
             self.conns.insert(token, Conn::new(stream));
             self.shared.metrics.total_connections.inc();
             self.shared.metrics.curr_connections.inc();
@@ -425,73 +375,17 @@ impl Worker {
             return Err(());
         }
         if bits & EPOLLOUT != 0 {
-            flush_out(conn, &self.stats)?;
+            flush_out(&mut conn.core, &self.shared)?;
         }
         if bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0 {
-            fill_in(conn, &self.stats)?;
+            fill_in(&mut conn.core, &self.stats, &self.shared)?;
         }
-        self.process(conn)?;
-        flush_out(conn, &self.stats)?;
-        if conn.closing && conn.out_pending() == 0 {
+        conn.core.process(&self.shared, 0)?;
+        flush_out(&mut conn.core, &self.shared)?;
+        if conn.core.closing && conn.core.out_pending() == 0 {
             return Ok(false);
         }
         Ok(true)
-    }
-
-    /// Parses and executes every complete command buffered on the
-    /// connection, stopping at backpressure, incomplete input, or a
-    /// close condition.
-    fn process(&mut self, conn: &mut Conn) -> Result<(), ()> {
-        loop {
-            if conn.closing || conn.out_pending() > OUT_HIGH_WATER {
-                break;
-            }
-            let Conn {
-                rbuf,
-                rpos,
-                wire,
-                writer,
-                closing,
-                eof,
-                ..
-            } = &mut *conn;
-            match parse_raw_command(&rbuf[*rpos..], wire) {
-                Ok(Some((command, used))) => {
-                    *rpos += used;
-                    // Same timing rule as the threaded plane: the
-                    // serve (engine + response assembly), not the wait
-                    // for bytes.
-                    let class = op_class_of(&command);
-                    let begin = Instant::now();
-                    let served = serve_command(command, &self.shared, writer);
-                    self.shared.metrics.ops.record(class, begin.elapsed());
-                    match served {
-                        Ok(false) => {}
-                        Ok(true) => *closing = true, // quit: flush then close
-                        Err(_) => return Err(()),    // buffer write cannot fail; defensive
-                    }
-                }
-                Ok(None) => {
-                    // Incomplete: wait for more bytes — unless the
-                    // peer already finished sending, in which case a
-                    // trailing partial command drops exactly as the
-                    // threaded plane's mid-command EOF does.
-                    if *eof {
-                        *closing = true;
-                    }
-                    break;
-                }
-                Err(e) => {
-                    // Threaded-plane parity: malformed input earns an
-                    // ERROR line, then the connection closes.
-                    let _ = writer.write(&Response::Error(e.to_string()));
-                    *closing = true;
-                    break;
-                }
-            }
-        }
-        conn.compact();
-        Ok(())
     }
 
     /// Re-arms epoll for what the connection now cares about: always
@@ -499,16 +393,17 @@ impl Worker {
     /// writable only while responses are queued (level-triggered
     /// EPOLLOUT would spin otherwise).
     fn update_interest(&self, token: u64, conn: &mut Conn) {
-        let pending = conn.out_pending();
+        let pending = conn.core.out_pending();
         let mut want = 0;
         if pending > 0 {
             want |= EPOLLOUT;
         }
-        if !conn.closing && pending <= OUT_HIGH_WATER {
+        if !conn.core.closing && pending <= OUT_HIGH_WATER {
             want |= EPOLLIN | EPOLLRDHUP;
         }
         if want != conn.interest {
-            let _ = self.epoll.modify(conn.stream.as_raw_fd(), token, want);
+            self.shared.metrics.plane_syscalls.inc();
+            let _ = self.epoll.modify(conn.core.stream.as_raw_fd(), token, want);
             conn.interest = want;
         }
     }
@@ -516,13 +411,14 @@ impl Worker {
 
 /// Reads until the socket is drained (`EAGAIN`), EOF, or the output
 /// high-water mark says to stop pulling in more work.
-fn fill_in(conn: &mut Conn, stats: &ReactorStats) -> Result<(), ()> {
+fn fill_in(conn: &mut ConnCore, stats: &ReactorStats, shared: &Shared) -> Result<(), ()> {
     loop {
         if conn.out_pending() > OUT_HIGH_WATER {
             return Ok(());
         }
         let old = conn.rbuf.len();
         conn.rbuf.resize(old + READ_CHUNK, 0);
+        shared.metrics.plane_syscalls.inc();
         match conn.stream.read(&mut conn.rbuf[old..]) {
             Ok(0) => {
                 conn.rbuf.truncate(old);
@@ -551,10 +447,11 @@ fn fill_in(conn: &mut Conn, stats: &ReactorStats) -> Result<(), ()> {
 /// Drains queued response bytes to the socket, resuming where the
 /// last partial write stopped; backs off on `EAGAIN` (EPOLLOUT will
 /// re-arm) and reports hard errors.
-fn flush_out(conn: &mut Conn, _stats: &ReactorStats) -> Result<(), ()> {
-    let Conn { stream, writer, .. } = conn;
+fn flush_out(conn: &mut ConnCore, shared: &Shared) -> Result<(), ()> {
+    let ConnCore { stream, writer, .. } = conn;
     let out = writer.get_mut();
     while out.pos < out.buf.len() {
+        shared.metrics.plane_syscalls.inc();
         match stream.write(&out.buf[out.pos..]) {
             Ok(0) => return Err(()),
             Ok(n) => out.pos += n,

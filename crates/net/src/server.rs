@@ -39,6 +39,11 @@ pub struct ServerMetrics {
     pub(crate) ops: OpLatencies,
     pub(crate) curr_connections: Gauge,
     pub(crate) total_connections: Counter,
+    /// Data-plane syscalls issued: accepts, socket reads/writes,
+    /// `epoll_wait`/`epoll_ctl`, eventfd pokes, `io_uring_enter` —
+    /// counted at every call site on all three planes so
+    /// syscalls-per-operation can be compared across them honestly.
+    pub(crate) plane_syscalls: Counter,
 }
 
 impl ServerMetrics {
@@ -58,6 +63,13 @@ impl ServerMetrics {
     #[must_use]
     pub fn total_connections(&self) -> u64 {
         self.total_connections.get()
+    }
+
+    /// Data-plane syscalls issued so far (see the field docs). Benches
+    /// difference this across a run to report syscalls per operation.
+    #[must_use]
+    pub fn plane_syscalls(&self) -> u64 {
+        self.plane_syscalls.get()
     }
 }
 
@@ -79,6 +91,19 @@ pub enum EngineKind {
     ///
     /// [`Threaded`]: EngineKind::Threaded
     Reactor {
+        /// Number of event-loop threads; `0` means
+        /// `min(available cores, 4)`.
+        loops: usize,
+    },
+    /// io_uring event loops with multishot accept and registered
+    /// provided-buffer rings: submission batching folds many sockets'
+    /// reads and writes into one `io_uring_enter` per loop iteration
+    /// (Linux ≥ 5.19 only; falls back to [`Reactor`] when the kernel
+    /// or sandbox lacks io_uring, then [`Threaded`] off Linux).
+    ///
+    /// [`Reactor`]: EngineKind::Reactor
+    /// [`Threaded`]: EngineKind::Threaded
+    Uring {
         /// Number of event-loop threads; `0` means
         /// `min(available cores, 4)`.
         loops: usize,
@@ -137,6 +162,10 @@ pub(crate) struct Shared {
     /// when the threaded engine is driving.
     #[cfg(target_os = "linux")]
     pub(crate) reactor_stats: Option<Arc<crate::reactor::ReactorStats>>,
+    /// io_uring plane telemetry (enter/SQE/CQE batch counters); `None`
+    /// unless the uring plane is driving.
+    #[cfg(target_os = "linux")]
+    pub(crate) uring_stats: Option<Arc<crate::uring_reactor::UringStats>>,
 }
 
 impl Shared {
@@ -152,14 +181,23 @@ impl Shared {
 /// a transient `EMFILE` must not permanently silence a server that
 /// keeps running and holding its cache.
 pub(crate) fn accept_retry_delay(e: &std::io::Error) -> Option<Duration> {
-    // EMFILE(24)/ENFILE(23) surface as Uncategorized on stable, so
-    // match raw OS codes; ENOBUFS(105)/ENOMEM(12) likewise.
-    let exhausted = matches!(e.raw_os_error(), Some(23 | 24 | 12 | 105))
-        || matches!(
-            e.kind(),
-            std::io::ErrorKind::OutOfMemory | std::io::ErrorKind::WouldBlock
-        );
+    if let Some(code) = e.raw_os_error() {
+        return accept_retry_delay_os(code);
+    }
+    let exhausted = matches!(
+        e.kind(),
+        std::io::ErrorKind::OutOfMemory | std::io::ErrorKind::WouldBlock
+    );
     exhausted.then_some(ACCEPT_EXHAUSTED_BACKOFF)
+}
+
+/// The raw-errno core of [`accept_retry_delay`], shared with the
+/// io_uring plane (whose multishot-accept CQEs carry a negated errno,
+/// never an [`std::io::Error`]): EMFILE(24)/ENFILE(23) — which surface
+/// as Uncategorized on stable, hence raw codes — plus ENOBUFS(105) and
+/// ENOMEM(12) back off; everything else retries immediately.
+pub(crate) fn accept_retry_delay_os(code: i32) -> Option<Duration> {
+    matches!(code, 23 | 24 | 12 | 105).then_some(ACCEPT_EXHAUSTED_BACKOFF)
 }
 
 /// A running cache server: an accept thread plus a data plane —
@@ -194,6 +232,8 @@ enum DataPlane {
     },
     #[cfg(target_os = "linux")]
     Reactor(crate::reactor::Reactor),
+    #[cfg(target_os = "linux")]
+    Uring(crate::uring_reactor::UringReactor),
 }
 
 impl std::fmt::Debug for Shared {
@@ -232,7 +272,14 @@ impl CacheServer {
         let addr = listener.local_addr()?;
         #[cfg(target_os = "linux")]
         let engine_kind = match server_config.engine {
-            EngineKind::Reactor { loops } => EngineKind::Reactor {
+            // The fallback ladder: a uring request on a kernel (or
+            // sandbox) without io_uring resolves to the epoll reactor,
+            // so callers read the plane actually running from
+            // `engine_kind()` instead of failing.
+            EngineKind::Uring { loops } if crate::uring::supported() => EngineKind::Uring {
+                loops: resolve_loops(loops),
+            },
+            EngineKind::Uring { loops } | EngineKind::Reactor { loops } => EngineKind::Reactor {
                 loops: resolve_loops(loops),
             },
             EngineKind::Threaded => EngineKind::Threaded,
@@ -256,19 +303,33 @@ impl CacheServer {
                 EngineKind::Reactor { loops } => {
                     Some(Arc::new(crate::reactor::ReactorStats::new(loops)))
                 }
-                EngineKind::Threaded => None,
+                EngineKind::Threaded | EngineKind::Uring { .. } => None,
+            },
+            #[cfg(target_os = "linux")]
+            uring_stats: match engine_kind {
+                EngineKind::Uring { loops } => {
+                    Some(Arc::new(crate::uring_reactor::UringStats::new(loops)))
+                }
+                EngineKind::Threaded | EngineKind::Reactor { .. } => None,
             },
         });
-        let data_plane =
-            match engine_kind {
-                #[cfg(target_os = "linux")]
-                EngineKind::Reactor { loops } => DataPlane::Reactor(
-                    crate::reactor::Reactor::spawn(listener, Arc::clone(&shared), loops)?,
-                ),
-                #[cfg(not(target_os = "linux"))]
-                EngineKind::Reactor { .. } => unreachable!("normalized to Threaded above"),
-                EngineKind::Threaded => spawn_threaded(listener, &shared),
-            };
+        let data_plane = match engine_kind {
+            #[cfg(target_os = "linux")]
+            EngineKind::Reactor { loops } => DataPlane::Reactor(crate::reactor::Reactor::spawn(
+                listener,
+                Arc::clone(&shared),
+                loops,
+            )?),
+            #[cfg(target_os = "linux")]
+            EngineKind::Uring { loops } => DataPlane::Uring(
+                crate::uring_reactor::UringReactor::spawn(listener, Arc::clone(&shared), loops)?,
+            ),
+            #[cfg(not(target_os = "linux"))]
+            EngineKind::Reactor { .. } | EngineKind::Uring { .. } => {
+                unreachable!("normalized to Threaded above")
+            }
+            EngineKind::Threaded => spawn_threaded(listener, &shared),
+        };
         Ok(CacheServer {
             addr,
             shared,
@@ -285,7 +346,9 @@ impl CacheServer {
 
     /// The data plane actually running (auto values resolved: a
     /// requested `Reactor { loops: 0 }` reports its concrete loop
-    /// count, and a reactor request on a non-Linux target reports
+    /// count, a `Uring` request on a kernel without io_uring reports
+    /// the [`EngineKind::Reactor`] it fell back to, and any reactor
+    /// request on a non-Linux target reports
     /// [`EngineKind::Threaded`]).
     #[must_use]
     pub fn engine_kind(&self) -> EngineKind {
@@ -348,6 +411,8 @@ impl CacheServer {
             }
             #[cfg(target_os = "linux")]
             DataPlane::Reactor(reactor) => reactor.stop(),
+            #[cfg(target_os = "linux")]
+            DataPlane::Uring(uring) => uring.stop(),
         }
     }
 }
@@ -360,6 +425,8 @@ fn spawn_threaded(listener: TcpListener, shared: &Arc<Shared>) -> DataPlane {
     let accept_conn_threads = Arc::clone(&conn_threads);
     let accept_thread = std::thread::spawn(move || {
         for stream in listener.incoming() {
+            // One blocking `accept` syscall per iteration.
+            accept_shared.metrics.plane_syscalls.inc();
             if accept_shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
@@ -421,7 +488,35 @@ pub(crate) fn op_class_of(cmd: &RawCommand<'_>) -> OpClass {
     }
 }
 
-fn serve_connection(stream: TcpStream, shared: &Shared) {
+/// A [`TcpStream`] that counts every read and write against the
+/// server's `plane_syscalls` metric, so the thread-per-connection
+/// plane's syscall rate is measured at the same granularity as the
+/// event-driven planes'. (`flush` on a raw socket is a no-op, not a
+/// syscall, and is not counted.)
+struct CountedStream {
+    inner: TcpStream,
+    shared: Arc<Shared>,
+}
+
+impl std::io::Read for CountedStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.shared.metrics.plane_syscalls.inc();
+        self.inner.read(buf)
+    }
+}
+
+impl Write for CountedStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.shared.metrics.plane_syscalls.inc();
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
     if let Ok(clone) = stream.try_clone() {
         shared.conns.lock().insert(conn_id, clone);
@@ -434,8 +529,14 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(IDLE_READ_TIMEOUT));
     let peer = stream.try_clone();
     if let Ok(write_half) = peer {
-        let mut reader = BufReader::new(stream);
-        let mut writer = ResponseWriter::new(BufWriter::new(write_half));
+        let mut reader = BufReader::new(CountedStream {
+            inner: stream,
+            shared: Arc::clone(shared),
+        });
+        let mut writer = ResponseWriter::new(BufWriter::new(CountedStream {
+            inner: write_half,
+            shared: Arc::clone(shared),
+        }));
         // One buffer pool per connection: after the first few commands
         // parsing stops allocating (keys borrow the pool in place).
         let mut buf = WireBuf::new();
@@ -493,7 +594,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                 break;
             }
         }
-        let _ = writer.get_ref().get_ref().shutdown(Shutdown::Both);
+        let _ = writer.get_ref().get_ref().inner.shutdown(Shutdown::Both);
     }
     shared.metrics.curr_connections.dec();
     shared.conns.lock().remove(&conn_id);
@@ -522,6 +623,7 @@ pub(crate) fn registry(shared: &Shared) -> Vec<Metric> {
         Metric::counter("proteus_evictions_total", stats.evictions),
         Metric::counter("proteus_expirations_total", stats.expired),
         Metric::counter("proteus_rejected_sets_total", stats.rejected),
+        Metric::counter("proteus_plane_syscalls_total", m.plane_syscalls.get()),
     ];
     if let Some(slab) = shared.engine.slab_stats() {
         out.push(Metric::gauge(
@@ -596,9 +698,36 @@ pub(crate) fn registry(shared: &Shared) -> Vec<Metric> {
             "proteus_reactor_wakeups_total",
             rs.wakeups(),
         ));
+        // events / waits = mean readiness batch per epoll_wait, the
+        // epoll analogue of the uring plane's cqes / enters.
+        out.push(Metric::counter("proteus_reactor_waits_total", rs.waits()));
+        out.push(Metric::counter("proteus_reactor_events_total", rs.events()));
         for (index, conns) in rs.loop_connections().into_iter().enumerate() {
             out.push(
                 Metric::gauge("proteus_reactor_loop_connections", conns)
+                    .with_label("loop", index.to_string()),
+            );
+        }
+    }
+    #[cfg(target_os = "linux")]
+    if let Some(us) = &shared.uring_stats {
+        out.push(Metric::counter(
+            "proteus_uring_accepted_total",
+            us.accepted(),
+        ));
+        // sqes / enters and cqes / enters are the submission and
+        // completion batch sizes one io_uring_enter syscall carries.
+        out.push(Metric::counter("proteus_uring_enters_total", us.enters()));
+        out.push(Metric::counter("proteus_uring_sqes_total", us.sqes()));
+        out.push(Metric::counter("proteus_uring_cqes_total", us.cqes()));
+        out.push(Metric::counter("proteus_uring_wakeups_total", us.wakeups()));
+        out.push(Metric::counter(
+            "proteus_uring_buf_starved_total",
+            us.buf_starved(),
+        ));
+        for (index, conns) in us.loop_connections().into_iter().enumerate() {
+            out.push(
+                Metric::gauge("proteus_uring_loop_connections", conns)
                     .with_label("loop", index.to_string()),
             );
         }
@@ -954,6 +1083,17 @@ mod tests {
             accept_retry_delay(&Error::from(ErrorKind::OutOfMemory)),
             Some(ACCEPT_EXHAUSTED_BACKOFF)
         );
+        // The raw-errno core — shared with the uring multishot-accept
+        // path, whose CQEs carry negated errnos — classifies the same
+        // codes identically.
+        for code in [23, 24, 12, 105] {
+            assert_eq!(
+                accept_retry_delay_os(code),
+                Some(ACCEPT_EXHAUSTED_BACKOFF),
+                "os error {code}"
+            );
+        }
+        assert_eq!(accept_retry_delay_os(103), None); // ECONNABORTED: retry now
     }
 
     #[test]

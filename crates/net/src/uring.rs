@@ -1,0 +1,950 @@
+//! Thin safe wrappers over raw `io_uring` (Linux only).
+//!
+//! This is the io_uring analogue of [`poll`](crate::poll): the three
+//! syscalls (`io_uring_setup`, `io_uring_enter`, `io_uring_register`)
+//! are declared directly against the system libc's `syscall(2)`
+//! trampoline — no binding crate — and every unsafe operation is
+//! confined to this module behind owned types:
+//!
+//! - [`Ring`] owns one io_uring instance: the ring fd, the mmap'd
+//!   submission/completion rings, and the SQE array. Callers push
+//!   prepared SQEs ([`Sqe`]) and reap copied-out CQEs ([`Cqe`]);
+//!   a single [`Ring::submit_and_wait`] both submits the queued batch
+//!   and waits (with a timeout) for completions — one syscall where
+//!   the epoll plane pays one per ready connection.
+//! - [`BufRing`] owns one registered provided-buffer ring
+//!   (`IORING_REGISTER_PBUF_RING`) plus the buffer memory behind it.
+//!   Receives submitted with `IOSQE_BUFFER_SELECT` let the kernel pick
+//!   a buffer only when data actually arrives, so hundreds of parked
+//!   connections don't each pin a 64 KiB read buffer.
+//!
+//! # Safety invariants (see DESIGN.md §14)
+//!
+//! 1. **SQE memory**: SQEs are copied into the mmap'd array before the
+//!    tail is published (release store); the kernel reads them only at
+//!    `io_uring_enter` time (`IORING_FEAT_SUBMIT_STABLE` is required
+//!    by [`supported`]), so the slot can be reused after submit.
+//! 2. **Send buffers**: [`Sqe::send`] captures a raw pointer. The
+//!    caller must keep that allocation alive and un-moved until the
+//!    matching CQE is reaped. The io_uring reactor upholds this by
+//!    double-buffering: bytes move into a dedicated in-flight buffer
+//!    that is never touched (no push, no realloc, no free) while a
+//!    send is outstanding, and ring teardown reaps every outstanding
+//!    completion before buffers drop.
+//! 3. **Provided buffers**: buffer memory belongs to the kernel from
+//!    the moment a buffer id is published in the ring until a CQE
+//!    carrying that id (`IORING_CQE_F_BUFFER`) is reaped; the reactor
+//!    copies the bytes out and recycles the id in the same batch.
+//! 4. **Ring memory**: the mmap'd rings live exactly as long as the
+//!    ring fd; [`Ring`] drops the maps after closing the fd, and the
+//!    kernel holds its own page references, so neither order can leave
+//!    a dangling kernel-visible mapping.
+
+// The whole point of this module is to confine the crate's io_uring
+// unsafety in one reviewable file (the crate root carries
+// `#![deny(unsafe_code)]`); every `unsafe` block below documents the
+// invariant it relies on, and unsafe operations inside unsafe fns
+// still need their own blocks.
+#![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::io;
+use std::net::TcpStream;
+use std::os::raw::{c_int, c_long, c_uint, c_void};
+use std::os::unix::io::{FromRawFd, RawFd};
+use std::sync::atomic::{AtomicU16, AtomicU32, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+// Same numbers on x86-64 and aarch64 (the generic syscall table).
+const SYS_IO_URING_SETUP: c_long = 425;
+const SYS_IO_URING_ENTER: c_long = 426;
+const SYS_IO_URING_REGISTER: c_long = 427;
+
+const IORING_OP_NOP: u8 = 0;
+const IORING_OP_POLL_ADD: u8 = 6;
+const IORING_OP_ACCEPT: u8 = 13;
+const IORING_OP_SEND: u8 = 26;
+const IORING_OP_RECV: u8 = 27;
+
+/// `sqe.flags`: pick a buffer from the group in `buf_group`.
+const IOSQE_BUFFER_SELECT: u8 = 1 << 5;
+/// `sqe.ioprio` for accept: keep producing CQEs from one SQE.
+const IORING_ACCEPT_MULTISHOT: u16 = 1 << 0;
+
+/// CQE flags.
+pub(crate) const IORING_CQE_F_BUFFER: u32 = 1 << 0;
+pub(crate) const IORING_CQE_F_MORE: u32 = 1 << 1;
+pub(crate) const IORING_CQE_BUFFER_SHIFT: u32 = 16;
+
+const IORING_SETUP_CQSIZE: u32 = 1 << 3;
+const IORING_SETUP_CLAMP: u32 = 1 << 4;
+
+const IORING_ENTER_GETEVENTS: c_uint = 1 << 0;
+const IORING_ENTER_EXT_ARG: c_uint = 1 << 3;
+
+const IORING_FEAT_SINGLE_MMAP: u32 = 1 << 0;
+const IORING_FEAT_NODROP: u32 = 1 << 1;
+const IORING_FEAT_SUBMIT_STABLE: u32 = 1 << 2;
+const IORING_FEAT_EXT_ARG: u32 = 1 << 8;
+
+const IORING_REGISTER_PBUF_RING: c_uint = 22;
+const IORING_UNREGISTER_PBUF_RING: c_uint = 23;
+
+const IORING_OFF_SQ_RING: i64 = 0;
+const IORING_OFF_SQES: i64 = 0x1000_0000;
+
+const PROT_READ: c_int = 0x1;
+const PROT_WRITE: c_int = 0x2;
+const MAP_SHARED: c_int = 0x1;
+const MAP_PRIVATE: c_int = 0x2;
+const MAP_ANONYMOUS: c_int = 0x20;
+
+const POLLIN: u32 = 0x1;
+const MSG_NOSIGNAL: u32 = 0x4000;
+/// `accept4` flag: new sockets are close-on-exec, like every other fd
+/// this crate creates.
+const SOCK_CLOEXEC: u32 = 0o200_0000;
+
+const ETIME: i32 = 62;
+const EINTR: i32 = 4;
+const EBUSY: i32 = 16;
+/// `-ENOBUFS` on a buffer-select receive: the provided-buffer ring is
+/// momentarily empty (every buffer is out being processed).
+pub(crate) const ENOBUFS: i32 = 105;
+
+mod sys {
+    use super::{c_int, c_long, c_void};
+
+    extern "C" {
+        pub fn syscall(num: c_long, ...) -> c_long;
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// The kernel's `struct io_sqring_offsets`.
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+struct SqOffsets {
+    head: u32,
+    tail: u32,
+    ring_mask: u32,
+    ring_entries: u32,
+    flags: u32,
+    dropped: u32,
+    array: u32,
+    resv1: u32,
+    resv2: u64,
+}
+
+/// The kernel's `struct io_cqring_offsets`.
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+struct CqOffsets {
+    head: u32,
+    tail: u32,
+    ring_mask: u32,
+    ring_entries: u32,
+    overflow: u32,
+    cqes: u32,
+    flags: u32,
+    resv1: u32,
+    resv2: u64,
+}
+
+/// The kernel's `struct io_uring_params` (setup in/out argument).
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+struct Params {
+    sq_entries: u32,
+    cq_entries: u32,
+    flags: u32,
+    sq_thread_cpu: u32,
+    sq_thread_idle: u32,
+    features: u32,
+    wq_fd: u32,
+    resv: [u32; 3],
+    sq_off: SqOffsets,
+    cq_off: CqOffsets,
+}
+
+/// The kernel's 64-byte `struct io_uring_sqe`, with the unions
+/// flattened to the fields this crate uses.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub(crate) struct Sqe {
+    opcode: u8,
+    flags: u8,
+    ioprio: u16,
+    fd: i32,
+    off: u64,
+    addr: u64,
+    len: u32,
+    op_flags: u32,
+    user_data: u64,
+    buf_group: u16,
+    personality: u16,
+    splice_fd_in: i32,
+    addr3: u64,
+    pad2: u64,
+}
+
+const _: () = assert!(std::mem::size_of::<Sqe>() == 64);
+
+impl Sqe {
+    fn zeroed(opcode: u8, fd: RawFd, user_data: u64) -> Sqe {
+        Sqe {
+            opcode,
+            flags: 0,
+            ioprio: 0,
+            fd,
+            off: 0,
+            addr: 0,
+            len: 0,
+            op_flags: 0,
+            user_data,
+            buf_group: 0,
+            personality: 0,
+            splice_fd_in: 0,
+            addr3: 0,
+            pad2: 0,
+        }
+    }
+
+    /// A no-op request (completes immediately with `res == 0`).
+    pub(crate) fn nop(user_data: u64) -> Sqe {
+        Sqe::zeroed(IORING_OP_NOP, -1, user_data)
+    }
+
+    /// Multishot accept on a listening socket: one SQE keeps producing
+    /// one CQE per accepted connection (`res` = new fd) until an error
+    /// or a CQE without [`IORING_CQE_F_MORE`] retires it.
+    pub(crate) fn accept_multishot(listener: RawFd, user_data: u64) -> Sqe {
+        let mut sqe = Sqe::zeroed(IORING_OP_ACCEPT, listener, user_data);
+        sqe.ioprio = IORING_ACCEPT_MULTISHOT;
+        sqe.op_flags = SOCK_CLOEXEC;
+        sqe
+    }
+
+    /// Single-shot poll for readability (used for the eventfd
+    /// doorbell; no buffers involved).
+    pub(crate) fn poll_readable(fd: RawFd, user_data: u64) -> Sqe {
+        let mut sqe = Sqe::zeroed(IORING_OP_POLL_ADD, fd, user_data);
+        sqe.op_flags = POLLIN;
+        sqe
+    }
+
+    /// Receive with kernel buffer selection from group `bgid`: the
+    /// kernel picks a provided buffer only when data arrives and
+    /// reports its id in the CQE flags (`IORING_CQE_F_BUFFER`).
+    pub(crate) fn recv_select(fd: RawFd, bgid: u16, user_data: u64) -> Sqe {
+        let mut sqe = Sqe::zeroed(IORING_OP_RECV, fd, user_data);
+        sqe.flags = IOSQE_BUFFER_SELECT;
+        sqe.buf_group = bgid;
+        sqe
+    }
+
+    /// Send `len` bytes starting at `ptr`.
+    ///
+    /// **Invariant 2**: the allocation behind `ptr` must stay alive and
+    /// un-moved until the CQE for this request is reaped (the kernel
+    /// may read it after `io_uring_enter` returns if the socket buffer
+    /// was full at submit time).
+    pub(crate) fn send(fd: RawFd, ptr: *const u8, len: usize, user_data: u64) -> Sqe {
+        let mut sqe = Sqe::zeroed(IORING_OP_SEND, fd, user_data);
+        sqe.addr = ptr as u64;
+        sqe.len = u32::try_from(len).unwrap_or(u32::MAX);
+        sqe.op_flags = MSG_NOSIGNAL;
+        sqe
+    }
+}
+
+/// A copied-out completion: `res` is the syscall-style result
+/// (negative errno on failure), `flags` carries buffer id / multishot
+/// continuation bits.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Cqe {
+    pub(crate) user_data: u64,
+    pub(crate) res: i32,
+    pub(crate) flags: u32,
+}
+
+const _: () = assert!(std::mem::size_of::<Cqe>() == 16);
+
+/// The kernel's `struct io_uring_getevents_arg` for
+/// `IORING_ENTER_EXT_ARG` timed waits.
+#[repr(C)]
+struct GetEventsArg {
+    sigmask: u64,
+    sigmask_sz: u32,
+    pad: u32,
+    ts: u64,
+}
+
+#[repr(C)]
+struct KernelTimespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+/// An owned anonymous or ring mmap region.
+struct Mmap {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// Invariant: an `Mmap` is an exclusive owner of its region; the raw
+// pointer is only dereferenced by the `Ring`/`BufRing` that owns it,
+// which never migrates between threads mid-operation.
+unsafe impl Send for Mmap {}
+
+impl Mmap {
+    /// Maps a region of the ring fd (SQ/CQ rings, SQE array).
+    fn ring(fd: RawFd, len: usize, offset: i64) -> io::Result<Mmap> {
+        // Safety: mmap with a valid fd; the result is checked below.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                fd,
+                offset,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            ptr: ptr.cast(),
+            len,
+        })
+    }
+
+    /// Maps anonymous zeroed memory (page-aligned, as
+    /// `IORING_REGISTER_PBUF_RING` requires).
+    fn anon(len: usize) -> io::Result<Mmap> {
+        // Safety: anonymous mapping; the result is checked below.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            ptr: ptr.cast(),
+            len,
+        })
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // Safety: unmapping a region this struct exclusively owns.
+        let _ = unsafe { sys::munmap(self.ptr.cast(), self.len) };
+    }
+}
+
+fn enter(
+    fd: RawFd,
+    to_submit: u32,
+    min_complete: u32,
+    flags: c_uint,
+    arg: *const c_void,
+    argsz: usize,
+) -> io::Result<u32> {
+    // Safety: the ring fd is owned by the calling `Ring`; `arg`, when
+    // non-null, points at a live `GetEventsArg` on the caller's stack.
+    let ret = unsafe {
+        sys::syscall(
+            SYS_IO_URING_ENTER,
+            c_long::from(fd),
+            c_long::from(to_submit),
+            c_long::from(min_complete),
+            c_long::from(flags),
+            arg as c_long,
+            argsz as c_long,
+        )
+    };
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret as u32)
+    }
+}
+
+/// An owned io_uring instance: ring fd, mmap'd SQ/CQ rings, SQE array.
+///
+/// Single-owner by design: one `Ring` lives on one event-loop thread;
+/// nothing here is shared, so all ring-pointer accesses are plain
+/// acquire/release pairs against the kernel.
+pub(crate) struct Ring {
+    fd: RawFd,
+    // Keep-alive owners of the mappings every cached pointer below
+    // targets; never read directly (invariant 4 covers drop order).
+    _sqes_map: Mmap,
+    _ring_map: Mmap,
+    // Cached ring geometry (pointers into `ring_map`).
+    sq_head: *const AtomicU32,
+    sq_tail: *const AtomicU32,
+    sq_mask: u32,
+    sq_entries: u32,
+    sq_array: *mut u32,
+    sqes: *mut Sqe,
+    cq_head: *const AtomicU32,
+    cq_tail: *const AtomicU32,
+    cq_mask: u32,
+    cqes: *const Cqe,
+    /// Local (unpublished-to-kernel-yet-unsubmitted) SQ tail mirror.
+    tail: u32,
+    /// SQEs pushed but not yet passed to `io_uring_enter`.
+    pending: u32,
+}
+
+// Invariant: `Ring` is moved to its event-loop thread once at spawn
+// and never aliased; all pointers target the maps it owns.
+unsafe impl Send for Ring {}
+
+impl Ring {
+    /// Creates a ring with `sq_entries` submission slots and an
+    /// enlarged completion ring (`cq_entries`), requiring the feature
+    /// set the reactor depends on.
+    pub(crate) fn new(sq_entries: u32, cq_entries: u32) -> io::Result<Ring> {
+        let mut params = Params {
+            flags: IORING_SETUP_CQSIZE | IORING_SETUP_CLAMP,
+            cq_entries,
+            ..Params::default()
+        };
+        // Safety: setup with a valid params struct; fd checked below.
+        let fd = unsafe {
+            sys::syscall(
+                SYS_IO_URING_SETUP,
+                c_long::from(sq_entries),
+                std::ptr::addr_of_mut!(params) as c_long,
+            )
+        };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fd = fd as RawFd;
+        let required = IORING_FEAT_SINGLE_MMAP
+            | IORING_FEAT_NODROP
+            | IORING_FEAT_SUBMIT_STABLE
+            | IORING_FEAT_EXT_ARG;
+        if params.features & required != required {
+            // Safety: closing the fd this function just created.
+            unsafe { sys::close(fd) };
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "io_uring lacks required features",
+            ));
+        }
+        let sq_size = params.sq_off.array as usize + params.sq_entries as usize * 4;
+        let cq_size =
+            params.cq_off.cqes as usize + params.cq_entries as usize * std::mem::size_of::<Cqe>();
+        let ring_len = sq_size.max(cq_size);
+        let ring_map = match Mmap::ring(fd, ring_len, IORING_OFF_SQ_RING) {
+            Ok(m) => m,
+            Err(e) => {
+                // Safety: closing the fd this function owns.
+                unsafe { sys::close(fd) };
+                return Err(e);
+            }
+        };
+        let sqes_len = params.sq_entries as usize * std::mem::size_of::<Sqe>();
+        let sqes_map = match Mmap::ring(fd, sqes_len, IORING_OFF_SQES) {
+            Ok(m) => m,
+            Err(e) => {
+                // Safety: closing the fd this function owns.
+                unsafe { sys::close(fd) };
+                return Err(e);
+            }
+        };
+        let base = ring_map.ptr;
+        // Safety: all offsets come from the kernel's params for this
+        // very mapping; the resulting pointers stay inside `ring_map`.
+        let ring = unsafe {
+            let at = |off: u32| base.add(off as usize);
+            Ring {
+                fd,
+                sq_head: at(params.sq_off.head).cast::<AtomicU32>(),
+                sq_tail: at(params.sq_off.tail).cast::<AtomicU32>(),
+                sq_mask: *at(params.sq_off.ring_mask).cast::<u32>(),
+                sq_entries: params.sq_entries,
+                sq_array: at(params.sq_off.array).cast::<u32>(),
+                sqes: sqes_map.ptr.cast::<Sqe>(),
+                cq_head: at(params.cq_off.head).cast::<AtomicU32>(),
+                cq_tail: at(params.cq_off.tail).cast::<AtomicU32>(),
+                cq_mask: *at(params.cq_off.ring_mask).cast::<u32>(),
+                cqes: at(params.cq_off.cqes).cast::<Cqe>(),
+                tail: (*at(params.sq_off.tail).cast::<AtomicU32>()).load(Ordering::Relaxed),
+                pending: 0,
+                _ring_map: ring_map,
+                _sqes_map: sqes_map,
+            }
+        };
+        // Identity-map the SQ index array once; slots are then
+        // addressed directly by `tail & mask`.
+        for i in 0..ring.sq_entries {
+            // Safety: `sq_array` has `sq_entries` u32 slots.
+            unsafe {
+                *ring.sq_array.add(i as usize) = i;
+            }
+        }
+        Ok(ring)
+    }
+
+    /// The ring fd (for `BufRing` registration).
+    pub(crate) fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Queues one SQE. Returns `false` when the submission ring is
+    /// full — the caller should [`submit`](Ring::submit) and retry.
+    pub(crate) fn push(&mut self, sqe: Sqe) -> bool {
+        // Safety: `sq_head` points into the live ring mapping.
+        let head = unsafe { (*self.sq_head).load(Ordering::Acquire) };
+        if self.tail.wrapping_sub(head) >= self.sq_entries {
+            return false;
+        }
+        let idx = (self.tail & self.sq_mask) as usize;
+        // Safety: `idx < sq_entries`, so the slot is inside the SQE
+        // array; the kernel only reads slots below the published tail
+        // (invariant 1).
+        unsafe {
+            *self.sqes.add(idx) = sqe;
+        }
+        self.tail = self.tail.wrapping_add(1);
+        // Safety: `sq_tail` points into the live ring mapping; release
+        // publishes the SQE write above.
+        unsafe {
+            (*self.sq_tail).store(self.tail, Ordering::Release);
+        }
+        self.pending += 1;
+        true
+    }
+
+    /// SQEs pushed since the last submit.
+    pub(crate) fn pending(&self) -> u32 {
+        self.pending
+    }
+
+    /// Submits the queued batch without waiting. Returns the number of
+    /// SQEs the kernel consumed.
+    pub(crate) fn submit(&mut self) -> io::Result<u32> {
+        self.enter_loop(0, 0)
+    }
+
+    /// Submits the queued batch and waits up to `timeout` for at least
+    /// one completion — the single syscall that replaces the epoll
+    /// plane's `epoll_wait` + per-connection `read`/`write` round.
+    pub(crate) fn submit_and_wait(&mut self, timeout: Duration) -> io::Result<u32> {
+        let ts = KernelTimespec {
+            tv_sec: i64::try_from(timeout.as_secs()).unwrap_or(i64::MAX),
+            tv_nsec: i64::from(timeout.subsec_nanos()),
+        };
+        self.enter_loop(1, std::ptr::addr_of!(ts) as u64)
+    }
+
+    fn enter_loop(&mut self, min_complete: u32, ts_addr: u64) -> io::Result<u32> {
+        loop {
+            let (flags, arg, argsz): (c_uint, *const c_void, usize) = if ts_addr != 0 {
+                let arg = GetEventsArg {
+                    sigmask: 0,
+                    sigmask_sz: 0,
+                    pad: 0,
+                    ts: ts_addr,
+                };
+                // The arg struct must outlive the call only — the
+                // kernel copies it synchronously.
+                let boxed = Box::new(arg);
+                let res = enter(
+                    self.fd,
+                    self.pending,
+                    min_complete,
+                    IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG,
+                    (&*boxed as *const GetEventsArg).cast(),
+                    std::mem::size_of::<GetEventsArg>(),
+                );
+                match res {
+                    Ok(n) => {
+                        self.pending -= n.min(self.pending);
+                        return Ok(n);
+                    }
+                    Err(e) => match e.raw_os_error() {
+                        Some(ETIME) => return Ok(0),
+                        Some(EINTR) => continue,
+                        Some(EBUSY) => return Ok(0), // CQ backlog: reap first
+                        _ => return Err(e),
+                    },
+                }
+            } else {
+                (0, std::ptr::null(), 0)
+            };
+            match enter(self.fd, self.pending, min_complete, flags, arg, argsz) {
+                Ok(n) => {
+                    self.pending -= n.min(self.pending);
+                    return Ok(n);
+                }
+                Err(e) => match e.raw_os_error() {
+                    Some(EINTR) => continue,
+                    Some(EBUSY) => return Ok(0),
+                    _ => return Err(e),
+                },
+            }
+        }
+    }
+
+    /// Copies every pending completion into `out` and advances the CQ
+    /// head. Returns how many were reaped.
+    pub(crate) fn reap(&mut self, out: &mut Vec<Cqe>) -> usize {
+        // Safety: head/tail point into the live ring mapping.
+        let tail = unsafe { (*self.cq_tail).load(Ordering::Acquire) };
+        let mut head = unsafe { (*self.cq_head).load(Ordering::Relaxed) };
+        let n = tail.wrapping_sub(head) as usize;
+        out.reserve(n);
+        while head != tail {
+            let idx = (head & self.cq_mask) as usize;
+            // Safety: `idx` is below the CQ size and `head != tail`
+            // means the kernel has published this entry.
+            out.push(unsafe { *self.cqes.add(idx) });
+            head = head.wrapping_add(1);
+        }
+        // Safety: publishing the consumed head back to the kernel.
+        unsafe {
+            (*self.cq_head).store(head, Ordering::Release);
+        }
+        n
+    }
+
+    fn register(&self, opcode: c_uint, arg: *const c_void, nr_args: u32) -> io::Result<()> {
+        // Safety: valid ring fd and a live, correctly-typed argument
+        // struct for this registration opcode.
+        let ret = unsafe {
+            sys::syscall(
+                SYS_IO_URING_REGISTER,
+                c_long::from(self.fd),
+                c_long::from(opcode),
+                arg as c_long,
+                c_long::from(nr_args),
+            )
+        };
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        // Safety: closing the fd this struct owns; the mmaps unmap
+        // afterwards via field drops (invariant 4).
+        let _ = unsafe { sys::close(self.fd) };
+    }
+}
+
+/// The kernel's `struct io_uring_buf` (one provided-buffer slot).
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct BufDesc {
+    addr: u64,
+    len: u32,
+    bid: u16,
+    resv: u16,
+}
+
+/// The kernel's `struct io_uring_buf_reg`.
+#[repr(C)]
+struct BufReg {
+    ring_addr: u64,
+    ring_entries: u32,
+    bgid: u16,
+    pad: u16,
+    resv: [u64; 3],
+}
+
+/// Offset of the ring tail inside `struct io_uring_buf_ring` (it
+/// overlays `bufs[0].resv`).
+const BUF_RING_TAIL_OFFSET: usize = 14;
+
+/// An owned registered provided-buffer ring plus the buffer memory it
+/// publishes. Buffers are handed to the kernel by id; a receive
+/// completion names the id it filled, and [`recycle`](BufRing::recycle)
+/// returns it to the kernel (invariant 3).
+pub(crate) struct BufRing {
+    ring: Mmap,
+    data: Mmap,
+    entries: u16,
+    buf_len: usize,
+    bgid: u16,
+    tail: u16,
+    /// Non-owning copy of the ring fd for unregistration; the owning
+    /// `Worker` drops the `BufRing` before its `Ring`.
+    ring_fd: RawFd,
+}
+
+impl BufRing {
+    /// Allocates `entries` buffers of `buf_len` bytes and registers
+    /// them as group `bgid` on `ring`. `entries` must be a power of
+    /// two.
+    pub(crate) fn new(ring: &Ring, bgid: u16, entries: u16, buf_len: usize) -> io::Result<BufRing> {
+        assert!(entries.is_power_of_two(), "buffer ring size");
+        let ring_map = Mmap::anon(entries as usize * std::mem::size_of::<BufDesc>())?;
+        let data = Mmap::anon(entries as usize * buf_len)?;
+        let reg = BufReg {
+            ring_addr: ring_map.ptr as u64,
+            ring_entries: u32::from(entries),
+            bgid,
+            pad: 0,
+            resv: [0; 3],
+        };
+        ring.register(IORING_REGISTER_PBUF_RING, std::ptr::addr_of!(reg).cast(), 1)?;
+        let mut br = BufRing {
+            ring: ring_map,
+            data,
+            entries,
+            buf_len,
+            bgid,
+            tail: 0,
+            ring_fd: ring.fd(),
+        };
+        for bid in 0..entries {
+            br.recycle(bid);
+        }
+        Ok(br)
+    }
+
+    /// The buffer group id receives should select from.
+    pub(crate) fn bgid(&self) -> u16 {
+        self.bgid
+    }
+
+    /// The bytes a completed receive placed in buffer `bid`.
+    ///
+    /// The slice borrows `self`, and the buffer is not back under
+    /// kernel ownership until [`recycle`](BufRing::recycle) republishes
+    /// it, so the borrow cannot race a concurrent kernel write.
+    pub(crate) fn bytes(&self, bid: u16, len: usize) -> &[u8] {
+        let len = len.min(self.buf_len);
+        let off = bid as usize % self.entries as usize * self.buf_len;
+        // Safety: `off + len` stays inside the data mapping, and the
+        // kernel stopped writing this buffer when it posted the CQE.
+        unsafe { std::slice::from_raw_parts(self.data.ptr.add(off), len) }
+    }
+
+    /// Returns buffer `bid` to the kernel's ring (publishing with a
+    /// release store so the descriptor write is visible first).
+    pub(crate) fn recycle(&mut self, bid: u16) {
+        let bid = bid % self.entries;
+        let mask = self.entries - 1;
+        let idx = (self.tail & mask) as usize;
+        let desc = BufDesc {
+            addr: self.data.ptr as u64 + u64::from(bid) * self.buf_len as u64,
+            len: u32::try_from(self.buf_len).unwrap_or(u32::MAX),
+            bid,
+            resv: 0,
+        };
+        // Safety: `idx < entries`, inside the ring mapping this struct
+        // owns.
+        unsafe {
+            *self.ring.ptr.cast::<BufDesc>().add(idx) = desc;
+        }
+        self.tail = self.tail.wrapping_add(1);
+        // Safety: the tail overlays bytes 14..16 of the ring mapping;
+        // release publishes the descriptor write above.
+        unsafe {
+            (*self.ring.ptr.add(BUF_RING_TAIL_OFFSET).cast::<AtomicU16>())
+                .store(self.tail, Ordering::Release);
+        }
+    }
+}
+
+impl Drop for BufRing {
+    fn drop(&mut self) {
+        let reg = BufReg {
+            ring_addr: 0,
+            ring_entries: 0,
+            bgid: self.bgid,
+            pad: 0,
+            resv: [0; 3],
+        };
+        // Safety: unregistering by bgid; harmless if the ring fd is
+        // already closed (the call just fails).
+        let _ = unsafe {
+            sys::syscall(
+                SYS_IO_URING_REGISTER,
+                c_long::from(self.ring_fd),
+                c_long::from(IORING_UNREGISTER_PBUF_RING),
+                std::ptr::addr_of!(reg) as c_long,
+                1 as c_long,
+            )
+        };
+    }
+}
+
+/// Adopts a raw fd produced by a multishot-accept completion as a
+/// [`TcpStream`].
+///
+/// Invariant: `fd` must be a connected socket freshly delivered by an
+/// accept CQE on a ring this process owns — it is owned by nothing
+/// else, so handing it to `TcpStream` (which closes on drop) is the
+/// unique ownership transfer.
+pub(crate) fn tcp_from_accept(fd: RawFd) -> TcpStream {
+    // Safety: see the function contract above.
+    unsafe { TcpStream::from_raw_fd(fd) }
+}
+
+/// Whether this kernel supports everything the io_uring data plane
+/// needs: the ring feature set checked by [`Ring::new`] plus
+/// registered provided-buffer rings (Linux ≥ 5.19, which is also when
+/// multishot accept landed). Probed once per process; a sandbox that
+/// blocks `io_uring_setup` (seccomp) probes as unsupported, which is
+/// exactly the fallback behaviour the server wants.
+pub(crate) fn supported() -> bool {
+    static SUPPORTED: OnceLock<bool> = OnceLock::new();
+    // The probe runs on a throwaway thread: the kernel delivers ring
+    // completion task-work through thread-targeted signal notifications
+    // (`TWA_SIGNAL`), and a notification left over from the probe
+    // ring's teardown would surface as a spurious `EINTR` on the
+    // *caller's* next blocking syscall. A dedicated thread takes those
+    // notifications with it when it exits.
+    *SUPPORTED.get_or_init(|| {
+        std::thread::Builder::new()
+            .name("proteus-uring-probe".into())
+            .spawn(probe)
+            .map(|handle| handle.join().unwrap_or(false))
+            .unwrap_or(false)
+    })
+}
+
+fn probe() -> bool {
+    let Ok(mut ring) = Ring::new(8, 16) else {
+        return false;
+    };
+    if BufRing::new(&ring, 0, 1, 4096).is_err() {
+        return false;
+    }
+    // A NOP round trip proves io_uring_enter is permitted too.
+    if !ring.push(Sqe::nop(7)) {
+        return false;
+    }
+    if ring.submit_and_wait(Duration::from_secs(5)).is_err() {
+        return false;
+    }
+    let mut cqes = Vec::new();
+    ring.reap(&mut cqes);
+    cqes.iter().any(|c| c.user_data == 7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn probe_is_stable() {
+        assert_eq!(supported(), supported());
+    }
+
+    #[test]
+    fn nop_round_trip() {
+        if !supported() {
+            eprintln!("skipped: no io_uring");
+            return;
+        }
+        let mut ring = Ring::new(8, 16).unwrap();
+        assert!(ring.push(Sqe::nop(11)));
+        assert!(ring.push(Sqe::nop(22)));
+        assert_eq!(ring.pending(), 2);
+        ring.submit_and_wait(Duration::from_secs(5)).unwrap();
+        let mut cqes = Vec::new();
+        while cqes.len() < 2 {
+            ring.submit_and_wait(Duration::from_secs(5)).unwrap();
+            ring.reap(&mut cqes);
+        }
+        let mut data: Vec<u64> = cqes.iter().map(|c| c.user_data).collect();
+        data.sort_unstable();
+        assert_eq!(data, vec![11, 22]);
+        assert!(cqes.iter().all(|c| c.res == 0));
+    }
+
+    #[test]
+    fn buffer_select_recv_delivers_bytes() {
+        if !supported() {
+            eprintln!("skipped: no io_uring");
+            return;
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+
+        let mut ring = Ring::new(8, 16).unwrap();
+        let mut bufs = BufRing::new(&ring, 3, 4, 1024).unwrap();
+        assert!(ring.push(Sqe::recv_select(server_side.as_raw_fd(), bufs.bgid(), 99)));
+        client.write_all(b"ping").unwrap();
+        let mut cqes = Vec::new();
+        while cqes.is_empty() {
+            ring.submit_and_wait(Duration::from_secs(5)).unwrap();
+            ring.reap(&mut cqes);
+        }
+        let cqe = cqes[0];
+        assert_eq!(cqe.user_data, 99);
+        assert_eq!(cqe.res, 4);
+        assert_ne!(cqe.flags & IORING_CQE_F_BUFFER, 0, "buffer id expected");
+        let bid = (cqe.flags >> IORING_CQE_BUFFER_SHIFT) as u16;
+        assert_eq!(bufs.bytes(bid, cqe.res as usize), b"ping");
+        bufs.recycle(bid);
+    }
+
+    #[test]
+    fn multishot_accept_delivers_connections() {
+        if !supported() {
+            eprintln!("skipped: no io_uring");
+            return;
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut ring = Ring::new(8, 32).unwrap();
+        assert!(ring.push(Sqe::accept_multishot(listener.as_raw_fd(), 5)));
+        ring.submit().unwrap();
+        let c1 = TcpStream::connect(addr).unwrap();
+        let c2 = TcpStream::connect(addr).unwrap();
+        let mut cqes = Vec::new();
+        let mut fds = Vec::new();
+        while fds.len() < 2 {
+            ring.submit_and_wait(Duration::from_secs(5)).unwrap();
+            ring.reap(&mut cqes);
+            for cqe in cqes.drain(..) {
+                assert_eq!(cqe.user_data, 5);
+                assert!(cqe.res >= 0, "accept failed: {}", cqe.res);
+                assert_ne!(cqe.flags & IORING_CQE_F_MORE, 0, "multishot must persist");
+                fds.push(cqe.res);
+            }
+        }
+        for fd in fds {
+            drop(tcp_from_accept(fd));
+        }
+        drop((c1, c2));
+    }
+}

@@ -1,12 +1,16 @@
-//! The epoll reactor serves exactly the same bytes as the threaded
-//! data plane.
+//! The event-driven data planes serve exactly the same bytes as the
+//! threaded data plane.
 //!
 //! The threaded server is the correctness oracle: every property here
-//! spawns one server per plane over an identically configured engine,
-//! drives the **same byte stream** into both over fresh sockets —
-//! well-formed pipelines under random chunking, arbitrary garbage,
-//! mutated valid streams, and a deterministic split-at-every-boundary
-//! sweep — and requires byte-identical responses.
+//! spawns one server per plane — threaded, epoll reactor, and (when
+//! the kernel supports it) io_uring — over identically configured
+//! engines, drives the **same byte stream** into each over fresh
+//! sockets — well-formed pipelines under random chunking, arbitrary
+//! garbage, mutated valid streams, and a deterministic
+//! split-at-every-boundary sweep — and requires byte-identical
+//! responses. On kernels without io_uring the trio degrades to the
+//! original pair (the uring server would silently resolve to a second
+//! reactor, which proves nothing).
 //!
 //! Stream constraints that keep the comparison deterministic:
 //!
@@ -28,29 +32,45 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 use proteus_cache::CacheConfig;
-use proteus_net::{write_command, CacheServer, Command, EngineKind, ServerConfig};
+use proteus_net::{uring_supported, write_command, CacheServer, Command, EngineKind, ServerConfig};
 use proteus_obs::MetricValue;
 
-fn spawn_pair() -> (CacheServer, CacheServer) {
-    let threaded = CacheServer::spawn_with(
-        "127.0.0.1:0",
-        CacheConfig::with_capacity(8 << 20),
-        ServerConfig {
-            engine: EngineKind::Threaded,
-        },
-    )
-    .unwrap();
-    let reactor = CacheServer::spawn_with(
-        "127.0.0.1:0",
-        CacheConfig::with_capacity(8 << 20),
-        ServerConfig {
-            engine: EngineKind::Reactor { loops: 2 },
-        },
-    )
-    .unwrap();
+/// One server per plane, oracle (threaded) first. The uring plane
+/// joins only when the kernel actually supports it: on old kernels a
+/// `Uring` request resolves to a second reactor, which would dilute
+/// the property into reactor-vs-reactor.
+fn spawn_planes() -> Vec<(&'static str, CacheServer)> {
+    let spawn = |engine| {
+        CacheServer::spawn_with(
+            "127.0.0.1:0",
+            CacheConfig::with_capacity(8 << 20),
+            ServerConfig { engine },
+        )
+        .unwrap()
+    };
+    let threaded = spawn(EngineKind::Threaded);
     assert_eq!(threaded.engine_kind(), EngineKind::Threaded);
+    let reactor = spawn(EngineKind::Reactor { loops: 2 });
     assert_eq!(reactor.engine_kind(), EngineKind::Reactor { loops: 2 });
-    (threaded, reactor)
+    let mut planes = vec![("threaded", threaded), ("reactor", reactor)];
+    if uring_supported() {
+        let uring = spawn(EngineKind::Uring { loops: 2 });
+        assert_eq!(
+            uring.engine_kind(),
+            EngineKind::Uring { loops: 2 },
+            "probe said io_uring is supported; the server must not fall back"
+        );
+        planes.push(("uring", uring));
+    } else {
+        eprintln!("skipped: no io_uring (comparing threaded vs reactor only)");
+    }
+    planes
+}
+
+fn stop_all(planes: Vec<(&'static str, CacheServer)>) {
+    for (_, server) in planes {
+        server.stop();
+    }
 }
 
 /// Writes `stream` to a fresh connection in the given chunk sizes
@@ -90,24 +110,29 @@ fn drive(addr: SocketAddr, stream: &[u8], chunks: &[usize], pause: Option<Durati
     out
 }
 
-/// Drives both servers with identical bytes and asserts byte-identical
-/// responses.
+/// Drives every plane with identical bytes and asserts each one
+/// answers byte-identically to the threaded oracle (the first entry).
 fn assert_equivalent(
-    pair: &(CacheServer, CacheServer),
+    planes: &[(&'static str, CacheServer)],
     stream: &[u8],
     chunks: &[usize],
     pause: Option<Duration>,
 ) -> Result<(), TestCaseError> {
-    let from_threaded = drive(pair.0.addr(), stream, chunks, pause);
-    let from_reactor = drive(pair.1.addr(), stream, chunks, pause);
-    prop_assert_eq!(
-        &from_threaded,
-        &from_reactor,
-        "planes diverged on stream {:?}: threaded {:?} vs reactor {:?}",
-        String::from_utf8_lossy(stream),
-        String::from_utf8_lossy(&from_threaded),
-        String::from_utf8_lossy(&from_reactor)
-    );
+    let (oracle_name, oracle) = &planes[0];
+    let expected = drive(oracle.addr(), stream, chunks, pause);
+    for (name, server) in &planes[1..] {
+        let got = drive(server.addr(), stream, chunks, pause);
+        prop_assert_eq!(
+            &expected,
+            &got,
+            "planes diverged on stream {:?}: {} {:?} vs {} {:?}",
+            String::from_utf8_lossy(stream),
+            oracle_name,
+            String::from_utf8_lossy(&expected),
+            name,
+            String::from_utf8_lossy(&got)
+        );
+    }
     Ok(())
 }
 
@@ -174,10 +199,9 @@ proptest! {
         for cmd in &cmds {
             write_command(&mut stream, cmd).unwrap();
         }
-        let pair = spawn_pair();
-        assert_equivalent(&pair, &stream, &chunks, Some(Duration::from_millis(1)))?;
-        pair.0.stop();
-        pair.1.stop();
+        let planes = spawn_planes();
+        assert_equivalent(&planes, &stream, &chunks, Some(Duration::from_millis(1)))?;
+        stop_all(planes);
     }
 
     /// Arbitrary garbage: whatever the verdict (serve, error-close),
@@ -186,10 +210,9 @@ proptest! {
     fn garbage_streams_are_byte_identical(
         bytes in prop::collection::vec(any::<u8>(), 0..384),
     ) {
-        let pair = spawn_pair();
-        assert_equivalent(&pair, &bytes, &[bytes.len().max(1)], None)?;
-        pair.0.stop();
-        pair.1.stop();
+        let planes = spawn_planes();
+        assert_equivalent(&planes, &bytes, &[bytes.len().max(1)], None)?;
+        stop_all(planes);
     }
 
     /// CRLF-framed garbage text (the realistic fuzz surface) mixed in
@@ -205,10 +228,9 @@ proptest! {
             stream.extend_from_slice(b"\r\n");
         }
         write_command(&mut stream, &Command::Version).unwrap();
-        let pair = spawn_pair();
-        assert_equivalent(&pair, &stream, &[stream.len()], None)?;
-        pair.0.stop();
-        pair.1.stop();
+        let planes = spawn_planes();
+        assert_equivalent(&planes, &stream, &[stream.len()], None)?;
+        stop_all(planes);
     }
 
     /// Mutated valid streams: flip one byte or truncate a well-formed
@@ -222,84 +244,84 @@ proptest! {
     ) {
         let mut stream = Vec::new();
         write_command(&mut stream, &cmd).unwrap();
-        let pair = spawn_pair();
+        let planes = spawn_planes();
 
         let mut flipped = stream.clone();
         let i = flip_at % flipped.len();
         flipped[i] = flip_to;
-        assert_equivalent(&pair, &flipped, &[flipped.len()], None)?;
+        assert_equivalent(&planes, &flipped, &[flipped.len()], None)?;
 
         let truncated = &stream[..cut % (stream.len() + 1)];
-        assert_equivalent(&pair, truncated, &[truncated.len().max(1)], None)?;
-        pair.0.stop();
-        pair.1.stop();
+        assert_equivalent(&planes, truncated, &[truncated.len().max(1)], None)?;
+        stop_all(planes);
     }
 }
 
 /// A fixed mixed pipeline split at **every** byte boundary, with a
 /// pause so the halves genuinely arrive as separate reads: the
-/// reactor's resumable parser must agree with the threaded plane's
-/// blocking parser at every partial-arrival point.
+/// event-driven planes' resumable parsers must agree with the threaded
+/// plane's blocking parser at every partial-arrival point.
 #[test]
 fn every_split_point_is_byte_identical() {
     let stream: &[u8] = b"set a 0 0 3\r\nxyz\r\nget a\r\nincr a 1\r\nset n 7 0 2\r\n42\r\nincr n 8\r\nget a n miss\r\ndelete a\r\nget a\r\nversion\r\nquit\r\n";
-    let pair = spawn_pair();
-    let whole_threaded = drive(pair.0.addr(), stream, &[stream.len()], None);
-    let whole_reactor = drive(pair.1.addr(), stream, &[stream.len()], None);
-    assert_eq!(whole_threaded, whole_reactor, "whole-stream divergence");
+    let planes = spawn_planes();
+    let whole: Vec<Vec<u8>> = planes
+        .iter()
+        .map(|(_, s)| drive(s.addr(), stream, &[stream.len()], None))
+        .collect();
+    for (i, (name, _)) in planes.iter().enumerate().skip(1) {
+        assert_eq!(whole[0], whole[i], "whole-stream divergence on {name}");
+    }
     assert!(
-        whole_threaded.starts_with(b"STORED\r\n"),
+        whole[0].starts_with(b"STORED\r\n"),
         "sanity: the pipeline must actually be served, got {:?}",
-        String::from_utf8_lossy(&whole_threaded)
+        String::from_utf8_lossy(&whole[0])
     );
     // The pipeline deletes `a` itself but leaves `n` behind, and
     // `incr n 8` is not idempotent across replays — reset `n` between
     // runs so every replay answers exactly like the first.
     let reset: &[u8] = b"delete n\r\nquit\r\n";
     for split in 1..stream.len() {
-        drive(pair.0.addr(), reset, &[reset.len()], None);
-        drive(pair.1.addr(), reset, &[reset.len()], None);
-        // One chunk of `split` bytes, a pause, then the rest: the
+        // One chunk of `split` bytes, a pause, then the rest: each
         // server sees a genuine partial arrival at this boundary.
-        let a = drive(
-            pair.0.addr(),
-            stream,
-            &[split],
-            Some(Duration::from_millis(1)),
-        );
-        let b = drive(
-            pair.1.addr(),
-            stream,
-            &[split],
-            Some(Duration::from_millis(1)),
-        );
-        assert_eq!(
-            a,
-            b,
-            "planes diverged at split {split}: threaded {:?} vs reactor {:?}",
-            String::from_utf8_lossy(&a),
-            String::from_utf8_lossy(&b)
-        );
-        assert_eq!(a, whole_threaded, "split {split} changed the responses");
+        let mut replies = Vec::with_capacity(planes.len());
+        for (_, server) in &planes {
+            drive(server.addr(), reset, &[reset.len()], None);
+            replies.push(drive(
+                server.addr(),
+                stream,
+                &[split],
+                Some(Duration::from_millis(1)),
+            ));
+        }
+        for (i, (name, _)) in planes.iter().enumerate().skip(1) {
+            assert_eq!(
+                replies[0],
+                replies[i],
+                "planes diverged at split {split}: threaded {:?} vs {name} {:?}",
+                String::from_utf8_lossy(&replies[0]),
+                String::from_utf8_lossy(&replies[i])
+            );
+        }
+        assert_eq!(replies[0], whole[0], "split {split} changed the responses");
     }
-    pair.0.stop();
-    pair.1.stop();
+    stop_all(planes);
 }
 
-/// Reactor shutdown quiesces cleanly with idle connections parked on
-/// its event loops (mirrors the threaded shutdown test in
+/// Shutdown quiesces cleanly with idle connections parked on the
+/// plane's event loops (mirrors the threaded shutdown test in
 /// `tcp_integration.rs`): `stop` must not hang waiting on them, and
-/// it must wake every loop, not just one.
-#[test]
-fn reactor_shutdown_quiesces_with_idle_connections() {
+/// it must wake every loop, not just one. Shared by the epoll and
+/// io_uring planes — identical accounting is part of the equivalence
+/// contract.
+fn shutdown_quiesces_with_idle_connections(engine: EngineKind) {
     let server = CacheServer::spawn_with(
         "127.0.0.1:0",
         CacheConfig::with_capacity(1 << 20),
-        ServerConfig {
-            engine: EngineKind::Reactor { loops: 3 },
-        },
+        ServerConfig { engine },
     )
     .unwrap();
+    assert_eq!(server.engine_kind(), engine, "plane must not fall back");
     let addr = server.addr();
     // Park idle connections on every loop (round-robin assignment) and
     // verify they are live first.
@@ -368,17 +390,31 @@ fn reactor_shutdown_quiesces_with_idle_connections() {
     );
 }
 
-/// After `stop`, the reactor's port no longer accepts work and a new
-/// server can bind a fresh port and serve immediately (no leaked
-/// event-loop threads holding state).
 #[test]
-fn reactor_stops_accepting_and_releases_resources() {
+fn reactor_shutdown_quiesces_with_idle_connections() {
+    shutdown_quiesces_with_idle_connections(EngineKind::Reactor { loops: 3 });
+}
+
+/// The io_uring plane settles `curr_connections` at exactly 0 on
+/// shutdown even with in-flight multishot accept, recv, and poll ops
+/// outstanding on every loop.
+#[test]
+fn uring_shutdown_quiesces_with_idle_connections() {
+    if !uring_supported() {
+        eprintln!("skipped: no io_uring");
+        return;
+    }
+    shutdown_quiesces_with_idle_connections(EngineKind::Uring { loops: 3 });
+}
+
+/// After `stop`, the plane's port no longer accepts work and a new
+/// server can bind a fresh port and serve immediately (no leaked
+/// event-loop threads, rings, or buffer registrations holding state).
+fn stops_accepting_and_releases_resources(engine: EngineKind) {
     let server = CacheServer::spawn_with(
         "127.0.0.1:0",
         CacheConfig::with_capacity(1 << 20),
-        ServerConfig {
-            engine: EngineKind::Reactor { loops: 2 },
-        },
+        ServerConfig { engine },
     )
     .unwrap();
     let addr = server.addr();
@@ -397,9 +433,7 @@ fn reactor_stops_accepting_and_releases_resources() {
     let next = CacheServer::spawn_with(
         "127.0.0.1:0",
         CacheConfig::with_capacity(1 << 20),
-        ServerConfig {
-            engine: EngineKind::Reactor { loops: 2 },
-        },
+        ServerConfig { engine },
     )
     .unwrap();
     let mut s = TcpStream::connect(next.addr()).unwrap();
@@ -410,4 +444,18 @@ fn reactor_stops_accepting_and_releases_resources() {
     s.read_to_end(&mut out).unwrap();
     assert_eq!(&out[..], b"STORED\r\nVALUE k 0 1\r\nv\r\nEND\r\n");
     next.stop();
+}
+
+#[test]
+fn reactor_stops_accepting_and_releases_resources() {
+    stops_accepting_and_releases_resources(EngineKind::Reactor { loops: 2 });
+}
+
+#[test]
+fn uring_stops_accepting_and_releases_resources() {
+    if !uring_supported() {
+        eprintln!("skipped: no io_uring");
+        return;
+    }
+    stops_accepting_and_releases_resources(EngineKind::Uring { loops: 2 });
 }
