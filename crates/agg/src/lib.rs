@@ -1,0 +1,46 @@
+//! Cluster-wide observability for the Proteus cache tier.
+//!
+//! `proteus-obs` gives each server its own metrics endpoint; this crate
+//! is the plane above it — the piece the paper's evaluation implies but
+//! a single-server exporter cannot provide:
+//!
+//! - [`ClusterObserver`] — concurrently scrapes every server's
+//!   `/metrics.json` on an interval (each scrape deadline-bounded,
+//!   servers free to join and leave mid-run), merges per-server
+//!   histogram snapshots into *true* cluster-wide p50/p99/p999 via the
+//!   mergeable-snapshot machinery (not averages of per-server
+//!   percentiles), and derives the health series the paper watches:
+//!   aggregate ops/s, hit ratio, per-server load imbalance (max/mean),
+//!   active-server count.
+//! - [`WallEnergyMeter`] — the sim-time
+//!   [`EnergyMeter`](proteus_core::EnergyMeter) ported to wall-clock
+//!   `Instant`s: integrates modeled per-server watts from observed
+//!   utilization and power state into live joules and server-seconds,
+//!   with a parallel oracle integral for the power-proportionality
+//!   ratio.
+//! - Re-exposition — the aggregator serves its own merged
+//!   `proteus_cluster_*` endpoint through a
+//!   [`proteus_obs::MetricsServer`], so one scrape answers for the
+//!   whole cluster; the `proteus-cluster-obs` binary runs it against a
+//!   live deployment.
+//!
+//! Supporting modules: a dependency-free JSON decoder ([`json`]) that
+//! keeps 128-bit histogram sums exact, and the bounded scrape client
+//! ([`scrape`]) whose hard per-scrape deadline keeps one blackholed
+//! server from stalling a tick.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod scrape;
+
+mod energy;
+mod observer;
+
+pub use energy::WallEnergyMeter;
+pub use observer::{
+    merge_metrics, ClusterObserver, ClusterSnapshot, ObserverConfig, ObserverLoop, ServerStatus,
+    METRICS_PATH,
+};
+pub use scrape::{http_get, parse_metrics, ScrapeError};

@@ -1,0 +1,285 @@
+//! Bounded HTTP/1.0 scrape client and metrics-wire decoding.
+//!
+//! The client is deliberately tiny: one GET, `Connection: close`,
+//! read-to-EOF with a hard wall-clock deadline. A slow or blackholed
+//! server must never stall an aggregation tick past
+//! `connect_timeout + read_timeout`, because ticks over N servers run
+//! concurrently but the tick barrier waits for the slowest scrape.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use proteus_obs::{HistogramSnapshot, Metric, MetricValue};
+
+use crate::json::{self, Json};
+
+/// Upper bound on a scrape body. A full server exposition is a few KiB;
+/// 4 MiB leaves three orders of magnitude of headroom while keeping a
+/// misbehaving endpoint from exhausting aggregator memory.
+pub const MAX_BODY_BYTES: usize = 4 << 20;
+
+/// Why a scrape failed.
+#[derive(Debug)]
+pub enum ScrapeError {
+    /// Connect, read, or write failed (includes timeouts).
+    Io(std::io::Error),
+    /// The overall deadline elapsed before the response completed.
+    DeadlineExceeded,
+    /// The server answered with a non-200 status line.
+    HttpStatus(String),
+    /// The response had no header/body separator.
+    MalformedResponse,
+    /// The body exceeded [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+    /// The body was not valid metrics JSON.
+    Parse(String),
+}
+
+impl std::fmt::Display for ScrapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScrapeError::Io(e) => write!(f, "scrape i/o error: {e}"),
+            ScrapeError::DeadlineExceeded => write!(f, "scrape deadline exceeded"),
+            ScrapeError::HttpStatus(line) => write!(f, "scrape got non-200 status: {line}"),
+            ScrapeError::MalformedResponse => write!(f, "scrape response had no header terminator"),
+            ScrapeError::BodyTooLarge => write!(f, "scrape body exceeded size cap"),
+            ScrapeError::Parse(msg) => write!(f, "scrape body did not parse: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScrapeError {}
+
+impl From<std::io::Error> for ScrapeError {
+    fn from(e: std::io::Error) -> Self {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            ScrapeError::DeadlineExceeded
+        } else {
+            ScrapeError::Io(e)
+        }
+    }
+}
+
+/// Issues `GET <path>` against `addr` and returns the response body.
+///
+/// `connect_timeout` bounds the TCP handshake; `read_timeout` is the
+/// overall response deadline — each socket read gets only the time
+/// remaining, so a server that trickles one byte per second cannot
+/// extend the scrape indefinitely.
+///
+/// # Errors
+///
+/// Returns a [`ScrapeError`] on connect/read failure, deadline
+/// exhaustion, non-200 status, or an oversized/malformed response.
+pub fn http_get(
+    addr: SocketAddr,
+    path: &str,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+) -> Result<String, ScrapeError> {
+    let mut stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+    let deadline = Instant::now() + read_timeout;
+    stream.set_write_timeout(Some(read_timeout)).ok();
+    let request = format!("GET {path} HTTP/1.0\r\nHost: proteus\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .ok_or(ScrapeError::DeadlineExceeded)?;
+        stream.set_read_timeout(Some(remaining)).ok();
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                raw.extend_from_slice(&buf[..n]);
+                if raw.len() > MAX_BODY_BYTES {
+                    return Err(ScrapeError::BodyTooLarge);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    let text = String::from_utf8_lossy(&raw);
+    let header_end = text
+        .find("\r\n\r\n")
+        .ok_or(ScrapeError::MalformedResponse)?;
+    let status_line = text.lines().next().unwrap_or_default();
+    if !status_line.contains(" 200 ") {
+        return Err(ScrapeError::HttpStatus(status_line.to_string()));
+    }
+    Ok(text[header_end + 4..].to_string())
+}
+
+/// Decodes a `/metrics.json` body back into [`Metric`] samples.
+///
+/// Histograms are rebuilt losslessly from their sparse buckets via
+/// [`HistogramSnapshot::from_sparse`], so merging decoded snapshots
+/// across servers is bit-identical to merging in-process. Entries that
+/// do not decode (unknown type, corrupt buckets) are skipped rather
+/// than failing the whole scrape — one bad sample should not blind the
+/// aggregator to a server's remaining series.
+///
+/// # Errors
+///
+/// Returns [`ScrapeError::Parse`] when the body is not a JSON array of
+/// objects at all.
+pub fn parse_metrics(body: &str) -> Result<Vec<Metric>, ScrapeError> {
+    let doc = json::parse(body).map_err(|e| ScrapeError::Parse(e.to_string()))?;
+    let items = doc
+        .as_array()
+        .ok_or_else(|| ScrapeError::Parse("top level is not an array".into()))?;
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        if let Some(metric) = decode_metric(item) {
+            out.push(metric);
+        }
+    }
+    Ok(out)
+}
+
+fn decode_metric(item: &Json) -> Option<Metric> {
+    let name = item.get("name")?.as_str()?.to_string();
+    let mut labels = Vec::new();
+    if let Some(Json::Object(map)) = item.get("labels") {
+        for (k, v) in map {
+            labels.push((k.clone(), v.as_str()?.to_string()));
+        }
+    }
+    let value = match item.get("type")?.as_str()? {
+        "counter" => MetricValue::Counter(item.get("value")?.as_u64()?),
+        // Both integer and fractional gauges expose `"type":"gauge"`;
+        // a fractional rendering (`0.250000`) decodes as Float.
+        "gauge" => match item.get("value")? {
+            Json::Int(_) => MetricValue::Gauge(item.get("value")?.as_i64()?),
+            Json::Float(f) => MetricValue::FloatGauge(*f),
+            _ => return None,
+        },
+        "histogram" => MetricValue::Histogram(decode_histogram(item)?),
+        _ => return None,
+    };
+    Some(Metric {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn decode_histogram(item: &Json) -> Option<HistogramSnapshot> {
+    let sum_ns = item.get("sum_ns")?.as_u128()?;
+    let min_ns = item.get("min_ns")?.as_u64()?;
+    let max_ns = item.get("max_ns")?.as_u64()?;
+    let mut pairs = Vec::new();
+    for entry in item.get("buckets")?.as_array()? {
+        let pair = entry.as_array()?;
+        if pair.len() != 2 {
+            return None;
+        }
+        let idx = usize::try_from(pair[0].as_u64()?).ok()?;
+        pairs.push((idx, pair[1].as_u64()?));
+    }
+    HistogramSnapshot::from_sparse(&pairs, sum_ns, min_ns, max_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_obs::{to_json, LatencyHistogram};
+
+    #[test]
+    fn decodes_every_metric_kind_round_trip() {
+        let hist = LatencyHistogram::new();
+        for us in [3_u64, 90, 90, 4000] {
+            hist.record(Duration::from_micros(us));
+        }
+        let snap = hist.snapshot();
+        let body = to_json(&[
+            Metric::counter("hits", 41).with_label("op", "get"),
+            Metric::gauge("conns", -2),
+            Metric::float_gauge("frag", 0.125),
+            Metric::histogram("lat", snap.clone()),
+        ]);
+        let decoded = parse_metrics(&body).unwrap();
+        assert_eq!(decoded.len(), 4);
+        assert_eq!(decoded[0].name, "hits");
+        assert_eq!(
+            decoded[0].labels,
+            vec![("op".to_string(), "get".to_string())]
+        );
+        assert!(matches!(decoded[0].value, MetricValue::Counter(41)));
+        assert!(matches!(decoded[1].value, MetricValue::Gauge(-2)));
+        match decoded[2].value {
+            MetricValue::FloatGauge(f) => assert!((f - 0.125).abs() < 1e-9),
+            ref other => panic!("expected float gauge, got {other:?}"),
+        }
+        match &decoded[3].value {
+            MetricValue::Histogram(rebuilt) => assert_eq!(rebuilt, &snap, "lossless transport"),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skips_undecodable_entries_without_failing() {
+        let body = r#"[
+            {"name":"ok","labels":{},"type":"counter","value":1},
+            {"name":"weird","labels":{},"type":"summary","value":2},
+            {"name":"bad_hist","labels":{},"type":"histogram","count":1,"sum_ns":5,"min_ns":9,"max_ns":2,"quantiles_ns":{},"buckets":[[1,1]]}
+        ]"#;
+        let decoded = parse_metrics(body).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].name, "ok");
+    }
+
+    #[test]
+    fn rejects_non_array_bodies() {
+        assert!(matches!(
+            parse_metrics("{\"oops\":1}"),
+            Err(ScrapeError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_metrics("not json"),
+            Err(ScrapeError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn http_get_times_out_against_a_silent_server() {
+        // A bound listener that never accepts: connect succeeds (the
+        // backlog takes it) but no bytes ever arrive.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let started = Instant::now();
+        let result = http_get(
+            addr,
+            "/metrics.json",
+            Duration::from_millis(500),
+            Duration::from_millis(200),
+        );
+        assert!(matches!(result, Err(ScrapeError::DeadlineExceeded)));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadline must bound the scrape"
+        );
+        drop(listener);
+    }
+
+    #[test]
+    fn http_get_fails_fast_on_closed_port() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let result = http_get(
+            addr,
+            "/metrics.json",
+            Duration::from_millis(500),
+            Duration::from_millis(500),
+        );
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! The aggregation identity the whole cluster-observability plane
+//! rests on: decoding N servers' `/metrics.json` expositions and
+//! merging them remotely produces *exactly* the snapshot a single
+//! process would get by merging the same histograms in memory. Not
+//! statistically close — bucket-for-bucket identical, because the JSON
+//! wire carries sparse buckets losslessly.
+
+use proptest::prelude::*;
+use proteus_agg::{merge_metrics, parse_metrics};
+use proteus_obs::{to_json, HistogramSnapshot, LatencyHistogram, Metric, MetricValue};
+
+/// Per-server sample sets spanning every bucket regime: the exact
+/// region, a few octaves up, and deep-octave tail spikes.
+fn server_samples() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop_oneof![
+                0u64..64,
+                64u64..100_000,
+                100_000u64..10_000_000_000,
+                Just(1_000_000_000_000u64),
+            ],
+            0..120,
+        ),
+        1..6,
+    )
+}
+
+fn record(values: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::new();
+    for &v in values {
+        h.record_nanos(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// scrape → parse → merge equals the in-process merge oracle,
+    /// exactly, including quantiles (which are a pure function of the
+    /// snapshot).
+    #[test]
+    fn remote_merge_equals_in_process_merge(per_server in server_samples()) {
+        let snapshots: Vec<HistogramSnapshot> =
+            per_server.iter().map(|v| record(v)).collect();
+
+        // Each server's exposition travels through the real wire
+        // format and the aggregator's real decoder.
+        let decoded_per_server: Vec<Vec<Metric>> = snapshots
+            .iter()
+            .enumerate()
+            .map(|(i, snap)| {
+                let body = to_json(&[
+                    Metric::counter("proteus_get_hits_total", (i as u64 + 1) * 10),
+                    Metric::histogram("proteus_command_latency_seconds", snap.clone())
+                        .with_label("op", "get"),
+                ]);
+                parse_metrics(&body).expect("exposition must decode")
+            })
+            .collect();
+        let sources: Vec<&[Metric]> =
+            decoded_per_server.iter().map(Vec::as_slice).collect();
+        let merged = merge_metrics(&sources);
+
+        // Oracle: merge the very same snapshots without any wire.
+        let mut oracle = HistogramSnapshot::empty();
+        for snap in &snapshots {
+            oracle.merge(snap);
+        }
+
+        let cluster_hist = merged
+            .iter()
+            .find(|m| m.name == "proteus_command_latency_seconds")
+            .expect("merged exposition keeps the histogram");
+        match &cluster_hist.value {
+            MetricValue::Histogram(h) => prop_assert_eq!(h, &oracle),
+            other => prop_assert!(false, "expected histogram, got {:?}", other),
+        }
+
+        let cluster_hits = merged
+            .iter()
+            .find(|m| m.name == "proteus_get_hits_total")
+            .expect("merged exposition keeps the counter");
+        let n = per_server.len() as u64;
+        match cluster_hits.value {
+            MetricValue::Counter(v) => prop_assert_eq!(v, 10 * n * (n + 1) / 2),
+            ref other => prop_assert!(false, "expected counter, got {:?}", other),
+        }
+    }
+}

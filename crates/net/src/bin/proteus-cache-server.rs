@@ -23,7 +23,7 @@ use std::process::ExitCode;
 
 use proteus_cache::{CacheConfig, StorageKind};
 use proteus_net::{CacheServer, EngineKind, ServerConfig};
-use proteus_obs::MetricsServer;
+use proteus_obs::{MetricsServer, ScrapeLimits};
 use proteus_sim::SimDuration;
 
 struct Options {
@@ -155,10 +155,15 @@ fn main() -> ExitCode {
     // Kept alive for the life of the process; dropping it would stop
     // the scrape listener.
     let _metrics = match &opts.metrics_addr {
-        Some(addr) => match MetricsServer::spawn(addr.as_str(), server.metric_source()) {
+        Some(addr) => match MetricsServer::spawn_traced(
+            addr.as_str(),
+            server.metric_source(),
+            server.tracer(),
+            ScrapeLimits::default(),
+        ) {
             Ok(m) => {
                 println!(
-                    "metrics on http://{}/metrics (Prometheus) and /metrics.json",
+                    "metrics on http://{}/metrics (Prometheus), /metrics.json, /trace.jsonl",
                     m.local_addr()
                 );
                 Some(m)

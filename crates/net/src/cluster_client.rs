@@ -10,7 +10,10 @@ use parking_lot::Mutex;
 use proteus_bloom::BloomFilter;
 use proteus_cache::SharedBytes;
 use proteus_core::hot_key::{ReplicaRings, SpaceSaving, TwoChoices};
-use proteus_obs::{Counter, EventTracer, FetchClassKind, FetchLatencies, Gauge, TraceKind};
+use proteus_obs::{
+    trace_metrics, Counter, EventTracer, FetchClassKind, FetchLatencies, Gauge, Metric,
+    MetricSource, TraceKind,
+};
 use proteus_ring::{hash::KeyHasher, PlacementStrategy, ServerId};
 use proteus_store::ShardedStore;
 
@@ -220,8 +223,8 @@ pub struct ClusterClient {
     previous_active: usize,
     digests: Vec<Option<BloomFilter>>,
     in_transition: bool,
-    stats: AtomicClusterStats,
-    fetches: FetchLatencies,
+    stats: Arc<AtomicClusterStats>,
+    fetches: Arc<FetchLatencies>,
     tracer: Arc<EventTracer>,
     hot: Option<HotKeyState>,
 }
@@ -286,8 +289,8 @@ impl ClusterClient {
             previous_active: n,
             digests: vec![None; n],
             in_transition: false,
-            stats: AtomicClusterStats::default(),
-            fetches: FetchLatencies::default(),
+            stats: Arc::new(AtomicClusterStats::default()),
+            fetches: Arc::new(FetchLatencies::default()),
             tracer,
             hot: None,
         })
@@ -390,6 +393,52 @@ impl ClusterClient {
     #[must_use]
     pub fn tracer(&self) -> &Arc<EventTracer> {
         &self.tracer
+    }
+
+    /// A pull-based registry source for this client's web-tier view of
+    /// the cluster, suitable for [`proteus_obs::MetricsServer::spawn`]
+    /// (pair with [`MetricsServer::spawn_traced`] and
+    /// [`tracer`](Self::tracer) to also serve the transition trace at
+    /// `/trace.jsonl`): per-fetch-class counters and latency
+    /// histograms, the cluster fault counters, and trace ring health.
+    ///
+    /// [`MetricsServer::spawn_traced`]: proteus_obs::MetricsServer::spawn_traced
+    #[must_use]
+    pub fn metric_source(&self) -> MetricSource {
+        let stats = Arc::clone(&self.stats);
+        let fetches = Arc::clone(&self.fetches);
+        let tracer = Arc::clone(&self.tracer);
+        Arc::new(move || {
+            let mut out = Vec::new();
+            for (class, count, snap) in fetches.snapshot_all() {
+                out.push(
+                    Metric::counter("proteus_client_fetches_total", count)
+                        .with_label("class", class.name()),
+                );
+                out.push(
+                    Metric::histogram("proteus_client_fetch_latency_seconds", snap)
+                        .with_label("class", class.name()),
+                );
+            }
+            out.push(Metric::counter(
+                "proteus_client_degraded_fetches_total",
+                stats.degraded_fetches.load(Ordering::Relaxed),
+            ));
+            out.push(Metric::counter(
+                "proteus_client_skipped_migrations_total",
+                stats.skipped_migrations.load(Ordering::Relaxed),
+            ));
+            out.push(Metric::counter(
+                "proteus_client_dropped_installs_total",
+                stats.dropped_installs.load(Ordering::Relaxed),
+            ));
+            out.push(Metric::counter(
+                "proteus_client_missing_digests_total",
+                stats.missing_digests.load(Ordering::Relaxed),
+            ));
+            out.extend(trace_metrics(&tracer));
+            out
+        })
     }
 
     /// Hot-key replication counters, or `None` if this client was not

@@ -11,7 +11,10 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use proteus_bloom::DigestSnapshot;
 use proteus_cache::{CacheConfig, ShardedEngine, SharedBytes};
-use proteus_obs::{to_stat_pairs, Counter, Gauge, Metric, MetricSource, OpClass, OpLatencies};
+use proteus_obs::{
+    to_stat_pairs, trace_metrics, Counter, EventTracer, Gauge, Metric, MetricSource, OpClass,
+    OpLatencies, TraceKind,
+};
 use proteus_sim::{SimDuration, SimTime};
 
 use crate::error::NetError;
@@ -110,6 +113,18 @@ pub enum EngineKind {
     },
 }
 
+impl EngineKind {
+    /// Stable lowercase name for labels and logs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Threaded => "threaded",
+            EngineKind::Reactor { .. } => "reactor",
+            EngineKind::Uring { .. } => "uring",
+        }
+    }
+}
+
 impl Default for EngineKind {
     /// The reactor on Linux, the threaded engine elsewhere.
     fn default() -> Self {
@@ -151,6 +166,13 @@ pub(crate) struct Shared {
     pub(crate) started: Instant,
     pub(crate) shutdown: AtomicBool,
     pub(crate) metrics: ServerMetrics,
+    /// Server-side transition trace: records the digest-snapshot half
+    /// of a digest broadcast as observed on this end of the wire, and
+    /// feeds the `/trace.jsonl` endpoint when the server's metrics
+    /// exposition is spawned traced.
+    pub(crate) tracer: Arc<EventTracer>,
+    /// The resolved data plane, kept for `proteus_build_info`.
+    engine_kind: EngineKind,
     /// Live connection sockets, so the threaded engine's `stop()` can
     /// interrupt blocked reads instead of waiting out their timeout.
     /// Each connection registers a clone on accept and removes itself
@@ -296,6 +318,8 @@ impl CacheServer {
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
             metrics: ServerMetrics::default(),
+            tracer: Arc::new(EventTracer::new()),
+            engine_kind,
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
             #[cfg(target_os = "linux")]
@@ -376,6 +400,15 @@ impl CacheServer {
     pub fn metric_source(&self) -> MetricSource {
         let shared = Arc::clone(&self.shared);
         Arc::new(move || registry(&shared))
+    }
+
+    /// The server-side transition tracer (digest-snapshot events seen
+    /// on this end of the wire). Hand a clone to
+    /// [`proteus_obs::MetricsServer::spawn_traced`] to serve it at
+    /// `/trace.jsonl`.
+    #[must_use]
+    pub fn tracer(&self) -> Arc<EventTracer> {
+        Arc::clone(&self.shared.tracer)
     }
 
     /// Stops accepting connections, quiesces every connection thread
@@ -608,6 +641,19 @@ pub(crate) fn registry(shared: &Shared) -> Vec<Metric> {
     let stats = shared.engine.stats();
     let m = &shared.metrics;
     let mut out = vec![
+        // Info-gauge idiom: constant 1, identity in the labels, so any
+        // scrape names the build and backend that produced it.
+        Metric::gauge("proteus_build_info", 1)
+            .with_label("version", env!("CARGO_PKG_VERSION"))
+            .with_label("engine", shared.engine_kind.name())
+            .with_label(
+                "storage",
+                if shared.engine.slab_stats().is_some() {
+                    "slab"
+                } else {
+                    "heap"
+                },
+            ),
         Metric::gauge(
             "proteus_uptime_seconds",
             shared.started.elapsed().as_secs() as i64,
@@ -684,6 +730,10 @@ pub(crate) fn registry(shared: &Shared) -> Vec<Metric> {
                 .with_label("op", class.name()),
         );
     }
+    // Trace ring health (recorded / dropped / retained): also lands in
+    // `stats proteus` via to_stat_pairs, so ring overflow is visible
+    // on the memcached wire too.
+    out.extend(trace_metrics(&shared.tracer));
     #[cfg(target_os = "linux")]
     if let Some(rs) = &shared.reactor_stats {
         out.push(Metric::counter(
@@ -804,6 +854,9 @@ fn lookup(shared: &Shared, key: &[u8]) -> Option<(u32, SharedBytes)> {
         let snapshot = shared.engine.digest_snapshot();
         let bytes: SharedBytes = DigestSnapshot::from_filter(&snapshot).to_bytes().into();
         *shared.snapshot.lock() = Some(bytes);
+        // The server-side half of a digest broadcast: this is the event
+        // the aggregator correlates with the client's DigestBroadcast.
+        shared.tracer.record(TraceKind::DigestSnapshot);
         return Some((0, SharedBytes::from(&b"OK"[..])));
     }
     if key == DIGEST_KEY {

@@ -14,6 +14,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::histogram::HistogramSnapshot;
+use crate::tracer::{EventTracer, TraceEvent, TraceKind};
 
 /// The value carried by one [`Metric`].
 #[derive(Debug, Clone)]
@@ -221,14 +222,25 @@ pub fn to_json(metrics: &[Metric]) -> String {
                         )
                     })
                     .collect();
+                // The sparse buckets make the exposition lossless: a
+                // remote aggregator rebuilds the exact snapshot with
+                // `HistogramSnapshot::from_sparse` and merges across
+                // servers for true cluster-wide quantiles, instead of
+                // averaging pre-computed per-server percentiles.
+                let buckets: Vec<String> = snap
+                    .nonzero_buckets()
+                    .into_iter()
+                    .map(|(i, c)| format!("[{i},{c}]"))
+                    .collect();
                 format!(
-                    "\"type\":\"histogram\",\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{},\"quantiles_ns\":{{{}}}",
+                    "\"type\":\"histogram\",\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{},\"quantiles_ns\":{{{}}},\"buckets\":[{}]",
                     snap.count(),
                     snap.sum_nanos(),
                     snap.min().unwrap_or_default().as_nanos(),
                     snap.max().unwrap_or_default().as_nanos(),
                     snap.mean().unwrap_or_default().as_nanos(),
-                    quantiles.join(",")
+                    quantiles.join(","),
+                    buckets.join(",")
                 )
             }
         };
@@ -274,6 +286,139 @@ pub fn to_stat_pairs(metrics: &[Metric]) -> Vec<(String, String)> {
         }
     }
     out
+}
+
+/// Renders one trace event as a single JSON line (no trailing
+/// newline): the machine-readable trace schema.
+///
+/// The schema is stable: every line carries `seq` (global record
+/// order, gap-free except for counted ring drops), `at_ns` (monotonic
+/// nanoseconds since tracer creation), and `kind` (the snake_case
+/// [`TraceKind::name`]), plus the kind-specific fields — `from`/`to`
+/// for transitions and migrations, `server` for per-server events,
+/// `ok` for digest broadcasts.
+#[must_use]
+pub fn trace_event_json(event: &TraceEvent) -> String {
+    let fields = match event.kind {
+        TraceKind::TransitionBegin { from, to } | TraceKind::TransitionDrain { from, to } => {
+            format!(",\"from\":{from},\"to\":{to}")
+        }
+        TraceKind::DigestBroadcast { server, ok } => {
+            format!(",\"server\":{server},\"ok\":{ok}")
+        }
+        TraceKind::KeyMigrated { from, to } => format!(",\"from\":{from},\"to\":{to}"),
+        TraceKind::MigrationSkipped { server }
+        | TraceKind::Degraded { server }
+        | TraceKind::PowerOff { server }
+        | TraceKind::BreakerOpen { server }
+        | TraceKind::BreakerProbe { server }
+        | TraceKind::BreakerClose { server } => format!(",\"server\":{server}"),
+        TraceKind::DigestSnapshot => String::new(),
+    };
+    format!(
+        "{{\"seq\":{},\"at_ns\":{},\"kind\":\"{}\"{fields}}}",
+        event.seq,
+        event.at.as_nanos(),
+        event.kind.name()
+    )
+}
+
+/// Renders events as JSONL: one [`trace_event_json`] line per event,
+/// each newline-terminated (so the output is valid even when
+/// concatenated across incremental cursor reads).
+#[must_use]
+pub fn trace_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&trace_event_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// The tracer's own health as registry metrics:
+/// `proteus_trace_recorded_total`, `proteus_trace_dropped_total`
+/// (events the bounded ring overwrote before they were exported —
+/// non-zero means the trace has holes and the ring needs to be larger
+/// or drained more often), and the `proteus_trace_retained` gauge.
+#[must_use]
+pub fn trace_metrics(tracer: &EventTracer) -> Vec<Metric> {
+    vec![
+        Metric::counter("proteus_trace_recorded_total", tracer.recorded()),
+        Metric::counter("proteus_trace_dropped_total", tracer.dropped()),
+        Metric::gauge("proteus_trace_retained", tracer.len() as i64),
+    ]
+}
+
+/// Appends newly recorded trace events to a file as JSONL, remembering
+/// its cursor between drains so each event is written exactly once.
+///
+/// The sink is pull-based like the rest of the exposition layer: call
+/// [`drain`](Self::drain) periodically (or after interesting phases);
+/// recording stays a few atomics and never touches the filesystem.
+/// Ring overflow between drains is detected, not hidden: events that
+/// were overwritten before the sink caught up are counted in
+/// [`missed`](Self::missed).
+#[derive(Debug)]
+pub struct TraceFileSink {
+    file: std::io::BufWriter<std::fs::File>,
+    /// Last sequence number written, or `None` before the first event.
+    cursor: Option<u64>,
+    written: u64,
+    missed: u64,
+}
+
+impl TraceFileSink {
+    /// Creates (truncating) `path` as the sink target.
+    ///
+    /// # Errors
+    ///
+    /// Returns any file-creation error.
+    pub fn create<P: AsRef<std::path::Path>>(path: P) -> io::Result<TraceFileSink> {
+        Ok(TraceFileSink {
+            file: std::io::BufWriter::new(std::fs::File::create(path)?),
+            cursor: None,
+            written: 0,
+            missed: 0,
+        })
+    }
+
+    /// Writes every retained event newer than the cursor, flushes, and
+    /// returns how many lines were appended.
+    ///
+    /// # Errors
+    ///
+    /// Returns any write or flush error (the cursor only advances past
+    /// events that were fully written).
+    pub fn drain(&mut self, tracer: &EventTracer) -> io::Result<usize> {
+        let events = tracer.events_since(self.cursor);
+        if let (Some(first), expected) = (events.first(), self.cursor.map_or(0, |c| c + 1)) {
+            // The ring evicted events the sink never saw.
+            self.missed += first.seq.saturating_sub(expected);
+        }
+        let mut appended = 0usize;
+        for e in &events {
+            self.file.write_all(trace_event_json(e).as_bytes())?;
+            self.file.write_all(b"\n")?;
+            self.cursor = Some(e.seq);
+            self.written += 1;
+            appended += 1;
+        }
+        self.file.flush()?;
+        Ok(appended)
+    }
+
+    /// Events written to the file so far.
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Events that fell out of the ring before a drain saw them.
+    #[must_use]
+    pub fn missed(&self) -> u64 {
+        self.missed
+    }
 }
 
 /// A closure that materialises the current registry.
@@ -362,6 +507,35 @@ impl MetricsServer {
         source: MetricSource,
         limits: ScrapeLimits,
     ) -> io::Result<MetricsServer> {
+        MetricsServer::spawn_inner(addr, source, None, limits)
+    }
+
+    /// [`spawn_with`](Self::spawn_with) plus a trace ring: the
+    /// endpoint additionally serves `/trace.jsonl` — the retained
+    /// [`EventTracer`] events as one JSON object per line (see
+    /// [`trace_event_json`] for the schema) — with cursor-based
+    /// incremental reads via `?since_seq=N` (events with `seq > N`
+    /// only, so a poller passes the last seq it consumed and receives
+    /// each event exactly once, ring overflow aside).
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket bind error.
+    pub fn spawn_traced(
+        addr: &str,
+        source: MetricSource,
+        tracer: Arc<EventTracer>,
+        limits: ScrapeLimits,
+    ) -> io::Result<MetricsServer> {
+        MetricsServer::spawn_inner(addr, source, Some(tracer), limits)
+    }
+
+    fn spawn_inner(
+        addr: &str,
+        source: MetricSource,
+        tracer: Option<Arc<EventTracer>>,
+        limits: ScrapeLimits,
+    ) -> io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -387,13 +561,15 @@ impl MetricsServer {
                             }
                             loop_stats.active.fetch_add(1, Ordering::Relaxed);
                             let source = Arc::clone(&source);
+                            let tracer = tracer.clone();
                             let stats = Arc::clone(&loop_stats);
                             let worker = std::thread::Builder::new()
                                 .name("proteus-scrape".into())
                                 .spawn(move || {
                                     // Serve errors (client hangup etc.)
                                     // only affect that one scrape.
-                                    let _ = serve_scrape(stream, &source, &limits);
+                                    let _ =
+                                        serve_scrape(stream, &source, tracer.as_deref(), &limits);
                                     stats.served.fetch_add(1, Ordering::Relaxed);
                                     stats.active.fetch_sub(1, Ordering::Relaxed);
                                 });
@@ -480,6 +656,7 @@ fn reject_scrape(mut stream: TcpStream, limits: &ScrapeLimits) -> io::Result<()>
 fn serve_scrape(
     mut stream: TcpStream,
     source: &MetricSource,
+    tracer: Option<&EventTracer>,
     limits: &ScrapeLimits,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(limits.read_timeout))?;
@@ -495,11 +672,15 @@ fn serve_scrape(
         }
     }
     let request = String::from_utf8_lossy(&head);
-    let path = request
+    let target = request
         .lines()
         .next()
         .and_then(|line| line.split_whitespace().nth(1))
         .unwrap_or("/");
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
 
     let (status, content_type, body) = match path {
         "/metrics" | "/" => {
@@ -510,6 +691,18 @@ fn serve_scrape(
             let body = to_json(&source());
             ("200 OK", "application/json", body)
         }
+        "/trace.jsonl" => match tracer {
+            Some(tracer) => {
+                let since_seq = query.and_then(parse_since_seq);
+                let body = trace_to_jsonl(&tracer.events_since(since_seq));
+                ("200 OK", "application/x-ndjson", body)
+            }
+            None => (
+                "404 Not Found",
+                "text/plain",
+                "no tracer attached\n".to_string(),
+            ),
+        },
         _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
     };
     let response = format!(
@@ -518,6 +711,17 @@ fn serve_scrape(
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()
+}
+
+/// Extracts the `since_seq` cursor from a query string
+/// (`since_seq=42`, possibly among other `&`-separated pairs). A
+/// malformed value reads as "no cursor" — the full retained ring —
+/// rather than an error, since over-serving is always safe.
+fn parse_since_seq(query: &str) -> Option<u64> {
+    query
+        .split('&')
+        .find_map(|pair| pair.strip_prefix("since_seq="))
+        .and_then(|v| v.parse().ok())
 }
 
 #[cfg(test)]
@@ -663,6 +867,190 @@ mod tests {
         }
         assert!(server.scrape_stats().served >= 1);
         server.stop();
+    }
+
+    #[test]
+    fn trace_jsonl_schema_is_stable() {
+        let t = EventTracer::new();
+        t.record(TraceKind::TransitionBegin { from: 4, to: 3 });
+        t.record(TraceKind::DigestBroadcast {
+            server: 2,
+            ok: false,
+        });
+        t.record(TraceKind::KeyMigrated { from: 3, to: 1 });
+        t.record(TraceKind::DigestSnapshot);
+        t.record(TraceKind::PowerOff { server: 3 });
+        let jsonl = trace_to_jsonl(&t.events());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("{\"seq\":0,\"at_ns\":"));
+        assert!(lines[0].ends_with("\"kind\":\"transition_begin\",\"from\":4,\"to\":3}"));
+        assert!(lines[1].ends_with("\"kind\":\"digest_broadcast\",\"server\":2,\"ok\":false}"));
+        assert!(lines[2].ends_with("\"kind\":\"key_migrated\",\"from\":3,\"to\":1}"));
+        assert!(lines[3].ends_with("\"kind\":\"digest_snapshot\"}"));
+        assert!(lines[4].ends_with("\"kind\":\"power_off\",\"server\":3}"));
+        // Every line is self-contained JSON (no trailing commas, all
+        // braces balanced) so a reader can parse line-by-line.
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert_eq!(
+                line.matches('{').count(),
+                line.matches('}').count(),
+                "unbalanced: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_buckets_round_trip_exactly() {
+        let h = LatencyHistogram::new();
+        for ns in [0u64, 5, 63, 64, 1_000, 123_456_789, 7_000_000_000] {
+            h.record_nanos(ns);
+        }
+        let snap = h.snapshot();
+        let rebuilt = HistogramSnapshot::from_sparse(
+            &snap.nonzero_buckets(),
+            snap.sum_nanos(),
+            snap.min().unwrap().as_nanos() as u64,
+            snap.max().unwrap().as_nanos() as u64,
+        )
+        .unwrap();
+        assert_eq!(rebuilt, snap);
+        // Empty snapshots round-trip too (min/max are ignored).
+        let empty = HistogramSnapshot::empty();
+        assert_eq!(HistogramSnapshot::from_sparse(&[], 0, 0, 0).unwrap(), empty);
+        // Out-of-range bucket indices are rejected, not mis-binned.
+        assert!(HistogramSnapshot::from_sparse(&[(usize::MAX, 1)], 0, 1, 1).is_none());
+    }
+
+    #[test]
+    fn trace_file_sink_writes_each_event_once_and_counts_misses() {
+        let t = EventTracer::with_capacity(4);
+        let dir = std::env::temp_dir().join(format!(
+            "proteus-trace-sink-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut sink = TraceFileSink::create(&dir).unwrap();
+        t.record(TraceKind::TransitionBegin { from: 2, to: 1 });
+        t.record(TraceKind::PowerOff { server: 1 });
+        assert_eq!(sink.drain(&t).unwrap(), 2);
+        assert_eq!(sink.drain(&t).unwrap(), 0, "no double writes");
+        // Overflow the ring past the sink's cursor: six more events
+        // (seq 2..=7) through a capacity-4 ring evict seq 2 and 3
+        // before the next drain can see them.
+        for s in 0..6u32 {
+            t.record(TraceKind::Degraded { server: s });
+        }
+        let appended = sink.drain(&t).unwrap();
+        assert_eq!(appended, 4, "only the retained tail can be written");
+        assert_eq!(sink.missed(), 2, "evicted-before-drain events counted");
+        assert_eq!(sink.written(), 6);
+        let contents = std::fs::read_to_string(&dir).unwrap();
+        assert_eq!(contents.lines().count(), 6);
+        let seqs: Vec<u64> = contents
+            .lines()
+            .map(|l| {
+                l.split("\"seq\":")
+                    .nth(1)
+                    .unwrap()
+                    .split(',')
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 4, 5, 6, 7]);
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn trace_metrics_expose_drop_counter() {
+        let t = EventTracer::with_capacity(2);
+        for s in 0..5u32 {
+            t.record(TraceKind::Degraded { server: s });
+        }
+        let metrics = trace_metrics(&t);
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert!(
+            matches!(
+                get("proteus_trace_recorded_total").value,
+                MetricValue::Counter(5)
+            ),
+            "recorded"
+        );
+        assert!(
+            matches!(
+                get("proteus_trace_dropped_total").value,
+                MetricValue::Counter(3)
+            ),
+            "dropped"
+        );
+        assert!(
+            matches!(get("proteus_trace_retained").value, MetricValue::Gauge(2)),
+            "retained"
+        );
+    }
+
+    #[test]
+    fn traced_server_serves_trace_jsonl_with_cursor() {
+        let source: MetricSource = Arc::new(sample_metrics);
+        let tracer = Arc::new(EventTracer::new());
+        tracer.record(TraceKind::TransitionBegin { from: 3, to: 2 });
+        tracer.record(TraceKind::TransitionDrain { from: 3, to: 2 });
+        tracer.record(TraceKind::PowerOff { server: 2 });
+        let mut server = MetricsServer::spawn_traced(
+            "127.0.0.1:0",
+            source,
+            Arc::clone(&tracer),
+            ScrapeLimits::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        let fetch = |path: &str| -> String {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
+
+        let full = fetch("/trace.jsonl");
+        assert!(full.starts_with("HTTP/1.1 200 OK"), "{full}");
+        assert!(full.contains("application/x-ndjson"), "{full}");
+        let body = full.split("\r\n\r\n").nth(1).unwrap();
+        assert_eq!(body.lines().count(), 3);
+        assert!(body.lines().next().unwrap().contains("\"seq\":0"));
+
+        // Cursor read: everything after seq 1.
+        let tail = fetch("/trace.jsonl?since_seq=1");
+        let body = tail.split("\r\n\r\n").nth(1).unwrap();
+        assert_eq!(body.lines().count(), 1);
+        assert!(body.contains("\"kind\":\"power_off\""));
+
+        // Caught-up cursor: empty body, still 200.
+        let empty = fetch("/trace.jsonl?since_seq=2");
+        assert!(empty.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(empty.split("\r\n\r\n").nth(1).unwrap(), "");
+
+        // An untraced server 404s the trace path.
+        server.stop();
+        let source: MetricSource = Arc::new(sample_metrics);
+        let mut plain = MetricsServer::spawn("127.0.0.1:0", source).unwrap();
+        let addr = plain.local_addr();
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET /trace.jsonl HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 404"), "{out}");
+        plain.stop();
     }
 
     #[test]

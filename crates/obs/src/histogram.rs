@@ -351,6 +351,56 @@ impl HistogramSnapshot {
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
     }
+
+    /// The non-empty buckets as `(index, count)` pairs — the sparse
+    /// wire encoding used by the JSON exposition. A snapshot rebuilt
+    /// from these pairs (plus `sum_nanos`, `min`, `max`) via
+    /// [`from_sparse`](Self::from_sparse) compares equal to the
+    /// original, which is what lets a remote aggregator merge
+    /// per-server scrapes into true cluster-wide quantiles.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Rebuilds a snapshot from its sparse wire parts (see
+    /// [`nonzero_buckets`](Self::nonzero_buckets)). The sample count is
+    /// recomputed from the buckets, preserving the snapshot invariant
+    /// that `count()` equals the bucket total. Returns `None` if any
+    /// bucket index is outside the log-linear layout, or if the pairs
+    /// are non-empty but `min > max` (a corrupt or hand-rolled
+    /// exposition).
+    #[must_use]
+    pub fn from_sparse(
+        pairs: &[(usize, u64)],
+        sum_nanos: u128,
+        min: u64,
+        max: u64,
+    ) -> Option<Self> {
+        let mut snap = HistogramSnapshot::empty();
+        for &(idx, count) in pairs {
+            if idx >= MAX_BUCKETS {
+                return None;
+            }
+            snap.buckets[idx] += count;
+            snap.count += count;
+        }
+        if snap.count == 0 {
+            return Some(snap);
+        }
+        if min > max {
+            return None;
+        }
+        snap.sum_nanos = sum_nanos;
+        snap.min = min;
+        snap.max = max;
+        Some(snap)
+    }
 }
 
 impl Default for HistogramSnapshot {

@@ -21,6 +21,11 @@
 //! - [`Metric`] exposition: Prometheus text ([`to_prometheus`]), JSON
 //!   ([`to_json`]), memcached `STAT` pairs ([`to_stat_pairs`]), and a
 //!   minimal scrape endpoint ([`MetricsServer`]).
+//! - Trace export: seq-stamped JSONL encoding of tracer events
+//!   ([`trace_to_jsonl`]) served at `/trace.jsonl?since_seq=` by a
+//!   traced [`MetricsServer`], an append-only [`TraceFileSink`], and
+//!   drop-count metrics ([`trace_metrics`]) so ring overflow is
+//!   detectable rather than silent.
 //!
 //! The producers (server, cluster client, benches) own their atomics;
 //! exposition is pull-based via closures, so the hot paths never see a
@@ -36,8 +41,8 @@ mod tracer;
 
 pub use counters::{Counter, FetchClassKind, FetchLatencies, Gauge, OpClass, OpLatencies};
 pub use export::{
-    to_json, to_prometheus, to_stat_pairs, Metric, MetricSource, MetricValue, MetricsServer,
-    ScrapeLimits, ScrapeStats,
+    to_json, to_prometheus, to_stat_pairs, trace_event_json, trace_metrics, trace_to_jsonl, Metric,
+    MetricSource, MetricValue, MetricsServer, ScrapeLimits, ScrapeStats, TraceFileSink,
 };
 pub use histogram::{relative_error_bound, HistogramSnapshot, LatencyHistogram, Percentiles};
 pub use tracer::{EventTracer, TraceEvent, TraceKind};

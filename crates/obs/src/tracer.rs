@@ -73,6 +73,10 @@ pub enum TraceKind {
         /// The retired server.
         server: u32,
     },
+    /// The server took a counting-Bloom-filter digest snapshot (the
+    /// `get SET_BLOOM_FILTER` half of a digest broadcast, observed on
+    /// the server side of the wire).
+    DigestSnapshot,
     /// The circuit breaker for `server` opened (fast-fail engaged).
     BreakerOpen {
         /// Server the breaker guards.
@@ -102,6 +106,7 @@ impl TraceKind {
             TraceKind::Degraded { .. } => "degraded",
             TraceKind::TransitionDrain { .. } => "transition_drain",
             TraceKind::PowerOff { .. } => "power_off",
+            TraceKind::DigestSnapshot => "digest_snapshot",
             TraceKind::BreakerOpen { .. } => "breaker_open",
             TraceKind::BreakerProbe { .. } => "breaker_probe",
             TraceKind::BreakerClose { .. } => "breaker_close",
@@ -179,6 +184,33 @@ impl EventTracer {
         // records can land slightly out of order; present them sorted.
         v.sort_by_key(|e| e.seq);
         v
+    }
+
+    /// The retained events with a sequence number strictly greater
+    /// than `since_seq`, oldest first — the cursor read behind the
+    /// `/trace.jsonl?since_seq=` endpoint and the file sink. Pass the
+    /// last sequence number already consumed; `None` returns
+    /// everything retained. Events that fell out of the ring before
+    /// the cursor caught up are gone (and counted by
+    /// [`dropped`](Self::dropped)); the caller detects the gap by
+    /// comparing the first returned seq with its cursor + 1.
+    #[must_use]
+    pub fn events_since(&self, since_seq: Option<u64>) -> Vec<TraceEvent> {
+        let mut events = self.events();
+        if let Some(cursor) = since_seq {
+            events.retain(|e| e.seq > cursor);
+        }
+        events
+    }
+
+    /// The sequence number of the oldest retained event, or `None` if
+    /// the ring is empty. When events are only ever evicted by ring
+    /// overflow (no [`clear`](Self::clear)), this equals
+    /// [`dropped`](Self::dropped) — the tail-contiguity invariant the
+    /// trace export tests pin down.
+    #[must_use]
+    pub fn first_retained_seq(&self) -> Option<u64> {
+        self.events().first().map(|e| e.seq)
     }
 
     /// Number of events currently retained.
@@ -285,6 +317,33 @@ mod tests {
         let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
         seqs.dedup();
         assert_eq!(seqs.len(), 400, "sequence numbers must be unique");
+    }
+
+    #[test]
+    fn overflow_counts_drops_and_keeps_the_tail_contiguous() {
+        let t = EventTracer::with_capacity(8);
+        for s in 0..20u32 {
+            t.record(TraceKind::Degraded { server: s });
+        }
+        // Exactly the overwritten prefix is counted as dropped...
+        assert_eq!(t.dropped(), 12);
+        assert_eq!(t.recorded(), 20);
+        // ...and the survivors are seq-contiguous from the tail: the
+        // oldest retained seq equals the drop count, and every later
+        // seq follows without a gap.
+        let events = t.events();
+        assert_eq!(events.len(), 8);
+        assert_eq!(t.first_retained_seq(), Some(12));
+        for (offset, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, 12 + offset as u64, "gap in retained seqs");
+        }
+        // Cursor reads see the same tail: a reader that consumed up to
+        // seq 14 gets exactly 15..20, and a fully caught-up reader
+        // gets nothing.
+        let rest = t.events_since(Some(14));
+        assert_eq!(rest.first().map(|e| e.seq), Some(15));
+        assert_eq!(rest.len(), 5);
+        assert!(t.events_since(Some(19)).is_empty());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`core`] | `proteus-core` | **Algorithm 2** routing, smooth transitions, provisioning, power, the DES cluster |
 //! | [`net`] | `proteus-net` | Real TCP cache servers and the cluster client |
 //! | [`obs`] | `proteus-obs` | Lock-free latency histograms, transition event tracing, metric exposition |
+//! | [`agg`] | `proteus-agg` | Cluster-wide scrape aggregation, wall-clock energy accounting, re-exposition |
 //! | [`sim`] | `proteus-sim` | The discrete-event simulation substrate |
 //!
 //! ## Quickstart
@@ -43,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use proteus_agg as agg;
 pub use proteus_bloom as bloom;
 pub use proteus_cache as cache;
 pub use proteus_core as core;
