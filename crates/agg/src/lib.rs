@@ -40,7 +40,7 @@ mod observer;
 
 pub use energy::WallEnergyMeter;
 pub use observer::{
-    merge_metrics, ClusterObserver, ClusterSnapshot, ObserverConfig, ObserverLoop, ServerStatus,
-    METRICS_PATH,
+    merge_metrics, ClusterObserver, ClusterSnapshot, ControlSignal, ObserverConfig, ObserverLoop,
+    ServerStatus, METRICS_PATH,
 };
-pub use scrape::{http_get, parse_metrics, ScrapeError};
+pub use scrape::{build_request, http_get, http_get_into, parse_metrics, ScrapeError};

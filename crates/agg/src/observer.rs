@@ -23,10 +23,10 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use proteus_core::{PowerModel, PowerState};
-use proteus_obs::{Metric, MetricSource, MetricValue};
+use proteus_obs::{HistogramSnapshot, Metric, MetricSource, MetricValue};
 
 use crate::energy::WallEnergyMeter;
-use crate::scrape::{http_get, parse_metrics, ScrapeError};
+use crate::scrape::{build_request, http_get_into, parse_metrics, ScrapeError};
 
 /// The endpoint the observer scrapes on every server.
 pub const METRICS_PATH: &str = "/metrics.json";
@@ -102,6 +102,44 @@ pub struct ClusterSnapshot {
     pub active_servers: usize,
     /// Per-server detail, in registration order.
     pub servers: Vec<ServerStatus>,
+    /// Cluster command latency over **this window only**: the delta of
+    /// successive cumulative merged `proteus_command_latency_seconds`
+    /// reads, unioned across every fresh server and op. Cumulative
+    /// histograms stop reflecting the present once millions of old
+    /// samples dominate; a feedback controller needs the p99 of the
+    /// last tick, so this is the series it steers by.
+    pub window_latency: HistogramSnapshot,
+}
+
+/// The per-tick summary a feedback controller steers by.
+#[derive(Debug, Clone, Copy)]
+pub struct ControlSignal {
+    /// Aggregate request rate across fresh servers.
+    pub ops_per_sec: f64,
+    /// Windowed cluster p99 command latency, or `None` when no
+    /// commands landed this window (an idle cluster has no delay).
+    pub p99: Option<Duration>,
+    /// Samples inside the window (how trustworthy `p99` is).
+    pub window_samples: u64,
+    /// Servers currently powered on (including booting/draining).
+    pub active_servers: usize,
+    /// Servers whose data is current.
+    pub fresh_servers: usize,
+}
+
+impl ClusterSnapshot {
+    /// Collapses this snapshot to the [`ControlSignal`] a provisioning
+    /// loop consumes.
+    #[must_use]
+    pub fn control_signal(&self) -> ControlSignal {
+        ControlSignal {
+            ops_per_sec: self.ops_per_sec,
+            p99: self.window_latency.quantile(0.99),
+            window_samples: self.window_latency.count(),
+            active_servers: self.active_servers,
+            fresh_servers: self.servers.iter().filter(|s| s.fresh).count(),
+        }
+    }
 }
 
 /// Cumulative counters a server carries between ticks, for rates.
@@ -125,6 +163,11 @@ struct ServerEntry {
     ops_per_sec: f64,
     hit_delta: u64,
     lookup_delta: u64,
+    /// Response buffer recycled across this server's scrapes: taken
+    /// out for the tick's scoped scrape thread, handed back after.
+    /// Once grown to the exposition size, steady-state scrapes stop
+    /// allocating for I/O entirely.
+    scrape_buf: Vec<u8>,
 }
 
 #[derive(Debug)]
@@ -134,6 +177,9 @@ struct Inner {
     latest: Option<ClusterSnapshot>,
     scrapes_total: u64,
     scrape_failures_total: u64,
+    /// Cumulative merged command-latency histogram as of the previous
+    /// tick, the subtrahend for the windowed latency delta.
+    prev_latency: Option<HistogramSnapshot>,
 }
 
 /// Scrapes every registered server on demand ([`tick`](Self::tick)) or
@@ -145,6 +191,9 @@ struct Inner {
 #[derive(Debug)]
 pub struct ClusterObserver {
     config: ObserverConfig,
+    /// Prebuilt `GET /metrics.json` request bytes, rendered once: the
+    /// request never varies, so per-tick formatting is pure churn.
+    request: Vec<u8>,
     inner: Mutex<Inner>,
 }
 
@@ -159,7 +208,9 @@ impl ClusterObserver {
                 latest: None,
                 scrapes_total: 0,
                 scrape_failures_total: 0,
+                prev_latency: None,
             }),
+            request: build_request(METRICS_PATH),
             config,
         }
     }
@@ -187,6 +238,7 @@ impl ClusterObserver {
             ops_per_sec: 0.0,
             hit_delta: 0,
             lookup_delta: 0,
+            scrape_buf: Vec::new(),
         });
         inner.meter.push_server(PowerState::On);
     }
@@ -254,37 +306,59 @@ impl ClusterObserver {
     pub fn tick(&self) -> ClusterSnapshot {
         // Snapshot the membership without holding the lock across
         // network I/O; results re-match by address afterwards so
-        // servers removed mid-scrape are simply dropped.
-        let targets: Vec<SocketAddr> = self.servers();
+        // servers removed mid-scrape are simply dropped. Each server's
+        // recycled response buffer travels with its scrape job and is
+        // handed back below, so steady-state ticks reuse the same
+        // heap blocks tick after tick.
+        let jobs: Vec<(SocketAddr, Vec<u8>)> = {
+            let mut inner = self.inner.lock();
+            inner
+                .entries
+                .iter_mut()
+                .map(|e| (e.addr, std::mem::take(&mut e.scrape_buf)))
+                .collect()
+        };
+        let addrs: Vec<SocketAddr> = jobs.iter().map(|&(addr, _)| addr).collect();
         let connect = self.config.connect_timeout;
         let read = self.config.read_timeout;
-        let mut results: Vec<(SocketAddr, Result<Vec<Metric>, ScrapeError>)> =
-            Vec::with_capacity(targets.len());
+        let request = self.request.as_slice();
+        type ScrapeResult = (SocketAddr, Vec<u8>, Result<Vec<Metric>, ScrapeError>);
+        let mut results: Vec<ScrapeResult> = Vec::with_capacity(jobs.len());
         std::thread::scope(|scope| {
-            let handles: Vec<_> = targets
-                .iter()
-                .map(|&addr| {
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .map(|(addr, mut buf)| {
                     scope.spawn(move || {
-                        let body = http_get(addr, METRICS_PATH, connect, read)?;
-                        parse_metrics(&body)
+                        let result = http_get_into(addr, request, connect, read, &mut buf)
+                            .and_then(|body| {
+                                let text = std::str::from_utf8(&buf[body..]).map_err(|_| {
+                                    ScrapeError::Parse("body is not valid UTF-8".into())
+                                })?;
+                                parse_metrics(text)
+                            });
+                        (addr, buf, result)
                     })
                 })
                 .collect();
-            for (addr, handle) in targets.iter().zip(handles) {
-                let result = handle
-                    .join()
-                    .unwrap_or_else(|_| Err(ScrapeError::Parse("scrape thread panicked".into())));
-                results.push((*addr, result));
+            for (&addr, handle) in addrs.iter().zip(handles) {
+                results.push(handle.join().unwrap_or_else(|_| {
+                    (
+                        addr,
+                        Vec::new(),
+                        Err(ScrapeError::Parse("scrape thread panicked".into())),
+                    )
+                }));
             }
         });
         let now = Instant::now();
 
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
-        for (addr, result) in results {
+        for (addr, buf, result) in results {
             let Some(entry) = inner.entries.iter_mut().find(|e| e.addr == addr) else {
                 continue; // removed while the scrape was in flight
             };
+            entry.scrape_buf = buf;
             inner.scrapes_total += 1;
             match result {
                 Ok(metrics) => {
@@ -365,14 +439,34 @@ impl ClusterObserver {
         let hit_ratio =
             (lookup_delta > 0).then(|| hit_delta.min(lookup_delta) as f64 / lookup_delta as f64);
 
+        let merged = merge_metrics(&merged_sources);
+        // Union the cumulative command-latency histograms across every
+        // op label, then subtract the previous tick's union: the result
+        // is the latency distribution of *this window's* commands only,
+        // which is what a delay-bound controller must react to.
+        let mut cumulative = HistogramSnapshot::empty();
+        for metric in &merged {
+            if metric.name == "proteus_command_latency_seconds" {
+                if let MetricValue::Histogram(h) = &metric.value {
+                    cumulative.merge(h);
+                }
+            }
+        }
+        let window_latency = match &inner.prev_latency {
+            Some(prev) => cumulative.saturating_delta(prev),
+            None => cumulative.clone(),
+        };
+        inner.prev_latency = Some(cumulative);
+
         let snapshot = ClusterSnapshot {
             at: now,
-            merged: merge_metrics(&merged_sources),
+            merged,
             ops_per_sec,
             hit_ratio,
             imbalance,
             active_servers: active,
             servers: statuses,
+            window_latency,
         };
         inner.latest = Some(snapshot.clone());
         snapshot
@@ -439,6 +533,12 @@ impl ClusterObserver {
         ));
         if let Some(h) = snap.hit_ratio {
             out.push(Metric::float_gauge("proteus_cluster_hit_ratio", h));
+        }
+        if let Some(p99) = snap.window_latency.quantile(0.99) {
+            out.push(Metric::float_gauge(
+                "proteus_cluster_window_p99_seconds",
+                p99.as_secs_f64(),
+            ));
         }
         if let Some(i) = snap.imbalance {
             out.push(Metric::float_gauge("proteus_cluster_load_imbalance", i));
@@ -712,6 +812,51 @@ mod tests {
         assert_eq!(snap.hit_ratio, None);
         assert_eq!(snap.imbalance, None);
         assert!(observer.latest().is_some());
+    }
+
+    #[test]
+    fn windowed_latency_isolates_each_ticks_samples() {
+        use proteus_obs::MetricsServer;
+        let hist = std::sync::Arc::new(LatencyHistogram::new());
+        let source_hist = std::sync::Arc::clone(&hist);
+        let source: proteus_obs::MetricSource = std::sync::Arc::new(move || {
+            vec![
+                Metric::histogram("proteus_command_latency_seconds", source_hist.snapshot())
+                    .with_label("op", "get"),
+            ]
+        });
+        let server = MetricsServer::spawn("127.0.0.1:0", source).unwrap();
+        let observer = ClusterObserver::new(ObserverConfig::default());
+        observer.add_server(server.local_addr());
+
+        for _ in 0..100 {
+            hist.record(Duration::from_micros(500));
+        }
+        let first = observer.tick();
+        assert_eq!(first.window_latency.count(), 100);
+        let signal = first.control_signal();
+        assert_eq!(signal.window_samples, 100);
+        assert!(signal.p99.unwrap() < Duration::from_millis(5));
+
+        // The next window's samples are two orders of magnitude slower;
+        // a cumulative p99 would still be dominated by the fast cohort,
+        // the windowed one must see only the slow samples.
+        for _ in 0..50 {
+            hist.record(Duration::from_millis(80));
+        }
+        let second = observer.tick();
+        assert_eq!(second.window_latency.count(), 50);
+        let p99 = second.control_signal().p99.unwrap();
+        assert!(
+            p99 >= Duration::from_millis(60),
+            "windowed p99 {p99:?} must reflect the slow cohort"
+        );
+
+        // An idle window has no delay signal at all.
+        let third = observer.tick();
+        assert_eq!(third.window_latency.count(), 0);
+        assert_eq!(third.control_signal().p99, None);
+        drop(server);
     }
 
     #[test]

@@ -81,13 +81,47 @@ pub fn http_get(
     connect_timeout: Duration,
     read_timeout: Duration,
 ) -> Result<String, ScrapeError> {
+    let request = build_request(path);
+    let mut raw = Vec::new();
+    let body = http_get_into(addr, &request, connect_timeout, read_timeout, &mut raw)?;
+    Ok(String::from_utf8_lossy(&raw[body..]).into_owned())
+}
+
+/// Renders the request bytes [`http_get_into`] sends for `path`.
+/// Build once per endpoint and reuse across scrapes — the request
+/// never changes, so re-rendering it every tick is pure allocation
+/// churn.
+#[must_use]
+pub fn build_request(path: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.0\r\nHost: proteus\r\nConnection: close\r\n\r\n").into_bytes()
+}
+
+/// Allocation-reusing core of [`http_get`]: sends prebuilt `request`
+/// bytes, reads the full response into `raw` (cleared first, capacity
+/// kept), and returns the byte offset where the body starts. On the
+/// steady-state path — same endpoint, similar body size every tick —
+/// this performs **zero** heap allocations once `raw` has grown to the
+/// response size.
+///
+/// # Errors
+///
+/// Returns a [`ScrapeError`] on connect/read failure, deadline
+/// exhaustion, non-200 status, or an oversized/malformed response.
+/// `raw` holds whatever was read so far; its capacity survives either
+/// way.
+pub fn http_get_into(
+    addr: SocketAddr,
+    request: &[u8],
+    connect_timeout: Duration,
+    read_timeout: Duration,
+    raw: &mut Vec<u8>,
+) -> Result<usize, ScrapeError> {
+    raw.clear();
     let mut stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
     let deadline = Instant::now() + read_timeout;
     stream.set_write_timeout(Some(read_timeout)).ok();
-    let request = format!("GET {path} HTTP/1.0\r\nHost: proteus\r\nConnection: close\r\n\r\n");
-    stream.write_all(request.as_bytes())?;
+    stream.write_all(request)?;
 
-    let mut raw = Vec::new();
     let mut buf = [0u8; 16 * 1024];
     loop {
         let remaining = deadline
@@ -106,15 +140,19 @@ pub fn http_get(
         }
     }
 
-    let text = String::from_utf8_lossy(&raw);
-    let header_end = text
-        .find("\r\n\r\n")
+    // Header/status checks run on the raw bytes: no lossy UTF-8 copy
+    // of a multi-KiB body just to find "\r\n\r\n".
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
         .ok_or(ScrapeError::MalformedResponse)?;
-    let status_line = text.lines().next().unwrap_or_default();
-    if !status_line.contains(" 200 ") {
-        return Err(ScrapeError::HttpStatus(status_line.to_string()));
+    let status_line = &raw[..raw.iter().position(|&b| b == b'\r').unwrap_or(header_end)];
+    if !status_line.windows(5).any(|w| w == b" 200 ") {
+        return Err(ScrapeError::HttpStatus(
+            String::from_utf8_lossy(status_line).into_owned(),
+        ));
     }
-    Ok(text[header_end + 4..].to_string())
+    Ok(header_end + 4)
 }
 
 /// Decodes a `/metrics.json` body back into [`Metric`] samples.

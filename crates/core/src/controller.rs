@@ -11,6 +11,118 @@
 
 use proteus_sim::SimDuration;
 
+/// Where a measured high-percentile delay sits relative to the loop's
+/// set points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelaySignal {
+    /// Above the hard bound: the loop must add capacity.
+    Overload,
+    /// Inside the hysteresis band `[headroom · reference, bound]`:
+    /// hold.
+    InBand,
+    /// Below the headroom fraction of the reference: capacity can be
+    /// shed.
+    Headroom,
+}
+
+/// The loop's set points, clock-agnostic: the reference delay, the
+/// hard bound, and the hysteresis headroom fraction, all compared in
+/// integer nanoseconds so the DES controller and the wall-clock
+/// controller (`proteus-ctl`) share one classification.
+///
+/// # Example
+///
+/// ```
+/// use proteus_core::{DelaySignal, SetPoints};
+/// let sp = SetPoints::paper_defaults(); // 0.4 s reference, 0.5 s bound
+/// assert_eq!(sp.classify(600_000_000), DelaySignal::Overload);
+/// assert_eq!(sp.classify(450_000_000), DelaySignal::InBand);
+/// assert_eq!(sp.classify(100_000_000), DelaySignal::Headroom);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetPoints {
+    reference_ns: u64,
+    bound_ns: u64,
+    headroom_fraction_percent: u32,
+}
+
+impl SetPoints {
+    /// Set points from explicit nanosecond values.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `reference_ns <= bound_ns` and the headroom
+    /// fraction is within `1..=100`.
+    #[must_use]
+    pub fn new(reference_ns: u64, bound_ns: u64, headroom_fraction_percent: u32) -> Self {
+        assert!(
+            reference_ns <= bound_ns,
+            "reference must not exceed the bound"
+        );
+        assert!(
+            (1..=100).contains(&headroom_fraction_percent),
+            "headroom fraction must be within 1..=100 percent"
+        );
+        SetPoints {
+            reference_ns,
+            bound_ns,
+            headroom_fraction_percent,
+        }
+    }
+
+    /// The paper's configuration: 0.4 s reference, 0.5 s bound, scale
+    /// down only below 80% of the reference.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        SetPoints::new(400_000_000, 500_000_000, 80)
+    }
+
+    /// The reference (target) delay in nanoseconds.
+    #[must_use]
+    pub fn reference_ns(&self) -> u64 {
+        self.reference_ns
+    }
+
+    /// The hard delay bound in nanoseconds.
+    #[must_use]
+    pub fn bound_ns(&self) -> u64 {
+        self.bound_ns
+    }
+
+    /// The headroom fraction in percent: delays below this fraction of
+    /// the reference classify as [`DelaySignal::Headroom`].
+    #[must_use]
+    pub fn headroom_fraction_percent(&self) -> u32 {
+        self.headroom_fraction_percent
+    }
+
+    /// Classifies a measured delay against the set points. Monotone:
+    /// a larger delay never classifies *less* urgently.
+    #[must_use]
+    pub fn classify(&self, measured_ns: u64) -> DelaySignal {
+        if measured_ns > self.bound_ns {
+            DelaySignal::Overload
+        } else if u128::from(measured_ns) * 100
+            < u128::from(self.reference_ns) * u128::from(self.headroom_fraction_percent)
+        {
+            DelaySignal::Headroom
+        } else {
+            DelaySignal::InBand
+        }
+    }
+
+    /// How far above the bound a measured delay sits, as a ratio
+    /// (`measured / bound`); `1.0` at the bound, larger when overloaded.
+    /// The wall-clock controller scales its ramp step by this overshoot.
+    #[must_use]
+    pub fn overshoot(&self, measured_ns: u64) -> f64 {
+        if self.bound_ns == 0 {
+            return 1.0;
+        }
+        measured_ns as f64 / self.bound_ns as f64
+    }
+}
+
 /// A per-slot active-server plan, shared by all scenarios of one
 /// experiment.
 ///
@@ -149,14 +261,9 @@ impl ProvisioningPlan {
 pub struct FeedbackController {
     total_servers: usize,
     min_servers: usize,
-    /// The loop's set point (0.4 s in the paper).
-    reference: SimDuration,
-    /// The hard delay bound (0.5 s in the paper); exceeding it forces a
-    /// scale-up.
-    bound: SimDuration,
-    /// Scale down only when delay is below this fraction of the
-    /// reference (hysteresis against oscillation).
-    headroom_fraction_percent: u32,
+    /// Reference, bound, and hysteresis headroom (shared with the
+    /// wall-clock controller).
+    points: SetPoints,
 }
 
 impl FeedbackController {
@@ -166,9 +273,7 @@ impl FeedbackController {
         FeedbackController {
             total_servers,
             min_servers: 1,
-            reference: SimDuration::from_millis(400),
-            bound: SimDuration::from_millis(500),
-            headroom_fraction_percent: 80,
+            points: SetPoints::paper_defaults(),
         }
     }
 
@@ -191,9 +296,11 @@ impl FeedbackController {
     /// Panics unless `reference <= bound`.
     #[must_use]
     pub fn set_points(mut self, reference: SimDuration, bound: SimDuration) -> Self {
-        assert!(reference <= bound, "reference must not exceed the bound");
-        self.reference = reference;
-        self.bound = bound;
+        self.points = SetPoints::new(
+            reference.as_nanos(),
+            bound.as_nanos(),
+            self.points.headroom_fraction_percent(),
+        );
         self
     }
 
@@ -202,16 +309,12 @@ impl FeedbackController {
     #[must_use]
     pub fn decide(&mut self, current: usize, measured_delay: SimDuration) -> usize {
         let current = current.clamp(self.min_servers, self.total_servers);
-        if measured_delay > self.bound {
+        match self.points.classify(measured_delay.as_nanos()) {
             // Overshoot: add capacity immediately.
-            (current + 1).min(self.total_servers)
-        } else if measured_delay.as_nanos() * 100
-            < self.reference.as_nanos() * u64::from(self.headroom_fraction_percent)
-        {
+            DelaySignal::Overload => (current + 1).min(self.total_servers),
             // Ample headroom: shed one server.
-            current.saturating_sub(1).max(self.min_servers)
-        } else {
-            current
+            DelaySignal::Headroom => current.saturating_sub(1).max(self.min_servers),
+            DelaySignal::InBand => current,
         }
     }
 }
@@ -283,6 +386,42 @@ mod tests {
             "capped at total"
         );
         assert_eq!(fc.decide(2, SimDuration::ZERO), 2, "floored at min");
+    }
+
+    #[test]
+    fn set_points_classification_is_monotone() {
+        let sp = SetPoints::paper_defaults();
+        let mut last = DelaySignal::Headroom;
+        let rank = |s: DelaySignal| match s {
+            DelaySignal::Headroom => 0,
+            DelaySignal::InBand => 1,
+            DelaySignal::Overload => 2,
+        };
+        for ns in (0..1_000_000_000u64).step_by(1_000_000) {
+            let signal = sp.classify(ns);
+            assert!(
+                rank(signal) >= rank(last),
+                "classification regressed at {ns} ns"
+            );
+            last = signal;
+        }
+        assert_eq!(sp.classify(319_999_999), DelaySignal::Headroom);
+        assert_eq!(sp.classify(320_000_000), DelaySignal::InBand);
+        assert_eq!(sp.classify(500_000_000), DelaySignal::InBand);
+        assert_eq!(sp.classify(500_000_001), DelaySignal::Overload);
+    }
+
+    #[test]
+    fn set_points_overshoot_ratio() {
+        let sp = SetPoints::new(100, 200, 80);
+        assert!((sp.overshoot(200) - 1.0).abs() < 1e-12);
+        assert!((sp.overshoot(500) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference must not exceed")]
+    fn set_points_reject_inverted_band() {
+        let _ = SetPoints::new(200, 100, 80);
     }
 
     #[test]

@@ -60,7 +60,7 @@ mod transition;
 
 pub use cluster::{page_key, ClusterSim};
 pub use config::{ClusterConfig, LatencyModel};
-pub use controller::{FeedbackController, ProvisioningPlan};
+pub use controller::{DelaySignal, FeedbackController, ProvisioningPlan, SetPoints};
 pub use hot_key::{HotKeyEstimate, ReplicaRings, SpaceSaving, TwoChoices};
 pub use metrics::{ClusterReport, FetchClass, FetchCounters};
 pub use power::{energy_of_constant_draw, EnergyMeter, PowerModel, PowerState, TierPowerModel};

@@ -1,0 +1,232 @@
+//! Live actuation: the controller drives a real 4-server TCP cluster
+//! through a shrink and a grow, with the decision trace preceding the
+//! transitions it causes and the observer's power accounting following
+//! along.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+use proteus_agg::{ClusterObserver, ObserverConfig};
+use proteus_cache::CacheConfig;
+use proteus_core::{PowerState, Scenario};
+use proteus_ctl::{
+    ActuationConfig, ClusterController, HoldReason, PolicyConfig, StepAction, WallPolicy,
+};
+use proteus_net::{CacheServer, ClusterClient};
+use proteus_obs::{MetricsServer, TraceKind};
+use proteus_store::{ShardedStore, StoreConfig};
+
+const N: usize = 4;
+
+struct Harness {
+    servers: Vec<CacheServer>,
+    endpoints: Vec<MetricsServer>,
+    client: Arc<RwLock<ClusterClient>>,
+    observer: Arc<ClusterObserver>,
+}
+
+fn harness(capacity_ops: f64) -> Harness {
+    let servers: Vec<CacheServer> = (0..N)
+        .map(|_| CacheServer::spawn("127.0.0.1:0", CacheConfig::with_capacity(8 << 20)).unwrap())
+        .collect();
+    let addrs: Vec<std::net::SocketAddr> = servers.iter().map(CacheServer::addr).collect();
+    let endpoints: Vec<MetricsServer> = servers
+        .iter()
+        .map(|s| MetricsServer::spawn("127.0.0.1:0", s.metric_source()).unwrap())
+        .collect();
+    let client = Arc::new(RwLock::new(
+        ClusterClient::connect(&addrs, Scenario::Proteus.strategy(N, 0)).unwrap(),
+    ));
+    let observer = Arc::new(ClusterObserver::new(ObserverConfig {
+        connect_timeout: Duration::from_millis(500),
+        read_timeout: Duration::from_secs(2),
+        server_capacity_ops: capacity_ops,
+        ..ObserverConfig::default()
+    }));
+    for endpoint in &endpoints {
+        observer.add_server(endpoint.local_addr());
+    }
+    Harness {
+        servers,
+        endpoints,
+        client,
+        observer,
+    }
+}
+
+#[test]
+fn controller_shrinks_and_grows_a_live_cluster() {
+    let h = harness(100.0);
+    let db = Mutex::new(ShardedStore::new(StoreConfig {
+        object_size: 128,
+        ..StoreConfig::default()
+    }));
+    let keys: Vec<Vec<u8>> = (0..200u32)
+        .map(|i| format!("page:{i}").into_bytes())
+        .collect();
+    for k in &keys {
+        h.client.read().fetch(k, &db).unwrap();
+    }
+
+    let policy = WallPolicy::new(PolicyConfig {
+        min_servers: 1,
+        max_step: 2,
+        cooldown: Duration::from_millis(300),
+        ..PolicyConfig::for_cluster(N, 100.0)
+    });
+    let actuation = ActuationConfig {
+        boot_delay: Duration::from_millis(100),
+        drain: Duration::from_millis(100),
+    };
+    let mut controller = ClusterController::new(
+        Arc::clone(&h.observer),
+        Arc::clone(&h.client),
+        h.endpoints.iter().map(MetricsServer::local_addr).collect(),
+        policy,
+        actuation,
+    );
+
+    // Step 1: idle cluster (no rate deltas yet, sub-ms p99) — the
+    // policy shrinks, ramp-capped at 2, and the window opens at once.
+    let t0 = Instant::now();
+    let report = controller.step_at(t0);
+    assert_eq!(
+        report.action,
+        StepAction::WindowOpened { from: N, to: N - 2 },
+        "idle cluster must shed max_step servers"
+    );
+    assert!(controller.transition_pending());
+
+    // Step 2, past the drain deadline: the window closes, the departed
+    // servers power off, the cooldown starts.
+    let report = controller.step_at(t0 + Duration::from_millis(150));
+    assert_eq!(
+        report.action,
+        StepAction::WindowClosed { from: N, to: N - 2 }
+    );
+    // The step's own snapshot predates the close; take a fresh tick to
+    // see the power-off land.
+    let snap = h.observer.tick();
+    assert_eq!(snap.active_servers, N - 2);
+    assert_eq!(snap.servers[N - 1].power_state, PowerState::Off);
+    assert_eq!(snap.servers[N - 2].power_state, PowerState::Off);
+    assert_eq!(h.client.read().active(), N - 2);
+
+    // Step 3, inside the cooldown: held no matter what.
+    let report = controller.step_at(t0 + Duration::from_millis(250));
+    assert_eq!(report.action, StepAction::Held(HoldReason::Cooldown));
+
+    // Burst of load on the shrunken cluster: utilization on 2 servers
+    // of capacity 100 ops/s blows past the up-trigger.
+    for _ in 0..5 {
+        for k in &keys {
+            h.client.read().fetch(k, &db).unwrap();
+        }
+    }
+
+    // Step 4, past the cooldown: scale-up decided; joining servers
+    // boot first.
+    let report = controller.step_at(t0 + Duration::from_millis(700));
+    assert_eq!(
+        report.action,
+        StepAction::BootScheduled { from: N - 2, to: N },
+        "overloaded cluster must grow (signal: {:?})",
+        report.signal
+    );
+    assert!(report.signal.ops_per_sec > 100.0);
+    let snap = h.observer.tick();
+    assert_eq!(snap.servers[N - 1].power_state, PowerState::Booting);
+
+    // Step 5, mid-boot: still waiting.
+    let report = controller.step_at(t0 + Duration::from_millis(750));
+    assert_eq!(report.action, StepAction::BootWait);
+
+    // Step 6, boot done: the window opens; step 7 closes it.
+    let report = controller.step_at(t0 + Duration::from_millis(900));
+    assert_eq!(
+        report.action,
+        StepAction::WindowOpened { from: N - 2, to: N }
+    );
+    let report = controller.step_at(t0 + Duration::from_millis(1100));
+    assert_eq!(
+        report.action,
+        StepAction::WindowClosed { from: N - 2, to: N }
+    );
+    assert_eq!(controller.decisions(), 2);
+    assert_eq!(controller.backoffs(), 0);
+    let snap = h.observer.tick();
+    assert_eq!(snap.active_servers, N);
+    assert!(snap.servers.iter().all(|s| s.power_state == PowerState::On));
+
+    // The decision events precede the transitions they actuated, on
+    // one seq-ordered ring.
+    let client = h.client.read();
+    let events = client.tracer().events();
+    let decisions: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceKind::ControllerDecision { .. }))
+        .collect();
+    assert_eq!(decisions.len(), 2, "one decision event per actuation");
+    for event in &decisions {
+        let next_begin = events
+            .iter()
+            .find(|e| e.seq > event.seq && matches!(e.kind, TraceKind::TransitionBegin { .. }))
+            .expect("every decision is followed by its transition");
+        if let (
+            TraceKind::ControllerDecision { from, to, .. },
+            TraceKind::TransitionBegin {
+                from: t_from,
+                to: t_to,
+            },
+        ) = (&event.kind, &next_begin.kind)
+        {
+            assert_eq!((from, to), (t_from, t_to), "decision matches actuation");
+        }
+    }
+    drop(client);
+
+    drop(h.endpoints);
+    for s in h.servers {
+        s.stop();
+    }
+}
+
+#[test]
+fn controller_backs_off_from_a_foreign_transition_window() {
+    let h = harness(100.0);
+    // Someone else (an operator, another controller) opens a window on
+    // the shared client.
+    h.client.write().begin_transition(N - 1).unwrap();
+
+    let policy = WallPolicy::new(PolicyConfig {
+        cooldown: Duration::from_millis(100),
+        ..PolicyConfig::for_cluster(N, 100.0)
+    });
+    let mut controller = ClusterController::new(
+        Arc::clone(&h.observer),
+        Arc::clone(&h.client),
+        h.endpoints.iter().map(MetricsServer::local_addr).collect(),
+        policy,
+        ActuationConfig::default(),
+    );
+    let report = controller.step_at(Instant::now());
+    assert_eq!(report.action, StepAction::BackedOff);
+    assert_eq!(controller.backoffs(), 1);
+    assert_eq!(controller.decisions(), 0);
+    assert!(!controller.transition_pending());
+
+    // Once the foreign window closes, the controller is free again.
+    h.client.write().end_transition();
+    let report = controller.step_at(Instant::now() + Duration::from_secs(1));
+    assert!(
+        !matches!(report.action, StepAction::BackedOff),
+        "freed client must not read as busy: {:?}",
+        report.action
+    );
+
+    drop(h.endpoints);
+    for s in h.servers {
+        s.stop();
+    }
+}

@@ -4,7 +4,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use proteus_bloom::BloomFilter;
@@ -201,6 +201,32 @@ struct AtomicClusterStats {
     missing_digests: AtomicU64,
 }
 
+/// The shape of an open (or just-closed) transition window: the
+/// mapping it moved from/to and when the digest broadcast completed.
+///
+/// Returned by [`ClusterClient::transition_status`] while a window is
+/// open and by [`ClusterClient::end_transition`] for the window it
+/// closed, so a control loop can size drain timers off `since` and
+/// log the from→to pair it actually actuated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionStatus {
+    /// Active-server count under the old mapping.
+    pub from: usize,
+    /// Active-server count under the new mapping.
+    pub to: usize,
+    /// When the window opened (the digest broadcast finished and the
+    /// mapping switched).
+    pub since: Instant,
+}
+
+impl TransitionStatus {
+    /// How long the window has been (or was) open.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.since.elapsed()
+    }
+}
+
 /// A web server's view of the live cache cluster: one pooled client
 /// per cache server, the placement strategy, the current and previous
 /// active counts, and the digests broadcast at the last transition.
@@ -223,6 +249,7 @@ pub struct ClusterClient {
     previous_active: usize,
     digests: Vec<Option<BloomFilter>>,
     in_transition: bool,
+    transition_since: Option<Instant>,
     stats: Arc<AtomicClusterStats>,
     fetches: Arc<FetchLatencies>,
     tracer: Arc<EventTracer>,
@@ -289,6 +316,7 @@ impl ClusterClient {
             previous_active: n,
             digests: vec![None; n],
             in_transition: false,
+            transition_since: None,
             stats: Arc::new(AtomicClusterStats::default()),
             fetches: Arc::new(FetchLatencies::default()),
             tracer,
@@ -546,6 +574,7 @@ impl ClusterClient {
         self.previous_active = self.active;
         self.active = new_active;
         self.in_transition = true;
+        self.transition_since = Some(Instant::now());
         // Replica sets are a function of the active prefix: recompute
         // every hot key's set against the new ring so no replica points
         // at a drained/powered-off server. Newly added replicas start
@@ -565,12 +594,39 @@ impl ClusterClient {
         Ok(())
     }
 
+    /// Whether a transition window is currently open. A control loop
+    /// polls this before [`begin_transition`](Self::begin_transition)
+    /// and backs off instead of eating a
+    /// [`NetError::TransitionInProgress`] rejection.
+    #[must_use]
+    pub fn transition_active(&self) -> bool {
+        self.in_transition
+    }
+
+    /// The open transition window's shape, or `None` when no window is
+    /// open. The `since` timestamp is when the digest broadcast
+    /// completed, so `status.elapsed()` is how long keys have been
+    /// draining under the dual mapping.
+    #[must_use]
+    pub fn transition_status(&self) -> Option<TransitionStatus> {
+        let since = self.transition_since?;
+        Some(TransitionStatus {
+            from: self.previous_active,
+            to: self.active,
+            since,
+        })
+    }
+
     /// Ends the transition window: digests are dropped and the old
     /// mapping is retired. On a scale-down this is the point the
     /// departing servers can power off, so the tracer records a
     /// [`TraceKind::PowerOff`] per departing server after the drain.
-    pub fn end_transition(&mut self) {
-        if self.in_transition {
+    ///
+    /// Returns the window it closed — the drain-completion signal a
+    /// controller forwards to its power actuator — or `None` if no
+    /// window was open (the call is then a no-op).
+    pub fn end_transition(&mut self) -> Option<TransitionStatus> {
+        let closed = if self.in_transition {
             self.tracer.record(TraceKind::TransitionDrain {
                 from: self.previous_active as u32,
                 to: self.active as u32,
@@ -580,10 +636,15 @@ impl ClusterClient {
                     server: server as u32,
                 });
             }
-        }
+            self.transition_status()
+        } else {
+            None
+        };
         self.digests.iter_mut().for_each(|d| *d = None);
         self.previous_active = self.active;
         self.in_transition = false;
+        self.transition_since = None;
+        closed
     }
 
     /// Installs `value` at `server` on a best-effort basis: an
@@ -1436,6 +1497,42 @@ mod tests {
         }
         client.end_transition();
         assert_eq!(db.lock().total_fetches(), db_before);
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn transition_status_reports_the_open_window_and_its_close() {
+        let (servers, mut client, _db) = cluster(4);
+        assert!(!client.transition_active());
+        assert_eq!(client.transition_status(), None);
+        assert_eq!(
+            client.end_transition(),
+            None,
+            "closing a window that never opened is a no-op"
+        );
+
+        client.begin_transition(3).unwrap();
+        // The status accessor is the controller's back-off signal: it
+        // must read true exactly while begin_transition would reject.
+        assert!(client.transition_active());
+        let open = client.transition_status().expect("window is open");
+        assert_eq!((open.from, open.to), (4, 3));
+        assert!(matches!(
+            client.begin_transition(2),
+            Err(NetError::TransitionInProgress)
+        ));
+
+        let closed = client.end_transition().expect("a window was open");
+        assert_eq!((closed.from, closed.to), (4, 3));
+        assert!(closed.since >= open.since);
+        assert!(!client.transition_active());
+        assert_eq!(client.transition_status(), None);
+
+        // A same-count begin is a no-op and must not open a window.
+        client.begin_transition(3).unwrap();
+        assert!(!client.transition_active());
         for s in servers {
             s.stop();
         }

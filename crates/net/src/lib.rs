@@ -80,6 +80,7 @@ mod uring_reactor;
 pub use client::{CacheClient, ClientConfig, ClientStats, PendingGets};
 pub use cluster_client::{
     ClusterClient, ClusterFetch, ClusterStats, DbFallback, HotKeyConfig, HotKeyStats,
+    TransitionStatus,
 };
 pub use error::NetError;
 pub use fault::{FaultMode, FaultProxy};

@@ -307,6 +307,12 @@ pub fn trace_event_json(event: &TraceEvent) -> String {
             format!(",\"server\":{server},\"ok\":{ok}")
         }
         TraceKind::KeyMigrated { from, to } => format!(",\"from\":{from},\"to\":{to}"),
+        TraceKind::ControllerDecision {
+            from,
+            to,
+            p99_us,
+            ops,
+        } => format!(",\"from\":{from},\"to\":{to},\"p99_us\":{p99_us},\"ops\":{ops}"),
         TraceKind::MigrationSkipped { server }
         | TraceKind::Degraded { server }
         | TraceKind::PowerOff { server }
@@ -880,15 +886,24 @@ mod tests {
         t.record(TraceKind::KeyMigrated { from: 3, to: 1 });
         t.record(TraceKind::DigestSnapshot);
         t.record(TraceKind::PowerOff { server: 3 });
+        t.record(TraceKind::ControllerDecision {
+            from: 4,
+            to: 3,
+            p99_us: 1200,
+            ops: 5000,
+        });
         let jsonl = trace_to_jsonl(&t.events());
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 5);
+        assert_eq!(lines.len(), 6);
         assert!(lines[0].starts_with("{\"seq\":0,\"at_ns\":"));
         assert!(lines[0].ends_with("\"kind\":\"transition_begin\",\"from\":4,\"to\":3}"));
         assert!(lines[1].ends_with("\"kind\":\"digest_broadcast\",\"server\":2,\"ok\":false}"));
         assert!(lines[2].ends_with("\"kind\":\"key_migrated\",\"from\":3,\"to\":1}"));
         assert!(lines[3].ends_with("\"kind\":\"digest_snapshot\"}"));
         assert!(lines[4].ends_with("\"kind\":\"power_off\",\"server\":3}"));
+        assert!(lines[5].ends_with(
+            "\"kind\":\"controller_decision\",\"from\":4,\"to\":3,\"p99_us\":1200,\"ops\":5000}"
+        ));
         // Every line is self-contained JSON (no trailing commas, all
         // braces balanced) so a reader can parse line-by-line.
         for line in lines {

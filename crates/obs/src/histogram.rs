@@ -51,6 +51,18 @@ fn bucket_value(idx: usize) -> u64 {
     }
 }
 
+/// Smallest value that lands in bucket `idx` (the bucket's lower edge).
+fn bucket_floor(idx: usize) -> u64 {
+    let idx = idx as u64;
+    let k = idx >> SUB_BITS;
+    let low = idx & (SUB - 1);
+    if k == 0 {
+        low
+    } else {
+        low << k
+    }
+}
+
 /// One stripe of atomic buckets. Stripes are written by disjoint sets
 /// of threads (thread-sticky assignment), so cross-thread cache-line
 /// bouncing only happens when more threads than stripes record at once.
@@ -345,6 +357,46 @@ impl HistogramSnapshot {
         }
     }
 
+    /// The samples recorded since `earlier`: per-bucket saturating
+    /// subtraction, for computing *windowed* quantiles from two reads
+    /// of a cumulative histogram (the power controller's per-tick p99
+    /// signal — a cumulative p99 stops reflecting the present once
+    /// enough history accumulates).
+    ///
+    /// The window's exact min/max are unknowable from cumulative
+    /// bucket counts, so they are re-derived from the window's own
+    /// occupied buckets (the quantile clamp then works bucket-
+    /// accurately, within the histogram's usual 1/64 relative error).
+    /// `sum_nanos` subtracts saturating likewise. If `earlier` is not
+    /// actually an earlier read of the same histogram the result is
+    /// still well-formed, just meaningless.
+    #[must_use]
+    pub fn saturating_delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut delta = HistogramSnapshot::empty();
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for (idx, (&a, &b)) in self.buckets.iter().zip(&earlier.buckets).enumerate() {
+            let d = a.saturating_sub(b);
+            delta.buckets[idx] = d;
+            delta.count += d;
+            if d > 0 {
+                lo = lo.min(bucket_floor(idx));
+                hi = hi.max(bucket_value(idx));
+            }
+        }
+        if delta.count > 0 {
+            delta.sum_nanos = self.sum_nanos.saturating_sub(earlier.sum_nanos);
+            // The true window extremes are bounded by both the bucket
+            // geometry and the cumulative extremes.
+            delta.min = lo.max(self.min.min(earlier.min));
+            delta.max = hi.min(self.max);
+            if delta.min > delta.max {
+                delta.min = delta.max;
+            }
+        }
+        delta
+    }
+
     /// Per-bucket sample counts (log-linear layout; mostly useful for
     /// exact comparison in tests).
     #[must_use]
@@ -441,6 +493,62 @@ mod tests {
         for v in 0..SUB {
             assert_eq!(bucket_value(bucket_index(v)), v);
         }
+    }
+
+    #[test]
+    fn bucket_floor_bounds_every_bucket() {
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            for probe in [v, v + v / 3, v * 2 - 1] {
+                let idx = bucket_index(probe);
+                assert!(bucket_floor(idx) <= probe, "floor above member {probe}");
+                assert!(bucket_floor(idx) <= bucket_value(idx));
+            }
+            v *= 2;
+        }
+    }
+
+    #[test]
+    fn saturating_delta_isolates_the_window() {
+        let h = LatencyHistogram::new();
+        for ns in [1_000u64, 2_000, 3_000] {
+            h.record_nanos(ns);
+        }
+        let early = h.snapshot();
+        for ns in [50_000u64, 60_000, 70_000, 80_000] {
+            h.record_nanos(ns);
+        }
+        let late = h.snapshot();
+        let window = late.saturating_delta(&early);
+        assert_eq!(window.count(), 4, "only the new samples");
+        // The window's quantiles reflect the recent samples, not the
+        // cumulative mix: its median sits near 60–70 µs, far above the
+        // cumulative median.
+        let wp50 = window.quantile(0.5).unwrap().as_nanos();
+        assert!(
+            (45_000..=85_000).contains(&wp50),
+            "window p50 {wp50} should be in the new cohort"
+        );
+        assert!(window.min().unwrap().as_nanos() >= 45_000);
+        assert!(window.max().unwrap() <= late.max().unwrap());
+        assert_eq!(
+            window.sum_nanos(),
+            late.sum_nanos() - early.sum_nanos(),
+            "window sum is the cumulative difference"
+        );
+    }
+
+    #[test]
+    fn saturating_delta_of_identical_reads_is_empty() {
+        let h = LatencyHistogram::new();
+        h.record_nanos(123);
+        let a = h.snapshot();
+        let delta = a.saturating_delta(&a);
+        assert!(delta.is_empty());
+        assert_eq!(delta.quantile(0.99), None);
+        // And an empty-vs-empty delta stays well-formed.
+        let e = HistogramSnapshot::empty();
+        assert!(e.saturating_delta(&e).is_empty());
     }
 
     #[test]

@@ -77,6 +77,23 @@ pub enum TraceKind {
     /// `get SET_BLOOM_FILTER` half of a digest broadcast, observed on
     /// the server side of the wire).
     DigestSnapshot,
+    /// The power controller decided to resize the cluster from `from`
+    /// to `to` active servers, driven by the measured high-percentile
+    /// delay (microseconds, saturating) and the observed aggregate
+    /// load (ops/s, saturating). Recorded *before* the transition it
+    /// actuates, so a decision with no matching `transition_begin`
+    /// reads as an actuation failure.
+    ControllerDecision {
+        /// Active servers when the decision was taken.
+        from: u32,
+        /// The decided target count.
+        to: u32,
+        /// Measured delay driving the decision, in microseconds
+        /// (saturated at `u32::MAX`; 0 when no signal was available).
+        p99_us: u32,
+        /// Observed aggregate load in ops/s (saturated at `u32::MAX`).
+        ops: u32,
+    },
     /// The circuit breaker for `server` opened (fast-fail engaged).
     BreakerOpen {
         /// Server the breaker guards.
@@ -107,6 +124,7 @@ impl TraceKind {
             TraceKind::TransitionDrain { .. } => "transition_drain",
             TraceKind::PowerOff { .. } => "power_off",
             TraceKind::DigestSnapshot => "digest_snapshot",
+            TraceKind::ControllerDecision { .. } => "controller_decision",
             TraceKind::BreakerOpen { .. } => "breaker_open",
             TraceKind::BreakerProbe { .. } => "breaker_probe",
             TraceKind::BreakerClose { .. } => "breaker_close",

@@ -42,12 +42,14 @@
 
 mod diurnal;
 pub mod lru_model;
+mod replay;
 mod session;
 mod trace;
 pub mod wikipedia;
 mod zipf;
 
 pub use diurnal::DiurnalCurve;
+pub use replay::{CompressedDay, ReplayPacer};
 pub use session::{SessionConfig, SessionWorkload};
 pub use trace::{PageId, Trace, TraceConfig, TraceError, TraceRecord};
 pub use zipf::ZipfSampler;

@@ -48,6 +48,7 @@ pub use proteus_agg as agg;
 pub use proteus_bloom as bloom;
 pub use proteus_cache as cache;
 pub use proteus_core as core;
+pub use proteus_ctl as ctl;
 pub use proteus_net as net;
 pub use proteus_obs as obs;
 pub use proteus_ring as ring;
